@@ -1,0 +1,105 @@
+//! Time-of-flight analysis.
+//!
+//! The engine gates and records *pathlengths*; in a time-resolved
+//! experiment the measured variable is the photon arrival time. The two
+//! are related by `t = L · n / c`: pathlength L in the medium of
+//! refractive index n. These helpers convert between the two and build
+//! temporal point-spread functions (TPSFs) from pathlength histograms, so
+//! the paper's "gated differential pathlengths" can be expressed in
+//! picoseconds, the unit a pulsed NIRS instrument actually gates in.
+
+use crate::stats::Histogram;
+
+/// Speed of light in vacuum (mm / ps).
+pub const C_MM_PER_PS: f64 = 0.299_792_458;
+
+/// Time (ps) for a photon to travel `pathlength_mm` in a medium of
+/// refractive index `n`.
+#[inline]
+pub fn pathlength_to_time_ps(pathlength_mm: f64, n: f64) -> f64 {
+    pathlength_mm * n / C_MM_PER_PS
+}
+
+/// Pathlength (mm) corresponding to an arrival time (ps) in a medium of
+/// refractive index `n`.
+#[inline]
+pub fn time_to_pathlength_mm(time_ps: f64, n: f64) -> f64 {
+    time_ps * C_MM_PER_PS / n
+}
+
+/// Convert a pathlength histogram (mm) into a TPSF histogram (ps) for a
+/// medium of refractive index `n`. Bin counts are preserved; only the
+/// axis is rescaled (the map is linear, so bins stay uniform).
+pub fn tpsf_from_pathlengths(pathlength_hist: &Histogram, n: f64) -> Histogram {
+    let mut out = Histogram::new(
+        pathlength_to_time_ps(pathlength_hist.min, n),
+        pathlength_to_time_ps(pathlength_hist.max, n),
+        pathlength_hist.counts.len(),
+    );
+    // Re-record at bin centres to keep moments consistent on the new axis.
+    for (i, &count) in pathlength_hist.counts.iter().enumerate() {
+        let t = pathlength_to_time_ps(pathlength_hist.bin_centre(i), n);
+        for _ in 0..count {
+            out.record(t);
+        }
+    }
+    out
+}
+
+/// Mean arrival time (ps) implied by a mean pathlength (mm).
+#[inline]
+pub fn mean_time_of_flight_ps(mean_pathlength_mm: f64, n: f64) -> f64 {
+    pathlength_to_time_ps(mean_pathlength_mm, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_conversion() {
+        for l in [1.0, 10.0, 123.4] {
+            let t = pathlength_to_time_ps(l, 1.4);
+            assert!((time_to_pathlength_mm(t, 1.4) - l).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn physical_sanity() {
+        // 300 mm in vacuum-index medium ≈ 1 ns.
+        let t = pathlength_to_time_ps(299.792_458, 1.0);
+        assert!((t - 1000.0).abs() < 1e-6);
+        // Higher index means slower light, longer time.
+        assert!(pathlength_to_time_ps(100.0, 1.4) > pathlength_to_time_ps(100.0, 1.0));
+    }
+
+    #[test]
+    fn tpsf_preserves_counts() {
+        let mut h = Histogram::new(0.0, 100.0, 20);
+        for l in [5.0, 15.0, 15.0, 55.0, 99.0] {
+            h.record(l);
+        }
+        let tpsf = tpsf_from_pathlengths(&h, 1.4);
+        assert_eq!(tpsf.len(), 5);
+        assert_eq!(
+            tpsf.counts.iter().sum::<u64>(),
+            h.counts.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn tpsf_axis_is_scaled() {
+        let h = Histogram::new(0.0, 100.0, 10);
+        let tpsf = tpsf_from_pathlengths(&h, 1.4);
+        assert!((tpsf.max - pathlength_to_time_ps(100.0, 1.4)).abs() < 1e-9);
+        assert_eq!(tpsf.min, 0.0);
+    }
+
+    #[test]
+    fn mean_tof_matches_conversion() {
+        assert_eq!(
+            mean_time_of_flight_ps(50.0, 1.4),
+            pathlength_to_time_ps(50.0, 1.4)
+        );
+    }
+}

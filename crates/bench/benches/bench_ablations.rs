@@ -1,0 +1,53 @@
+//! Criterion benches for the design-choice ablations (A1, A2): boundary
+//! mode cost and scheduler planning cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lumen_bench::fig3_scenario;
+use lumen_cluster::scheduler::RateProportional;
+use lumen_cluster::{GaScheduler, Scheduler, StaticChunking};
+use lumen_core::{BoundaryMode, ParallelConfig};
+use std::hint::black_box;
+
+fn bench_boundary_modes(c: &mut Criterion) {
+    let photons: u64 = 20_000;
+    let mut group = c.benchmark_group("ablation_boundary_mode");
+    group.throughput(Throughput::Elements(photons));
+    group.sample_size(10);
+    for (label, mode) in [
+        ("probabilistic", BoundaryMode::Probabilistic),
+        ("classical", BoundaryMode::Classical),
+    ] {
+        let mut sim = fig3_scenario(6.0, 20);
+        sim.options.boundary_mode = mode;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                lumen_core::run_parallel(
+                    black_box(&sim),
+                    photons,
+                    ParallelConfig { seed: 9, tasks: 32 },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler_planning(c: &mut Criterion) {
+    let rates = lumen_cluster::table2_pool().machine_rates();
+    let n_tasks = 2_000;
+    let mut group = c.benchmark_group("ablation_scheduler_planning");
+    group.bench_function("static_chunking", |b| {
+        b.iter(|| StaticChunking.plan(black_box(n_tasks), &rates, 1))
+    });
+    group.bench_function("rate_proportional", |b| {
+        b.iter(|| RateProportional.plan(black_box(n_tasks), &rates, 1))
+    });
+    group.sample_size(10);
+    group.bench_function("genetic_algorithm", |b| {
+        b.iter(|| GaScheduler::default().plan(black_box(n_tasks), &rates, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_boundary_modes, bench_scheduler_planning);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench for experiment F2: thread-scaling of the transport
+//! engine (the real-hardware analogue of the paper's Fig 2) and the cost
+//! of the cluster DES itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lumen_bench::fig3_scenario;
+use lumen_cluster::{speedup_curve, AvailabilityModel, JobSpec, NetworkModel};
+use lumen_core::ParallelConfig;
+use std::hint::black_box;
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let sim = fig3_scenario(6.0, 20);
+    let photons: u64 = 20_000;
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+
+    let mut group = c.benchmark_group("fig2_thread_scaling");
+    group.throughput(Throughput::Elements(photons));
+    group.sample_size(10);
+    let mut k = 1;
+    while k <= cores {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(k).build().unwrap();
+            b.iter(|| {
+                pool.install(|| {
+                    lumen_core::run_parallel(
+                        black_box(&sim),
+                        photons,
+                        ParallelConfig { seed: 7, tasks: 64 },
+                    )
+                })
+            });
+        });
+        k *= 2;
+    }
+    group.finish();
+}
+
+fn bench_des_speedup_curve(c: &mut Criterion) {
+    let job = JobSpec::paper_job();
+    c.bench_function("fig2_des_curve_1_to_60", |b| {
+        b.iter(|| {
+            speedup_curve(
+                black_box(&job),
+                &[1, 15, 30, 45, 60],
+                NetworkModel::lan_2006(),
+                AvailabilityModel::DEDICATED,
+                2006,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_thread_scaling, bench_des_speedup_curve);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench for experiment F3: photon throughput in the
+//! homogeneous white-matter banana scenario, with and without the 50³
+//! path grid, plus the analysis pipeline (projection + threshold +
+//! metrics).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lumen_analysis::{banana_metrics, threshold_fraction, Projection2D};
+use lumen_bench::{fig3_scenario, run_scenario};
+use lumen_core::{ParallelConfig, Simulation};
+use std::hint::black_box;
+
+fn bench_transport(c: &mut Criterion) {
+    let photons: u64 = 20_000;
+    let mut group = c.benchmark_group("fig3_transport");
+    group.throughput(Throughput::Elements(photons));
+    group.sample_size(10);
+
+    let with_grid = fig3_scenario(6.0, 50);
+    group.bench_function("with_50cubed_grid", |b| {
+        b.iter(|| {
+            lumen_core::run_parallel(
+                black_box(&with_grid),
+                photons,
+                ParallelConfig { seed: 1, tasks: 32 },
+            )
+        })
+    });
+
+    let mut without_grid: Simulation = fig3_scenario(6.0, 50);
+    without_grid.options.path_grid = None;
+    group.bench_function("without_grid", |b| {
+        b.iter(|| {
+            lumen_core::run_parallel(
+                black_box(&without_grid),
+                photons,
+                ParallelConfig { seed: 1, tasks: 32 },
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_analysis_pipeline(c: &mut Criterion) {
+    let sim = fig3_scenario(6.0, 50);
+    let res = run_scenario(&sim, 100_000, 3);
+    let grid = res.tally.path_grid.as_ref().unwrap().clone();
+    c.bench_function("fig3_analysis_pipeline", |b| {
+        b.iter(|| {
+            let mut proj = Projection2D::from_grid(black_box(&grid));
+            threshold_fraction(&mut proj, 0.05);
+            banana_metrics(&proj, 6.0)
+        })
+    });
+}
+
+criterion_group!(benches, bench_transport, bench_analysis_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for experiment F4: photon throughput in the layered
+//! adult-head model, compared against the homogeneous baseline — layer
+//! bookkeeping and CSF crossings are the extra cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lumen_bench::{fig3_scenario, fig4_scenario};
+use lumen_core::ParallelConfig;
+use std::hint::black_box;
+
+fn bench_head_model(c: &mut Criterion) {
+    let photons: u64 = 20_000;
+    let mut group = c.benchmark_group("fig4_head_model");
+    group.throughput(Throughput::Elements(photons));
+    group.sample_size(10);
+
+    let head = fig4_scenario(30.0, 50);
+    group.bench_function("five_layer_head", |b| {
+        b.iter(|| {
+            lumen_core::run_parallel(
+                black_box(&head),
+                photons,
+                ParallelConfig { seed: 2, tasks: 32 },
+            )
+        })
+    });
+
+    let homogeneous = fig3_scenario(30.0, 50);
+    group.bench_function("homogeneous_baseline", |b| {
+        b.iter(|| {
+            lumen_core::run_parallel(
+                black_box(&homogeneous),
+                photons,
+                ParallelConfig { seed: 2, tasks: 32 },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_head_model);
+criterion_main!(benches);

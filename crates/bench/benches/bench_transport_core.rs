@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the transport kernels: RNG draw rates, the
+//! hop/drop/spin primitives, and single-photon traces in each preset
+//! medium. These are the numbers that calibrate `JobSpec::flops_per_photon`
+//! for the cluster simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lumen_core::sim::Scratch;
+use lumen_core::{Detector, Simulation, Source};
+use lumen_photon::{spin, Photon, Vec3};
+use lumen_tissue::presets::{adult_head, homogeneous_white_matter};
+use mcrng::{henyey_greenstein_cos, McRng, SplitMix64, Xoshiro256PlusPlus};
+use std::hint::black_box;
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("xoshiro256pp_u64", |b| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+    group.bench_function("splitmix64_u64", |b| {
+        let mut rng = SplitMix64::new(1);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+    group.bench_function("xoshiro_f64", |b| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        b.iter(|| black_box(rng.next_f64()))
+    });
+    group.bench_function("hg_cosine_g09", |b| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        b.iter(|| black_box(henyey_greenstein_cos(&mut rng, 0.9)))
+    });
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("spin_g09", |b| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let mut p = Photon::launch(Vec3::ZERO, Vec3::PLUS_Z, 0);
+        b.iter(|| {
+            spin(&mut p, 0.9, &mut rng);
+            black_box(p.dir)
+        })
+    });
+    group.finish();
+}
+
+fn bench_single_photon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_photon_trace");
+    group.throughput(Throughput::Elements(1));
+
+    let wm = Simulation::new(homogeneous_white_matter(), Source::Delta, Detector::new(6.0, 1.0));
+    group.bench_function("white_matter", |b| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut tally = wm.new_tally();
+        let mut scratch = Scratch::default();
+        b.iter(|| black_box(wm.trace_photon(&mut rng, &mut tally, &mut scratch, None)))
+    });
+
+    let head =
+        Simulation::new(adult_head(Default::default()), Source::Delta, Detector::new(30.0, 3.0));
+    group.bench_function("adult_head", |b| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut tally = head.new_tally();
+        let mut scratch = Scratch::default();
+        b.iter(|| black_box(head.trace_photon(&mut rng, &mut tally, &mut scratch, None)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rng, bench_kernels, bench_single_photon);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Experiment A2 — boundary-handling ablation: "refraction and internal
+//! reflection (classical physics or probabilistic methods)".
+//!
+//! Runs the same scenario under both boundary modes and compares the
+//! physical observables; they must agree in distribution (the modes are
+//! both unbiased estimators of the same transport problem), while the
+//! classical mode shows lower variance in the detected signal.
+//!
+//! Run: `cargo run --release -p lumen-bench --bin ablation_fresnel [photons]`
+
+use lumen_bench::fig3_scenario;
+use lumen_core::{run_parallel, BoundaryMode, ParallelConfig};
+
+fn main() {
+    let photons: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500_000);
+    println!("== A2: classical vs probabilistic boundary handling ==");
+    println!("scenario: Fig 3 white matter, {photons} photons per mode\n");
+
+    println!(
+        "{:<15} | {:>12} | {:>14} | {:>12} | {:>10}",
+        "mode", "detected wt", "diffuse refl", "absorbed", "detections"
+    );
+
+    let mut per_mode = Vec::new();
+    for mode in [BoundaryMode::Probabilistic, BoundaryMode::Classical] {
+        let mut sim = fig3_scenario(6.0, 20);
+        sim.options.boundary_mode = mode;
+        // Estimate variance across independent sub-runs.
+        let replicates = 8;
+        let mut signals = Vec::with_capacity(replicates);
+        let mut last = None;
+        for r in 0..replicates {
+            let res = run_parallel(
+                &sim,
+                photons / replicates as u64,
+                ParallelConfig { seed: 100 + r as u64, tasks: 16 },
+            );
+            signals.push(res.detected_weight_per_photon());
+            last = Some(res);
+        }
+        let res = last.expect("at least one replicate");
+        let mean: f64 = signals.iter().sum::<f64>() / signals.len() as f64;
+        let var: f64 =
+            signals.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / signals.len() as f64;
+        println!(
+            "{:<15} | {:>12.3e} | {:>14.4} | {:>12.4} | {:>10}",
+            match mode {
+                BoundaryMode::Probabilistic => "probabilistic",
+                BoundaryMode::Classical => "classical",
+            },
+            mean,
+            res.diffuse_reflectance(),
+            res.absorbed_fraction(),
+            res.tally.detected
+        );
+        per_mode.push((mode, mean, var));
+    }
+
+    let (_, mp, vp) = per_mode[0];
+    let (_, mc, vc) = per_mode[1];
+    println!("\n-- findings --");
+    println!(
+        "detected signal agrees across modes: {:.1}% relative difference",
+        ((mp - mc).abs() / mp.max(1e-300)) * 100.0
+    );
+    if vc > 0.0 {
+        println!(
+            "variance ratio probabilistic/classical: {:.2} (classical splits weight \
+             deterministically at the surface, reducing detection-noise)",
+            vp / vc
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Experiment A1 — scheduler ablation on the heterogeneous Table 2 pool.
+//!
+//! The original platform's demand-driven self-scheduling is what makes a
+//! heterogeneous, non-dedicated cluster efficient; the paper's reference
+//! [4] studies GA-based scheduling for the same setting. This binary
+//! compares: self-scheduling, naive static round-robin, rate-proportional
+//! static, and the GA scheduler.
+//!
+//! Run: `cargo run --release -p lumen-bench --bin ablation_scheduler`
+
+use lumen_cluster::scheduler::RateProportional;
+use lumen_cluster::{
+    AvailabilityModel, ClusterSim, GaScheduler, JobSpec, NetworkModel, Scheduler, SelfScheduling,
+    StaticChunking,
+};
+
+fn main() {
+    println!("== A1: scheduler ablation, Table 2 pool, 10^9 photons ==\n");
+
+    let sim = ClusterSim {
+        pool: lumen_cluster::table2_pool(),
+        network: NetworkModel::lan_2006(),
+        availability: AvailabilityModel::semi_idle(),
+        seed: 41,
+    };
+    let job = JobSpec::paper_job();
+
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(SelfScheduling),
+        Box::new(StaticChunking),
+        Box::new(RateProportional),
+        Box::new(GaScheduler::default()),
+    ];
+
+    println!(
+        "{:<18} | {:>12} | {:>9} | {:>11} | {:>11}",
+        "scheduler", "makespan (s)", "hours", "speedup", "utilisation"
+    );
+    let mut results = Vec::new();
+    for s in &schedulers {
+        let report = sim.run_with(&job, s.as_ref());
+        println!(
+            "{:<18} | {:>12.0} | {:>9.2} | {:>11.1} | {:>10.1}%",
+            s.name(),
+            report.makespan_s,
+            report.makespan_s / 3600.0,
+            report.speedup(),
+            report.mean_utilisation() * 100.0
+        );
+        results.push((s.name(), report.makespan_s));
+    }
+
+    let selfs = results.iter().find(|(n, _)| *n == "self-scheduling").expect("ran").1;
+    let chunk = results.iter().find(|(n, _)| *n == "static-chunking").expect("ran").1;
+    let ga = results.iter().find(|(n, _)| *n == "ga-scheduler").expect("ran").1;
+    println!("\n-- findings --");
+    println!(
+        "self-scheduling beats naive static chunking by {:.1}x on this pool",
+        chunk / selfs
+    );
+    println!(
+        "the GA's informed static plan comes within {:.1}% of self-scheduling",
+        (ga / selfs - 1.0) * 100.0
+    );
+    println!("(dynamic demand-driven assignment additionally tolerates availability noise)");
+}

@@ -1,0 +1,80 @@
+//! Experiment F3 — the paper's Fig 3: "Simulation with a laser source and
+//! granularity of 50³ in homogeneous white matter tissue", showing the
+//! most common detected-photon paths forming a banana after thresholding.
+//!
+//! Run: `cargo run --release -p lumen-bench --bin fig3_banana [photons]`
+
+use lumen_analysis::{banana_metrics, render_ascii, threshold_fraction, Projection2D};
+use lumen_bench::{fig3_scenario, run_scenario};
+
+fn main() {
+    let photons: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    let separation = 6.0; // mm; white matter's μs' = 9.1/mm keeps paths shallow
+    let granularity = 50;
+
+    println!("== Fig 3: banana of detected paths, delta source, 50^3 granularity ==");
+    println!(
+        "medium: homogeneous white matter (mu_s' = 9.1/mm, mu_a = 0.014/mm)\n\
+         photons: {photons}, separation: {separation} mm\n"
+    );
+
+    let sim = fig3_scenario(separation, granularity);
+    let res = run_scenario(&sim, photons, 3);
+
+    println!("detected photons:      {}", res.tally.detected);
+    println!("detected fraction:     {:.2e}", res.detected_fraction());
+    println!("mean pathlength:       {:.1} mm", res.mean_detected_pathlength());
+    println!(
+        "differential pathlength factor: {:.2}",
+        res.differential_pathlength_factor(separation)
+    );
+    println!("mean penetration depth: {:.2} mm", res.mean_penetration_depth());
+    println!("max penetration depth:  {:.2} mm", res.max_penetration_depth());
+
+    let grid = res.tally.path_grid.as_ref().expect("fig3 scenario attaches a path grid");
+    let mut proj = Projection2D::from_grid(grid);
+    let kept = threshold_fraction(&mut proj, 0.05);
+    println!("\nthresholded at 5% of max: {kept} voxel columns survive");
+
+    let metrics = banana_metrics(&proj, separation);
+    println!("banana metrics: {metrics:#?}");
+    println!("is banana: {}", metrics.is_banana(separation));
+
+    // Crop the render to the interesting region for terminal display.
+    println!("\n-- thresholded visit density, x-z plane (depth downward) --");
+    print!("{}", render_ascii(&downsample(&proj, 70, 30)));
+
+    let out = std::path::Path::new("fig3_banana.pgm");
+    if lumen_analysis::write_pgm(&proj, out).is_ok() {
+        println!("\nfull-resolution field written to {}", out.display());
+    }
+}
+
+/// Average-pool a projection down to at most `nx × nz` cells for terminal
+/// rendering.
+fn downsample(p: &Projection2D, nx: usize, nz: usize) -> Projection2D {
+    let fx = (p.nx as f64 / nx as f64).max(1.0);
+    let fz = (p.nz as f64 / nz as f64).max(1.0);
+    let out_nx = (p.nx as f64 / fx).ceil() as usize;
+    let out_nz = (p.nz as f64 / fz).ceil() as usize;
+    let mut values = vec![0.0; out_nx * out_nz];
+    for iz in 0..p.nz {
+        for ix in 0..p.nx {
+            let ox = ((ix as f64 / fx) as usize).min(out_nx - 1);
+            let oz = ((iz as f64 / fz) as usize).min(out_nz - 1);
+            values[oz * out_nx + ox] += p.at(ix, iz);
+        }
+    }
+    Projection2D {
+        nx: out_nx,
+        nz: out_nz,
+        x_min: p.x_min,
+        x_max: p.x_max,
+        z_min: p.z_min,
+        z_max: p.z_max,
+        values,
+    }
+}

@@ -1,0 +1,108 @@
+//! Experiment F4 — the paper's Fig 4: photon paths through the layered
+//! adult-head model of Table 1.
+//!
+//! "Most of the photons are reflected before they enter the CSF, however
+//! some do penetrate all the way into the white matter tissue, which is of
+//! most interest to researchers."
+//!
+//! Run: `cargo run --release -p lumen-bench --bin fig4_head_model [photons]`
+
+use lumen_analysis::{render_ascii, threshold_fraction, Projection2D};
+use lumen_bench::{fig4_scenario, run_scenario};
+use lumen_tissue::presets::AdultHeadConfig;
+
+fn main() {
+    let photons: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    let separation = 30.0; // mm, inside the paper's 20-60 mm optode range
+    let granularity = 50;
+    let cfg = AdultHeadConfig::default();
+
+    println!("== Fig 4: photon paths through the Table 1 adult head model ==");
+    println!("photons: {photons}, source-detector separation: {separation} mm\n");
+
+    println!("-- Table 1 model --");
+    println!(
+        "{:<14} | {:>10} | {:>12} | {:>10}",
+        "layer", "depth (mm)", "mu_s' (1/mm)", "mu_a (1/mm)"
+    );
+    let sim = fig4_scenario(separation, granularity);
+    for l in sim.tissue.layers() {
+        println!(
+            "{:<14} | {:>4.1}-{:<5} | {:>12.2} | {:>10.3}",
+            l.name,
+            l.z_top,
+            if l.is_semi_infinite() { "inf".to_string() } else { format!("{:.1}", l.z_bottom) },
+            l.optics.mu_s_prime(),
+            l.optics.mu_a
+        );
+    }
+
+    let res = run_scenario(&sim, photons, 4);
+
+    println!("\n-- outcomes per launched photon --");
+    println!("specular reflectance:  {:.4}", res.specular_reflectance());
+    println!("diffuse reflectance:   {:.4}", res.diffuse_reflectance());
+    println!("absorbed fraction:     {:.4}", res.absorbed_fraction());
+    println!("detected photons:      {}", res.tally.detected);
+
+    println!("\n-- absorbed weight by layer (fraction of launched) --");
+    for (layer, frac) in sim.tissue.layers().iter().zip(res.absorbed_fraction_by_layer()) {
+        println!("{:<14} {:>8.5}", layer.name, frac);
+    }
+
+    println!("\n-- detected photons reaching each layer --");
+    for (i, layer) in sim.tissue.layers().iter().enumerate() {
+        println!(
+            "{:<14} {:>7.2}%",
+            layer.name,
+            res.detected_reached_layer_fraction(i) * 100.0
+        );
+    }
+    println!(
+        "\nCSF starts at {:.1} mm, white matter at {:.1} mm; \
+         mean detected penetration {:.1} mm, max {:.1} mm",
+        cfg.csf_depth(),
+        cfg.white_matter_depth(),
+        res.mean_penetration_depth(),
+        res.max_penetration_depth()
+    );
+
+    if let Some(grid) = res.tally.path_grid.as_ref() {
+        let mut proj = Projection2D::from_grid(grid);
+        threshold_fraction(&mut proj, 0.02);
+        println!("\n-- detected-path density, x-z plane (depth downward) --");
+        print!("{}", render_ascii(&crop(&proj, 70, 35)));
+        let out = std::path::Path::new("fig4_head_model.pgm");
+        if lumen_analysis::write_pgm(&proj, out).is_ok() {
+            println!("\nfull-resolution field written to {}", out.display());
+        }
+    }
+}
+
+/// Average-pool for terminal rendering.
+fn crop(p: &Projection2D, nx: usize, nz: usize) -> Projection2D {
+    let fx = (p.nx as f64 / nx as f64).max(1.0);
+    let fz = (p.nz as f64 / nz as f64).max(1.0);
+    let out_nx = (p.nx as f64 / fx).ceil() as usize;
+    let out_nz = (p.nz as f64 / fz).ceil() as usize;
+    let mut values = vec![0.0; out_nx * out_nz];
+    for iz in 0..p.nz {
+        for ix in 0..p.nx {
+            let ox = ((ix as f64 / fx) as usize).min(out_nx - 1);
+            let oz = ((iz as f64 / fz) as usize).min(out_nz - 1);
+            values[oz * out_nx + ox] += p.at(ix, iz);
+        }
+    }
+    Projection2D {
+        nx: out_nx,
+        nz: out_nz,
+        x_min: p.x_min,
+        x_max: p.x_max,
+        z_min: p.z_min,
+        z_max: p.z_max,
+        values,
+    }
+}

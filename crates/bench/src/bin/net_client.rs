@@ -1,0 +1,28 @@
+//! Standalone compute client — the paper's `Algorithm` process on a
+//! non-dedicated PC.
+//!
+//! Run: `cargo run --release -p lumen-bench --bin net_client -- \
+//!        [addr=127.0.0.1:7878] [scenario=white_matter] [seed=42]`
+//!
+//! The scenario and seed must match the server's (the experiment
+//! definition is the out-of-band contract).
+
+use lumen_bench::scenario_by_name;
+
+fn arg(n: usize, default: &str) -> String {
+    std::env::args().nth(n).unwrap_or_else(|| default.to_string())
+}
+
+fn main() {
+    let addr = arg(1, "127.0.0.1:7878");
+    let scenario = arg(2, "white_matter");
+    let seed: u64 = arg(3, "42").parse().expect("seed");
+
+    let sim = scenario_by_name(&scenario)
+        .unwrap_or_else(|| panic!("unknown scenario '{scenario}'"));
+    println!("lumen client connecting to {addr} (scenario={scenario})...");
+    match lumen_cluster::run_client(&addr, &sim, seed) {
+        Ok(n) => println!("shut down after completing {n} task(s)"),
+        Err(e) => eprintln!("client error: {e}"),
+    }
+}

@@ -1,0 +1,39 @@
+//! Standalone DataManager server — the paper's "dedicated server" process.
+//!
+//! Run: `cargo run --release -p lumen-bench --bin net_server -- \
+//!        [addr=127.0.0.1:7878] [scenario=white_matter] [photons=100000] \
+//!        [tasks=16] [clients=2] [seed=42]`
+//!
+//! Start the server first, then `clients` copies of `net_client` with the
+//! same scenario and seed (on any machines that can reach the address).
+
+use lumen_bench::scenario_by_name;
+use std::net::TcpListener;
+
+fn arg(n: usize, default: &str) -> String {
+    std::env::args().nth(n).unwrap_or_else(|| default.to_string())
+}
+
+fn main() {
+    let addr = arg(1, "127.0.0.1:7878");
+    let scenario = arg(2, "white_matter");
+    let photons: u64 = arg(3, "100000").parse().expect("photons");
+    let tasks: u64 = arg(4, "16").parse().expect("tasks");
+    let clients: usize = arg(5, "2").parse().expect("clients");
+    let _seed: u64 = arg(6, "42").parse().expect("seed");
+
+    let sim = scenario_by_name(&scenario)
+        .unwrap_or_else(|| panic!("unknown scenario '{scenario}'"));
+    let listener = TcpListener::bind(&addr).expect("bind server address");
+    println!("lumen DataManager on {addr}: scenario={scenario}, photons={photons}, tasks={tasks}; waiting for {clients} client(s)...");
+
+    let report = lumen_cluster::serve(listener, &sim, photons, tasks, clients)
+        .expect("distributed run");
+    println!("done: {} photons over {} clients ({} requeues)",
+        report.result.launched(), report.clients_served, report.requeues);
+    println!("detected fraction: {:.3e}", report.result.detected_fraction());
+    println!("diffuse reflectance: {:.4}", report.result.diffuse_reflectance());
+    for (i, w) in report.worker_stats.iter().enumerate() {
+        println!("  client {i}: {} tasks, {} photons", w.tasks_completed, w.photons);
+    }
+}

@@ -1,0 +1,51 @@
+//! Experiment T1 — reprint the paper's Table 1 from the tissue presets and
+//! verify the derived optical quantities.
+//!
+//! Run: `cargo run --release -p lumen-bench --bin table1_properties`
+
+use lumen_tissue::presets::{
+    adult_head, csf_optics, grey_matter_optics, scalp_optics, skull_optics, white_matter_optics,
+    AdultHeadConfig, TISSUE_G,
+};
+
+fn main() {
+    println!("== Table 1: thickness and optical properties (NIR) of tissue in the adult head ==\n");
+    println!(
+        "{:<14} | {:>14} | {:>14} | {:>12} | {:>10} | {:>8}",
+        "tissue", "thickness (mm)", "mu_s' (1/mm)", "mu_a (1/mm)", "mu_s(g=.9)", "albedo"
+    );
+
+    let cfg = AdultHeadConfig::default();
+    let rows = [
+        ("Scalp", format!("{:.1} (3-10)", cfg.scalp_mm), scalp_optics()),
+        ("Skull", format!("{:.1} (5-10)", cfg.skull_mm), skull_optics()),
+        ("CSF", format!("{:.1}", cfg.csf_mm), csf_optics()),
+        ("Grey matter", format!("{:.1}", cfg.grey_mm), grey_matter_optics()),
+        ("White matter", "semi-inf".to_string(), white_matter_optics()),
+    ];
+    for (name, thickness, o) in rows {
+        println!(
+            "{:<14} | {:>14} | {:>14.2} | {:>12.3} | {:>10.1} | {:>8.4}",
+            name,
+            thickness,
+            o.mu_s_prime(),
+            o.mu_a,
+            o.mu_s,
+            o.albedo()
+        );
+    }
+
+    println!(
+        "\nmu_s' = mu_s (1 - g) with g = {TISSUE_G} (mean scattering cosine; g = -1 total \
+         back-scatter, 0 isotropic, 1 forward — Table 1 footnote)"
+    );
+
+    let head = adult_head(cfg);
+    println!(
+        "\nmodel sanity: {} layers, CSF optical thickness {:.2} mfp, \
+         cumulative finite-stack optical depth {:.0} mfp",
+        head.len(),
+        head.layers()[2].optical_thickness(),
+        head.cumulative_optical_depth()
+    );
+}

@@ -1,0 +1,76 @@
+//! Experiment T2 — the paper's Table 2 run: 10⁹ photons on 150
+//! heterogeneous, non-dedicated clients.
+//!
+//! The paper reports "each simulation taking approximately 2 hours on the
+//! distributed system detailed in Table 2". The discrete-event simulator
+//! reproduces the run and reports per-class work shares.
+//!
+//! Run: `cargo run --release -p lumen-bench --bin table2_hetero`
+
+use lumen_cluster::{AvailabilityModel, ClusterSim, JobSpec, NetworkModel};
+
+fn main() {
+    println!("== Table 2: 150 heterogeneous non-dedicated clients, 10^9 photons ==\n");
+
+    let pool = lumen_cluster::table2_pool();
+    println!(
+        "{:>5} | {:>9} | {:>8} | {:<10} | {:<20}",
+        "count", "Mflop/s", "RAM(MB)", "O/S", "Processor"
+    );
+    for c in &pool.classes {
+        println!(
+            "{:>5} | {:>9.1} | {:>8} | {:<10} | {:<20}",
+            c.count, c.mflops, c.ram_mb, c.os, c.cpu
+        );
+    }
+    println!(
+        "\ntotal machines: {}, aggregate rate: {:.1} Mflop/s\n",
+        pool.len(),
+        pool.total_mflops()
+    );
+
+    let sim = ClusterSim {
+        pool: pool.clone(),
+        network: NetworkModel::lan_2006(),
+        availability: AvailabilityModel::semi_idle(),
+        seed: 150,
+    };
+    let job = JobSpec::paper_job();
+    let report = sim.run(&job);
+
+    println!("-- simulated run --");
+    println!("photons:            {}", job.total_photons);
+    println!("tasks:              {}", report.tasks);
+    println!(
+        "virtual makespan:   {:.0} s  ({:.2} h; paper: ~2 h)",
+        report.makespan_s,
+        report.makespan_s / 3600.0
+    );
+    println!(
+        "sequential (P4):    {:.0} s  ({:.1} h)",
+        report.sequential_s,
+        report.sequential_s / 3600.0
+    );
+    println!("speedup vs 1x P4:   {:.1}", report.speedup());
+    println!("mean utilisation:   {:.1}%", report.mean_utilisation() * 100.0);
+    println!("server merge load:  {:.0} s", report.server_busy_s);
+
+    // Work share per machine class.
+    println!("\n-- work distribution by machine class --");
+    println!("{:<20} | {:>8} | {:>14} | {:>12}", "class", "machines", "photons", "share");
+    let rates = pool.machine_rates();
+    let mut offset = 0usize;
+    for c in &pool.classes {
+        let photons: u64 =
+            report.machine_photons[offset..offset + c.count].iter().sum();
+        println!(
+            "{:<20} | {:>8} | {:>14} | {:>11.1}%",
+            c.cpu,
+            c.count,
+            photons,
+            photons as f64 / job.total_photons as f64 * 100.0
+        );
+        offset += c.count;
+    }
+    let _ = rates;
+}

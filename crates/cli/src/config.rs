@@ -1,0 +1,355 @@
+//! Minimal `key = value` experiment-configuration format and parser.
+//!
+//! No external parser crates: the format is lines of `key = value`, with
+//! `#` comments and blank lines ignored. Keys are case-sensitive. This is
+//! the file a user writes to describe an experiment:
+//!
+//! ```text
+//! # NIRS sweep on the adult head
+//! tissue    = adult_head
+//! source    = gaussian 1.5
+//! detector  = ring 30 2
+//! gate      = 0 1000
+//! na        = 0.5
+//! photons   = 200000
+//! seed      = 42
+//! tasks     = 64
+//! path_grid = 50 40
+//! ```
+
+use lumen_core::{Detector, GateWindow, GridSpec, Simulation, SimulationOptions, Source, Vec3};
+use lumen_tissue::presets::{
+    adult_head, homogeneous_white_matter, neonatal_head, semi_infinite_phantom, AdultHeadConfig,
+};
+use std::collections::BTreeMap;
+
+/// A parsed configuration file: ordered key → value map.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    entries: BTreeMap<String, String>,
+}
+
+/// Parse or semantic errors with enough context to fix the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Line had no `=` separator.
+    BadLine { line_no: usize, text: String },
+    /// Same key twice.
+    DuplicateKey { line_no: usize, key: String },
+    /// Key required but absent.
+    Missing(&'static str),
+    /// Value failed to parse.
+    BadValue { key: String, value: String, expected: &'static str },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::BadLine { line_no, text } => {
+                write!(f, "line {line_no}: expected `key = value`, got `{text}`")
+            }
+            ConfigError::DuplicateKey { line_no, key } => {
+                write!(f, "line {line_no}: duplicate key `{key}`")
+            }
+            ConfigError::Missing(key) => write!(f, "missing required key `{key}`"),
+            ConfigError::BadValue { key, value, expected } => {
+                write!(f, "key `{key}`: cannot parse `{value}` (expected {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Parse configuration text.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut entries = BTreeMap::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError::BadLine { line_no, text: raw.trim().to_string() });
+            };
+            let key = key.trim().to_string();
+            let value = value.trim().to_string();
+            if entries.contains_key(&key) {
+                return Err(ConfigError::DuplicateKey { line_no, key });
+            }
+            entries.insert(key, value);
+        }
+        Ok(Self { entries })
+    }
+
+    /// Raw value lookup.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(|s| s.as_str())
+    }
+
+    fn parse_num<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        expected: &'static str,
+    ) -> Result<Option<T>, ConfigError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v.parse::<T>().map(Some).map_err(|_| ConfigError::BadValue {
+                key: key.into(),
+                value: v.into(),
+                expected,
+            }),
+        }
+    }
+
+    /// Photon budget (required).
+    pub fn photons(&self) -> Result<u64, ConfigError> {
+        self.parse_num::<u64>("photons", "positive integer")?
+            .ok_or(ConfigError::Missing("photons"))
+    }
+
+    /// Experiment seed (default 42).
+    pub fn seed(&self) -> Result<u64, ConfigError> {
+        Ok(self.parse_num::<u64>("seed", "integer")?.unwrap_or(42))
+    }
+
+    /// Task count for the parallel driver (default 64).
+    pub fn tasks(&self) -> Result<u64, ConfigError> {
+        Ok(self.parse_num::<u64>("tasks", "positive integer")?.unwrap_or(64))
+    }
+
+    /// Build the full simulation this config describes.
+    pub fn build_simulation(&self) -> Result<Simulation, ConfigError> {
+        let tissue = self.tissue()?;
+        let source = self.source()?;
+        let detector = self.detector()?;
+        let mut options = SimulationOptions::default();
+        if let Some(spec) = self.path_grid(&detector)? {
+            options.path_grid = Some(spec);
+        }
+        if let Some((max_mm, bins)) = self.path_histogram()? {
+            options.path_histogram = Some((max_mm, bins));
+        }
+        let sim = Simulation { tissue, source, detector, options };
+        sim.validate().map_err(|e| ConfigError::BadValue {
+            key: "simulation".into(),
+            value: e,
+            expected: "a consistent configuration",
+        })?;
+        Ok(sim)
+    }
+
+    fn tissue(&self) -> Result<lumen_tissue::LayeredTissue, ConfigError> {
+        let spec = self.get("tissue").ok_or(ConfigError::Missing("tissue"))?;
+        let mut parts = spec.split_whitespace();
+        let kind = parts.next().unwrap_or("");
+        match kind {
+            "adult_head" => Ok(adult_head(AdultHeadConfig::default())),
+            "neonatal_head" => Ok(neonatal_head()),
+            "white_matter" => Ok(homogeneous_white_matter()),
+            "phantom" => {
+                let nums: Vec<f64> =
+                    parts.filter_map(|p| p.parse().ok()).collect();
+                if nums.len() != 4 {
+                    return Err(ConfigError::BadValue {
+                        key: "tissue".into(),
+                        value: spec.into(),
+                        expected: "`phantom <mu_a> <mu_s> <g> <n>`",
+                    });
+                }
+                Ok(semi_infinite_phantom(nums[0], nums[1], nums[2], nums[3]))
+            }
+            _ => Err(ConfigError::BadValue {
+                key: "tissue".into(),
+                value: spec.into(),
+                expected: "adult_head | neonatal_head | white_matter | phantom ...",
+            }),
+        }
+    }
+
+    fn source(&self) -> Result<Source, ConfigError> {
+        let spec = self.get("source").unwrap_or("delta");
+        let mut parts = spec.split_whitespace();
+        let kind = parts.next().unwrap_or("");
+        let radius = parts.next().and_then(|p| p.parse::<f64>().ok());
+        match (kind, radius) {
+            ("delta", None) => Ok(Source::Delta),
+            ("gaussian", Some(radius)) => Ok(Source::Gaussian { radius }),
+            ("uniform", Some(radius)) => Ok(Source::Uniform { radius }),
+            _ => Err(ConfigError::BadValue {
+                key: "source".into(),
+                value: spec.into(),
+                expected: "delta | gaussian <radius> | uniform <radius>",
+            }),
+        }
+    }
+
+    fn detector(&self) -> Result<Detector, ConfigError> {
+        let spec = self.get("detector").ok_or(ConfigError::Missing("detector"))?;
+        let mut parts = spec.split_whitespace();
+        let kind = parts.next().unwrap_or("");
+        let nums: Vec<f64> = parts.filter_map(|p| p.parse().ok()).collect();
+        let mut det = match (kind, nums.as_slice()) {
+            ("disc", [sep, radius]) => Detector::new(*sep, *radius),
+            ("ring", [sep, half]) => Detector::ring(*sep, *half),
+            _ => {
+                return Err(ConfigError::BadValue {
+                    key: "detector".into(),
+                    value: spec.into(),
+                    expected: "disc <separation> <radius> | ring <separation> <half_width>",
+                })
+            }
+        };
+        if let Some(gate) = self.get("gate") {
+            let nums: Vec<f64> =
+                gate.split_whitespace().filter_map(|p| p.parse().ok()).collect();
+            let window = match nums.as_slice() {
+                [lo, hi] => GateWindow::new(*lo, *hi).map_err(|e| ConfigError::BadValue {
+                    key: "gate".into(),
+                    value: e,
+                    expected: "0 <= min < max",
+                })?,
+                _ => {
+                    return Err(ConfigError::BadValue {
+                        key: "gate".into(),
+                        value: gate.into(),
+                        expected: "`<min_mm> <max_mm>`",
+                    })
+                }
+            };
+            det = det.with_gate(window);
+        }
+        if let Some(na) = self.parse_num::<f64>("na", "number in (0, 1]")? {
+            det = det.with_numerical_aperture(na, 1.0);
+        }
+        Ok(det)
+    }
+
+    fn path_grid(&self, detector: &Detector) -> Result<Option<GridSpec>, ConfigError> {
+        let Some(spec) = self.get("path_grid") else { return Ok(None) };
+        let nums: Vec<f64> =
+            spec.split_whitespace().filter_map(|p| p.parse().ok()).collect();
+        match nums.as_slice() {
+            [granularity, depth] if *granularity >= 1.0 => {
+                let margin = detector.separation.max(1.0);
+                Ok(Some(GridSpec::cubic(
+                    *granularity as usize,
+                    Vec3::new(-margin, -margin, 0.0),
+                    Vec3::new(detector.separation + margin, margin, *depth),
+                )))
+            }
+            _ => Err(ConfigError::BadValue {
+                key: "path_grid".into(),
+                value: spec.into(),
+                expected: "`<granularity> <depth_mm>`",
+            }),
+        }
+    }
+
+    fn path_histogram(&self) -> Result<Option<(f64, usize)>, ConfigError> {
+        let Some(spec) = self.get("path_histogram") else { return Ok(None) };
+        let nums: Vec<f64> =
+            spec.split_whitespace().filter_map(|p| p.parse().ok()).collect();
+        match nums.as_slice() {
+            [max_mm, bins] if *max_mm > 0.0 && *bins >= 1.0 => {
+                Ok(Some((*max_mm, *bins as usize)))
+            }
+            _ => Err(ConfigError::BadValue {
+                key: "path_histogram".into(),
+                value: spec.into(),
+                expected: "`<max_mm> <bins>`",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = r#"
+# a full experiment
+tissue    = adult_head
+source    = gaussian 1.5
+detector  = ring 30 2
+gate      = 0 1000
+na        = 0.5
+photons   = 1000
+seed      = 7
+tasks     = 8
+path_grid = 20 30
+path_histogram = 500 25
+"#;
+
+    #[test]
+    fn parses_full_config() {
+        let cfg = Config::parse(FULL).unwrap();
+        assert_eq!(cfg.photons().unwrap(), 1000);
+        assert_eq!(cfg.seed().unwrap(), 7);
+        assert_eq!(cfg.tasks().unwrap(), 8);
+        let sim = cfg.build_simulation().unwrap();
+        assert_eq!(sim.tissue.len(), 5);
+        assert!(matches!(sim.source, Source::Gaussian { radius } if radius == 1.5));
+        assert!(sim.detector.ring);
+        assert!(sim.detector.min_exit_cos.is_some());
+        assert!(sim.options.path_grid.is_some());
+        assert_eq!(sim.options.path_histogram, Some((500.0, 25)));
+    }
+
+    #[test]
+    fn minimal_config_with_defaults() {
+        let cfg = Config::parse("tissue = white_matter\ndetector = disc 6 1\nphotons = 10")
+            .unwrap();
+        let sim = cfg.build_simulation().unwrap();
+        assert!(matches!(sim.source, Source::Delta));
+        assert_eq!(cfg.seed().unwrap(), 42);
+        assert!(sim.detector.gate.is_open());
+    }
+
+    #[test]
+    fn phantom_tissue() {
+        let cfg =
+            Config::parse("tissue = phantom 0.1 10 0.9 1.4\ndetector = disc 2 1\nphotons = 1")
+                .unwrap();
+        let sim = cfg.build_simulation().unwrap();
+        assert_eq!(sim.tissue.optics(0).mu_a, 0.1);
+        assert_eq!(sim.tissue.optics(0).g, 0.9);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let cfg = Config::parse("# hi\n\n  tissue = white_matter # inline\n").unwrap();
+        assert_eq!(cfg.get("tissue"), Some("white_matter"));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            Config::parse("this is not a kv line"),
+            Err(ConfigError::BadLine { line_no: 1, .. })
+        ));
+        assert!(matches!(
+            Config::parse("a = 1\na = 2"),
+            Err(ConfigError::DuplicateKey { line_no: 2, .. })
+        ));
+        let cfg = Config::parse("tissue = white_matter\ndetector = disc 6 1").unwrap();
+        assert_eq!(cfg.photons(), Err(ConfigError::Missing("photons")));
+        let bad = Config::parse("tissue = jelly\ndetector = disc 6 1\nphotons = 1").unwrap();
+        assert!(matches!(bad.build_simulation(), Err(ConfigError::BadValue { .. })));
+        let bad_det = Config::parse("tissue = white_matter\ndetector = disc 6\nphotons = 1")
+            .unwrap();
+        assert!(bad_det.build_simulation().is_err());
+        let bad_gate =
+            Config::parse("tissue = white_matter\ndetector = disc 6 1\ngate = 9 1\nphotons = 1")
+                .unwrap();
+        assert!(bad_gate.build_simulation().is_err());
+    }
+
+    #[test]
+    fn bad_numeric_value() {
+        let cfg = Config::parse("photons = many").unwrap();
+        assert!(matches!(cfg.photons(), Err(ConfigError::BadValue { .. })));
+    }
+}

@@ -1,0 +1,127 @@
+//! `lumen` — the command-line front end.
+//!
+//! ```text
+//! lumen run <config-file>        simulate per the config, print a report
+//! lumen example-config           print an annotated example config
+//! lumen presets                  list tissue presets and their layers
+//! ```
+
+mod config;
+mod report;
+
+use config::Config;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(|s| s.as_str()) {
+        Some("run") => match args.get(1) {
+            Some(path) => cmd_run(path),
+            None => {
+                eprintln!("usage: lumen run <config-file>");
+                2
+            }
+        },
+        Some("example-config") => {
+            println!("{}", EXAMPLE_CONFIG.trim_start());
+            0
+        }
+        Some("presets") => cmd_presets(),
+        _ => {
+            eprintln!(
+                "usage: lumen <command>\n\n  run <config-file>   simulate per the config\n  example-config      print an annotated example config\n  presets             list tissue presets"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn cmd_run(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let cfg = match Config::parse(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return 1;
+        }
+    };
+    let (sim, photons, seed, tasks) = match (|| {
+        Ok::<_, config::ConfigError>((
+            cfg.build_simulation()?,
+            cfg.photons()?,
+            cfg.seed()?,
+            cfg.tasks()?,
+        ))
+    })() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return 1;
+        }
+    };
+
+    let started = std::time::Instant::now();
+    let result = lumen_core::run_parallel(
+        &sim,
+        photons,
+        lumen_core::ParallelConfig { seed, tasks },
+    );
+    let elapsed = started.elapsed().as_secs_f64();
+    report::print_report(&sim, &result, elapsed);
+    0
+}
+
+fn cmd_presets() -> i32 {
+    use lumen_tissue::presets::{adult_head, homogeneous_white_matter, neonatal_head};
+    for (name, model) in [
+        ("adult_head", adult_head(Default::default())),
+        ("neonatal_head", neonatal_head()),
+        ("white_matter", homogeneous_white_matter()),
+    ] {
+        println!("{name}:");
+        for l in model.layers() {
+            println!(
+                "  {:<14} z {:>5.1}..{:<8} mu_s' {:.2}/mm  mu_a {:.3}/mm  n {:.2}",
+                l.name,
+                l.z_top,
+                if l.is_semi_infinite() { "inf".into() } else { format!("{:.1}", l.z_bottom) },
+                l.optics.mu_s_prime(),
+                l.optics.mu_a,
+                l.optics.n
+            );
+        }
+    }
+    println!("\nphantom: `tissue = phantom <mu_a> <mu_s> <g> <n>` (semi-infinite)");
+    0
+}
+
+const EXAMPLE_CONFIG: &str = r#"
+# lumen experiment configuration (`lumen run this-file`)
+
+# tissue: adult_head | neonatal_head | white_matter | phantom mu_a mu_s g n
+tissue    = adult_head
+
+# source: delta | gaussian <1/e2-radius-mm> | uniform <radius-mm>
+source    = delta
+
+# detector: disc <separation-mm> <radius-mm> | ring <separation-mm> <half-width-mm>
+detector  = ring 30 2
+
+# optional pathlength gate (mm) and fibre numerical aperture
+#gate     = 0 1000
+#na       = 0.5
+
+# optional tallies
+#path_grid      = 50 30      # granularity^3 over the source-detector region, depth mm
+#path_histogram = 600 30     # max pathlength mm, bins
+
+photons   = 200000
+seed      = 42
+tasks     = 64
+"#;

@@ -1,0 +1,79 @@
+//! Human-readable report printing for CLI runs.
+
+use lumen_core::{Simulation, SimulationResult};
+
+/// Print the standard post-run report to stdout.
+pub fn print_report(sim: &Simulation, result: &SimulationResult, elapsed_s: f64) {
+    let t = &result.tally;
+    println!("== lumen run ==");
+    println!(
+        "tissue: {} layer(s); source: {}; detector at {} mm ({}){}",
+        sim.tissue.len(),
+        sim.source.name(),
+        sim.detector.separation,
+        if sim.detector.ring { "ring" } else { "disc" },
+        if sim.detector.gate.is_open() { "" } else { ", gated" },
+    );
+    println!(
+        "photons: {} in {:.2} s ({:.0} photons/s)\n",
+        t.launched,
+        elapsed_s,
+        t.launched as f64 / elapsed_s.max(1e-9)
+    );
+
+    println!("outcomes:");
+    println!("  detected        {:>10}  ({:.3e} of launched)", t.detected, result.detected_fraction());
+    println!("  diffuse refl.   {:>10.4}", result.diffuse_reflectance());
+    println!("  specular refl.  {:>10.4}", result.specular_reflectance());
+    println!("  transmittance   {:>10.4}", result.transmittance());
+    println!("  absorbed        {:>10.4}", result.absorbed_fraction());
+    if t.gate_rejected > 0 {
+        println!("  gate-rejected   {:>10}", t.gate_rejected);
+    }
+    if t.na_rejected > 0 {
+        println!("  NA-rejected     {:>10}", t.na_rejected);
+    }
+
+    if t.detected > 0 {
+        println!("\ndetected-photon statistics:");
+        println!(
+            "  pathlength      {:>10.1} mm (std {:.1})",
+            result.mean_detected_pathlength(),
+            result.std_detected_pathlength()
+        );
+        println!(
+            "  DPF             {:>10.2}",
+            result.differential_pathlength_factor(sim.detector.separation)
+        );
+        println!(
+            "  penetration     {:>10.1} mm mean, {:.1} mm max",
+            result.mean_penetration_depth(),
+            result.max_penetration_depth()
+        );
+        println!("  scatters        {:>10.0} per photon", result.mean_detected_scatters());
+    }
+
+    println!("\nabsorbed weight per layer (per launched photon):");
+    for (layer, frac) in sim.tissue.layers().iter().zip(result.absorbed_fraction_by_layer()) {
+        println!("  {:<16} {:.5}", layer.name, frac);
+    }
+
+    if let Some(grid) = t.path_grid.as_ref() {
+        println!(
+            "\npath grid: {}x{}x{} voxels, total visit weight {:.3e}",
+            grid.spec.nx, grid.spec.ny, grid.spec.nz, grid.total()
+        );
+    }
+    if let Some(hist) = t.path_histogram.as_ref() {
+        println!(
+            "path histogram: {} bins to {} mm, {} detections recorded",
+            hist.counts.len(),
+            hist.max_mm,
+            hist.total()
+        );
+    }
+    println!(
+        "\nenergy accounted: {:.4} (specular + exits + absorbed per photon)",
+        t.accounted_weight_fraction()
+    );
+}

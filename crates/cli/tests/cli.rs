@@ -1,0 +1,94 @@
+//! End-to-end tests of the `lumen` binary.
+
+use std::process::Command;
+
+fn lumen() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lumen"))
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = lumen().output().expect("run lumen");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage"), "{err}");
+}
+
+#[test]
+fn example_config_parses_back() {
+    let out = lumen().arg("example-config").output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("tissue"));
+    // The emitted example must be machine-parseable.
+    let dir = std::env::temp_dir().join("lumen_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg_path = dir.join("example.cfg");
+    std::fs::write(&cfg_path, text.as_bytes()).unwrap();
+    // A tiny photon budget keeps the round trip fast.
+    let text = text.replace("photons   = 200000", "photons   = 2000");
+    std::fs::write(&cfg_path, text.as_bytes()).unwrap();
+    let run = lumen().arg("run").arg(&cfg_path).output().expect("run cfg");
+    assert!(
+        run.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let report = String::from_utf8_lossy(&run.stdout);
+    assert!(report.contains("== lumen run =="), "{report}");
+    assert!(report.contains("energy accounted"), "{report}");
+    std::fs::remove_file(&cfg_path).ok();
+}
+
+#[test]
+fn presets_lists_all_models() {
+    let out = lumen().arg("presets").output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["adult_head", "neonatal_head", "white_matter", "Scalp", "CSF"] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+}
+
+#[test]
+fn run_rejects_missing_file() {
+    let out = lumen().arg("run").arg("/nonexistent/zzz.cfg").output().expect("run");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn run_reports_config_errors_with_location() {
+    let dir = std::env::temp_dir().join("lumen_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg_path = dir.join("broken.cfg");
+    std::fs::write(&cfg_path, "tissue = white_matter\nnot a kv line\n").unwrap();
+    let out = lumen().arg("run").arg(&cfg_path).output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 2"), "{err}");
+    std::fs::remove_file(&cfg_path).ok();
+}
+
+#[test]
+fn deterministic_across_invocations() {
+    let dir = std::env::temp_dir().join("lumen_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg_path = dir.join("det.cfg");
+    std::fs::write(
+        &cfg_path,
+        "tissue = white_matter\ndetector = disc 3 1\nphotons = 5000\nseed = 9\ntasks = 8\n",
+    )
+    .unwrap();
+    let run = || {
+        let out = lumen().arg("run").arg(&cfg_path).output().expect("run");
+        assert!(out.status.success());
+        // Strip the timing line, which legitimately varies.
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| !l.contains("photons/s"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(run(), run());
+    std::fs::remove_file(&cfg_path).ok();
+}

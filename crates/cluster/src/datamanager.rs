@@ -1,0 +1,199 @@
+//! The DataManager: the server-side task queue and result aggregator.
+//!
+//! "The DataManager, which resides on the server, assigns simulations to
+//! client PCs and processes the returned results." This struct is exactly
+//! that, factored so the same logic drives both the real threaded executor
+//! and tests: it owns the queue of outstanding tasks, hands them out on
+//! request (demand-driven self-scheduling), re-queues failed tasks, and
+//! merges returned tallies.
+
+use crate::protocol::{SimTask, WorkerStats};
+use lumen_core::tally::Tally;
+use std::collections::VecDeque;
+
+/// Server state for one distributed simulation.
+#[derive(Debug)]
+pub struct DataManager {
+    queue: VecDeque<SimTask>,
+    /// Tasks handed out but not yet completed (leases).
+    outstanding: Vec<SimTask>,
+    /// Per-task tallies, indexed by task id. Kept separate until the end so
+    /// the final merge runs in task order — float accumulation order (and
+    /// hence the result, bit for bit) is then independent of which worker
+    /// finished first.
+    completed: Vec<Option<Tally>>,
+    /// Template for the aggregate tally.
+    template: Tally,
+    /// Per-worker statistics.
+    stats: Vec<WorkerStats>,
+    tasks_total: usize,
+    tasks_done: usize,
+    requeues: u64,
+}
+
+impl DataManager {
+    /// Create a manager for `total_photons` split into `n_tasks` batches,
+    /// aggregating into a tally shaped like `template`.
+    pub fn new(total_photons: u64, n_tasks: u64, template: Tally, n_workers: usize) -> Self {
+        let sizes = lumen_core::parallel::batch_sizes(total_photons, n_tasks);
+        let queue: VecDeque<SimTask> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &photons)| SimTask { task_id: i as u64, photons })
+            .collect();
+        Self {
+            tasks_total: queue.len(),
+            completed: (0..queue.len()).map(|_| None).collect(),
+            queue,
+            outstanding: Vec::new(),
+            template,
+            stats: vec![WorkerStats::default(); n_workers],
+            tasks_done: 0,
+            requeues: 0,
+        }
+    }
+
+    /// Hand the next task to a requesting worker, or `None` when the queue
+    /// is empty (the worker should be shut down once all leases resolve).
+    pub fn assign(&mut self) -> Option<SimTask> {
+        let task = self.queue.pop_front()?;
+        self.outstanding.push(task);
+        Some(task)
+    }
+
+    /// Process a completed task's tally.
+    pub fn complete(&mut self, worker: usize, task: SimTask, tally: &Tally) {
+        self.release_lease(task);
+        let slot = &mut self.completed[task.task_id as usize];
+        assert!(slot.is_none(), "task {} completed twice", task.task_id);
+        *slot = Some(tally.clone());
+        self.tasks_done += 1;
+        let s = &mut self.stats[worker];
+        s.tasks_completed += 1;
+        s.photons += task.photons;
+    }
+
+    /// Re-queue a failed task (front of queue: it is the oldest work).
+    pub fn fail(&mut self, worker: usize, task: SimTask) {
+        self.release_lease(task);
+        self.queue.push_front(task);
+        self.requeues += 1;
+        self.stats[worker].tasks_failed += 1;
+    }
+
+    fn release_lease(&mut self, task: SimTask) {
+        if let Some(i) = self.outstanding.iter().position(|t| t.task_id == task.task_id) {
+            self.outstanding.swap_remove(i);
+        }
+    }
+
+    /// All tasks completed?
+    pub fn finished(&self) -> bool {
+        self.tasks_done == self.tasks_total
+    }
+
+    /// True when no work remains to hand out (but leases may be live).
+    pub fn queue_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total number of batches.
+    pub fn tasks_total(&self) -> usize {
+        self.tasks_total
+    }
+
+    /// Number of times a task had to be re-queued after a failure.
+    pub fn requeues(&self) -> u64 {
+        self.requeues
+    }
+
+    /// Consume the manager, yielding the merged tally and worker stats.
+    /// Tallies merge in task-id order for bit-level reproducibility.
+    pub fn into_results(self) -> (Tally, Vec<WorkerStats>, u64) {
+        assert!(self.finished(), "into_results before all tasks completed");
+        let mut aggregate = self.template;
+        for tally in self.completed.into_iter().flatten() {
+            aggregate.merge(&tally);
+        }
+        (aggregate, self.stats, self.requeues)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn template() -> Tally {
+        Tally::new(1, None, None)
+    }
+
+    fn worker_tally(launched: u64) -> Tally {
+        let mut t = template();
+        t.launched = launched;
+        t
+    }
+
+    #[test]
+    fn assigns_all_tasks_once() {
+        let mut dm = DataManager::new(100, 10, template(), 2);
+        let mut seen = Vec::new();
+        while let Some(t) = dm.assign() {
+            seen.push(t.task_id);
+        }
+        assert_eq!(seen.len(), 10);
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn completion_merges_and_finishes() {
+        let mut dm = DataManager::new(100, 4, template(), 1);
+        let mut assigned = Vec::new();
+        while let Some(t) = dm.assign() {
+            assigned.push(t);
+        }
+        for t in &assigned {
+            dm.complete(0, *t, &worker_tally(t.photons));
+        }
+        assert!(dm.finished());
+        let (tally, stats, requeues) = dm.into_results();
+        assert_eq!(tally.launched, 100);
+        assert_eq!(stats[0].tasks_completed, 4);
+        assert_eq!(stats[0].photons, 100);
+        assert_eq!(requeues, 0);
+    }
+
+    #[test]
+    fn failed_tasks_are_requeued_and_retried() {
+        let mut dm = DataManager::new(30, 3, template(), 2);
+        let t0 = dm.assign().unwrap();
+        dm.fail(1, t0);
+        assert_eq!(dm.requeues(), 1);
+        // The failed task comes back (front of the queue).
+        let retry = dm.assign().unwrap();
+        assert_eq!(retry.task_id, t0.task_id);
+        // Completing everything still reaches the exact photon total.
+        dm.complete(0, retry, &worker_tally(retry.photons));
+        while let Some(t) = dm.assign() {
+            dm.complete(0, t, &worker_tally(t.photons));
+        }
+        assert!(dm.finished());
+        let (tally, stats, _) = dm.into_results();
+        assert_eq!(tally.launched, 30);
+        assert_eq!(stats[1].tasks_failed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "before all tasks completed")]
+    fn into_results_requires_completion() {
+        let dm = DataManager::new(10, 2, template(), 1);
+        let _ = dm.into_results();
+    }
+
+    #[test]
+    fn zero_photon_job_finishes_immediately() {
+        let dm = DataManager::new(0, 4, template(), 1);
+        assert!(dm.finished());
+        assert_eq!(dm.tasks_total(), 0);
+    }
+}

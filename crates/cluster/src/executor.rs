@@ -1,0 +1,263 @@
+//! The real master/worker engine: OS threads as clients, channels as the
+//! LAN, the [`DataManager`] as the server.
+//!
+//! Unlike the rayon fast path in `lumen-core`, this engine runs the actual
+//! distributed protocol — demand-driven task requests, leases, failure
+//! re-queueing — so the platform behaviour itself can be observed and
+//! tested, and so the per-worker accounting of the paper (which machine
+//! did how much) is available. Results are bit-identical to the rayon
+//! driver for the same `(seed, tasks)` because both derive each task's
+//! photons from the same RNG stream family.
+
+use crate::datamanager::DataManager;
+use crate::protocol::{ClientMessage, ServerMessage, WorkerStats};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use lumen_core::{Simulation, SimulationResult};
+use mcrng::{McRng, SplitMix64, StreamFactory};
+use serde::{Deserialize, Serialize};
+use std::thread;
+use std::time::Instant;
+
+/// Configuration of a distributed run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistributedConfig {
+    /// Experiment seed (same meaning as the rayon driver's).
+    pub seed: u64,
+    /// Number of photon batches.
+    pub tasks: u64,
+    /// Number of worker threads ("client PCs").
+    pub workers: usize,
+    /// Probability that a worker fails a task (simulating a non-dedicated
+    /// PC being reclaimed mid-task). Failed tasks are re-queued and retried
+    /// elsewhere; 0.0 disables fault injection.
+    pub failure_rate: f64,
+}
+
+impl DistributedConfig {
+    /// Reasonable defaults: one worker per logical CPU, 4 tasks per worker.
+    pub fn new(seed: u64, workers: usize) -> Self {
+        Self { seed, tasks: (workers as u64) * 4, workers, failure_rate: 0.0 }
+    }
+}
+
+/// Outcome of a distributed run.
+#[derive(Debug)]
+pub struct DistributedReport {
+    /// The merged simulation result.
+    pub result: SimulationResult,
+    /// Per-worker accounting.
+    pub worker_stats: Vec<WorkerStats>,
+    /// How many task re-queues the failure injection caused.
+    pub requeues: u64,
+    /// Wall-clock duration of the run.
+    pub wall_seconds: f64,
+}
+
+/// Run `n` photons of `sim` on the threaded master/worker engine.
+///
+/// Deterministic in its *physics* for a given `(seed, tasks)`: the same
+/// batches with the same streams are executed regardless of worker count,
+/// scheduling order, or injected failures (a re-executed task re-runs the
+/// identical photons, exactly as the original platform re-assigns a lost
+/// simulation).
+pub fn run_distributed(
+    sim: &Simulation,
+    n: u64,
+    config: DistributedConfig,
+) -> DistributedReport {
+    assert!(config.workers > 0, "need at least one worker");
+    assert!(
+        (0.0..1.0).contains(&config.failure_rate),
+        "failure rate must be in [0, 1)"
+    );
+    sim.validate().expect("invalid simulation configuration");
+
+    let started = Instant::now();
+    let factory = StreamFactory::new(config.seed);
+    let mut dm = DataManager::new(n, config.tasks, sim.new_tally(), config.workers);
+
+    let (to_server, from_clients): (Sender<ClientMessage>, Receiver<ClientMessage>) = unbounded();
+    // One private channel per worker for assignments.
+    let mut to_workers: Vec<Sender<ServerMessage>> = Vec::with_capacity(config.workers);
+
+    thread::scope(|scope| {
+        for worker_id in 0..config.workers {
+            let (tx, rx): (Sender<ServerMessage>, Receiver<ServerMessage>) = unbounded();
+            to_workers.push(tx);
+            let to_server = to_server.clone();
+            let sim = &*sim;
+            // Fault injection draws from a per-worker deterministic stream
+            // unrelated to the physics streams.
+            let mut fault_rng = SplitMix64::new(
+                config.seed ^ 0xFA17_FA17_FA17_FA17 ^ (worker_id as u64).wrapping_mul(0x9E37),
+            );
+            let failure_rate = config.failure_rate;
+            scope.spawn(move || {
+                // --- the client loop (the paper's Algorithm class) ---
+                // Sends are best-effort: once the server has all results it
+                // drops its receiver, and trailing requests just vanish.
+                let _ = to_server.send(ClientMessage::RequestTask { worker: worker_id });
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        ServerMessage::Shutdown => break,
+                        ServerMessage::Assign(task) => {
+                            if failure_rate > 0.0 && fault_rng.next_f64() < failure_rate {
+                                // Machine "reclaimed by its owner": the task
+                                // is lost before completing.
+                                let _ = to_server
+                                    .send(ClientMessage::TaskFailed { worker: worker_id, task });
+                            } else {
+                                let mut tally = sim.new_tally();
+                                let mut rng = factory.stream(task.task_id);
+                                sim.run_stream(task.photons, &mut rng, &mut tally, None);
+                                let _ = to_server.send(ClientMessage::TaskComplete {
+                                    worker: worker_id,
+                                    task,
+                                    tally: Box::new(tally),
+                                });
+                            }
+                            let _ = to_server
+                                .send(ClientMessage::RequestTask { worker: worker_id });
+                        }
+                    }
+                }
+            });
+        }
+        drop(to_server); // server holds only the receive side
+
+        // --- the DataManager loop ---
+        let mut shut_down = vec![false; config.workers];
+        let mut pending_requests: Vec<usize> = Vec::new();
+        while !dm.finished() {
+            match from_clients.recv().expect("workers alive while unfinished") {
+                ClientMessage::RequestTask { worker } => match dm.assign() {
+                    Some(task) => {
+                        to_workers[worker].send(ServerMessage::Assign(task)).ok();
+                    }
+                    None => pending_requests.push(worker),
+                },
+                ClientMessage::TaskComplete { worker, task, tally } => {
+                    dm.complete(worker, task, &tally);
+                }
+                ClientMessage::TaskFailed { worker, task } => {
+                    dm.fail(worker, task);
+                    // A re-queued task can immediately satisfy a starved
+                    // worker that asked while the queue was empty.
+                    while let Some(w) = pending_requests.pop() {
+                        match dm.assign() {
+                            Some(t) => {
+                                to_workers[w].send(ServerMessage::Assign(t)).ok();
+                            }
+                            None => {
+                                pending_requests.push(w);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (w, tx) in to_workers.iter().enumerate() {
+            if !shut_down[w] {
+                tx.send(ServerMessage::Shutdown).ok();
+                shut_down[w] = true;
+            }
+        }
+        // Drain any trailing requests so worker threads observe Shutdown.
+        drop(from_clients);
+    });
+
+    let (tally, worker_stats, requeues) = dm.into_results();
+    DistributedReport {
+        result: SimulationResult::new(tally, Vec::new()),
+        worker_stats,
+        requeues,
+        wall_seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_core::{Detector, Source};
+    use lumen_tissue::presets::semi_infinite_phantom;
+
+    fn sim() -> Simulation {
+        Simulation::new(
+            semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
+            Source::Delta,
+            Detector::new(1.0, 0.5),
+        )
+    }
+
+    #[test]
+    fn distributed_matches_rayon_driver() {
+        let s = sim();
+        let n = 8_000;
+        let cfg = DistributedConfig { seed: 5, tasks: 16, workers: 4, failure_rate: 0.0 };
+        let dist = run_distributed(&s, n, cfg);
+        let rayon = lumen_core::run_parallel(
+            &s,
+            n,
+            lumen_core::ParallelConfig { seed: 5, tasks: 16 },
+        );
+        assert_eq!(dist.result.tally, rayon.tally);
+    }
+
+    #[test]
+    fn worker_stats_account_for_all_photons() {
+        let s = sim();
+        let n = 10_000;
+        let cfg = DistributedConfig { seed: 1, tasks: 20, workers: 3, failure_rate: 0.0 };
+        let rep = run_distributed(&s, n, cfg);
+        let total: u64 = rep.worker_stats.iter().map(|w| w.photons).sum();
+        assert_eq!(total, n);
+        let tasks: u64 = rep.worker_stats.iter().map(|w| w.tasks_completed).sum();
+        assert_eq!(tasks, 20);
+        // Demand-driven scheduling should give every worker some work.
+        assert!(rep.worker_stats.iter().all(|w| w.tasks_completed > 0));
+    }
+
+    #[test]
+    fn failure_injection_preserves_results_exactly() {
+        let s = sim();
+        let n = 6_000;
+        let clean = run_distributed(
+            &s,
+            n,
+            DistributedConfig { seed: 9, tasks: 12, workers: 3, failure_rate: 0.0 },
+        );
+        let faulty = run_distributed(
+            &s,
+            n,
+            DistributedConfig { seed: 9, tasks: 12, workers: 3, failure_rate: 0.3 },
+        );
+        // Physics identical: re-executed tasks rerun the same streams.
+        assert_eq!(clean.result.tally, faulty.result.tally);
+        assert!(faulty.requeues > 0, "30% failure rate should cause requeues");
+    }
+
+    #[test]
+    fn single_worker_works() {
+        let s = sim();
+        let rep = run_distributed(
+            &s,
+            2_000,
+            DistributedConfig { seed: 2, tasks: 4, workers: 1, failure_rate: 0.0 },
+        );
+        assert_eq!(rep.result.launched(), 2_000);
+        assert_eq!(rep.worker_stats[0].tasks_completed, 4);
+    }
+
+    #[test]
+    fn more_tasks_than_needed_is_fine() {
+        let s = sim();
+        // 100 tasks for 50 photons: many zero batches are filtered out.
+        let rep = run_distributed(
+            &s,
+            50,
+            DistributedConfig { seed: 3, tasks: 100, workers: 4, failure_rate: 0.0 },
+        );
+        assert_eq!(rep.result.launched(), 50);
+    }
+}

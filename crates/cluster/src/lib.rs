@@ -1,0 +1,50 @@
+//! # lumen-cluster — the distributed execution platform
+//!
+//! The reproduced paper runs its Monte Carlo on a general-purpose Java
+//! master/worker platform (Keane et al., the paper's reference [2]): a
+//! `DataManager` on a server assigns photon batches to client PCs and
+//! merges the returned results; clients are non-dedicated machines whose
+//! available compute varies stochastically.
+//!
+//! We reproduce that platform twice, at two levels of fidelity:
+//!
+//! 1. **A real master/worker engine** ([`executor`]) — OS threads play the
+//!    clients, crossbeam channels play the LAN, and the full protocol
+//!    ([`protocol`]) runs for real: demand-driven task requests, task
+//!    leases, failure re-queueing, result merging on the server. This
+//!    executes the actual photon transport and is how the library does
+//!    multi-core work in production.
+//! 2. **A discrete-event simulator** ([`des`]) — models machines by their
+//!    Mflop/s rating (Table 2), non-dedicated background load
+//!    ([`availability`]), and network transfer costs ([`network`]), so the
+//!    paper's 60-processor speedup curve (Fig 2) and 150-client
+//!    heterogeneous run (Table 2) can be regenerated on any laptop,
+//!    including cluster sizes the host machine doesn't have.
+//!
+//! Schedulers are pluggable ([`scheduler`]): demand-driven self-scheduling
+//! (what the original platform does), static pre-partitioning, and a
+//! genetic-algorithm scheduler in the spirit of the paper's reference [4].
+//! For multi-machine deployments, [`wire`] provides the binary message
+//! format (the role Java serialization played in the original).
+
+pub mod availability;
+pub mod datamanager;
+pub mod des;
+pub mod executor;
+pub mod machine;
+pub mod net;
+pub mod network;
+pub mod protocol;
+pub mod scheduler;
+pub mod speedup;
+pub mod wire;
+
+pub use availability::AvailabilityModel;
+pub use datamanager::DataManager;
+pub use des::{ClusterSim, DesReport, JobSpec};
+pub use executor::{run_distributed, DistributedConfig, DistributedReport};
+pub use machine::{homogeneous_pool, table2_pool, MachineClass, MachinePool};
+pub use net::{run_client, serve, NetReport};
+pub use network::NetworkModel;
+pub use scheduler::{GaScheduler, Scheduler, SelfScheduling, StaticChunking};
+pub use speedup::{efficiency, speedup_curve, SpeedupPoint};

@@ -1,0 +1,377 @@
+//! TCP deployment of the DataManager ⇄ client protocol.
+//!
+//! This is the configuration the paper actually ran: "All the clients
+//! connected to a dedicated server". [`serve`] runs the DataManager on a
+//! TCP listener; [`run_client`] is the client loop a worker machine runs.
+//! Both ends are constructed with the same [`Simulation`] (the original
+//! shipped the `Algorithm` bytecode; we ship the experiment definition
+//! out-of-band, which is the idiomatic Rust equivalent).
+//!
+//! Framing: every message is a 4-byte little-endian length followed by a
+//! kind byte and a [`crate::wire`]-encoded payload. Unknown kinds and
+//! malformed payloads terminate that client's connection; the DataManager
+//! re-queues whatever task the lost client held, exactly as the paper's
+//! platform survives reclaimed PCs.
+
+use crate::datamanager::DataManager;
+use crate::protocol::{SimTask, WorkerStats};
+use crate::wire::{self, WireError};
+use lumen_core::tally::Tally;
+use lumen_core::{Simulation, SimulationResult};
+use mcrng::StreamFactory;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::thread;
+
+/// Message kind bytes.
+const KIND_REQUEST: u8 = 0x01;
+const KIND_COMPLETE: u8 = 0x02;
+const KIND_ASSIGN: u8 = 0x81;
+const KIND_SHUTDOWN: u8 = 0x82;
+
+/// Largest accepted frame (64 MiB) — a 50³ grid of f64 is ~1 MB, so this
+/// leaves ample headroom while bounding a hostile length prefix.
+const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Errors from the networked protocol.
+#[derive(Debug)]
+pub enum NetError {
+    Io(std::io::Error),
+    Wire(WireError),
+    /// Peer sent an unknown message kind.
+    BadKind(u8),
+    /// Frame length outside (0, MAX_FRAME].
+    BadFrame(u32),
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::Wire(e) => write!(f, "wire: {e}"),
+            NetError::BadKind(k) => write!(f, "unknown message kind {k:#x}"),
+            NetError::BadFrame(n) => write!(f, "bad frame length {n}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Write one framed message.
+pub fn write_frame(stream: &mut TcpStream, kind: u8, payload: &[u8]) -> Result<(), NetError> {
+    let len = 1 + payload.len();
+    if len as u64 > MAX_FRAME as u64 {
+        return Err(NetError::BadFrame(len as u32));
+    }
+    stream.write_all(&(len as u32).to_le_bytes())?;
+    stream.write_all(&[kind])?;
+    stream.write_all(payload)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Read one framed message: `(kind, payload)`.
+pub fn read_frame(stream: &mut TcpStream) -> Result<(u8, Vec<u8>), NetError> {
+    let mut len_bytes = [0u8; 4];
+    stream.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len == 0 || len > MAX_FRAME {
+        return Err(NetError::BadFrame(len));
+    }
+    let mut buf = vec![0u8; len as usize];
+    stream.read_exact(&mut buf)?;
+    let kind = buf[0];
+    let payload = buf.split_off(1);
+    Ok((kind, payload))
+}
+
+/// Outcome of a networked run.
+#[derive(Debug)]
+pub struct NetReport {
+    pub result: SimulationResult,
+    pub worker_stats: Vec<WorkerStats>,
+    pub requeues: u64,
+    /// Clients that connected over the run's lifetime.
+    pub clients_served: usize,
+}
+
+/// Serve one distributed simulation on `listener`: hand out `n` photons in
+/// `tasks` batches to however many clients connect (at least one), merge
+/// their tallies, and shut everyone down when complete.
+///
+/// `expected_clients` controls how many connections the server waits for
+/// before it stops accepting (clients may still come and go; a client that
+/// disconnects mid-task has its task re-queued).
+pub fn serve(
+    listener: TcpListener,
+    sim: &Simulation,
+    n: u64,
+    tasks: u64,
+    expected_clients: usize,
+) -> Result<NetReport, NetError> {
+    assert!(expected_clients > 0, "need at least one client");
+    sim.validate().expect("invalid simulation configuration");
+    let mut dm = DataManager::new(n, tasks, sim.new_tally(), expected_clients);
+
+    enum Event {
+        Request { worker: usize },
+        Complete { worker: usize, task: SimTask, tally: Box<Tally> },
+        Disconnected { worker: usize },
+    }
+
+    let (tx, rx) = mpsc::channel::<Event>();
+    let mut reply_txs: Vec<mpsc::Sender<Option<SimTask>>> = Vec::new();
+    let mut handles = Vec::new();
+
+    // Accept exactly `expected_clients` connections, each served by a
+    // proxy thread translating frames into events.
+    for worker in 0..expected_clients {
+        let (mut stream, _) = listener.accept()?;
+        stream.set_nodelay(true).ok();
+        let (reply_tx, reply_rx) = mpsc::channel::<Option<SimTask>>();
+        reply_txs.push(reply_tx);
+        let tx = tx.clone();
+        handles.push(thread::spawn(move || {
+            // Track the lease so a disconnect can be reported with intent.
+            let mut lease: Option<SimTask> = None;
+            let run = (|| -> Result<(), NetError> {
+                loop {
+                    let (kind, payload) = read_frame(&mut stream)?;
+                    match kind {
+                        KIND_REQUEST => {
+                            tx.send(Event::Request { worker }).ok();
+                            match reply_rx.recv().unwrap_or(None) {
+                                Some(task) => {
+                                    lease = Some(task);
+                                    write_frame(&mut stream, KIND_ASSIGN, &wire::encode_task(&task))?;
+                                }
+                                None => {
+                                    write_frame(&mut stream, KIND_SHUTDOWN, &[])?;
+                                    return Ok(());
+                                }
+                            }
+                        }
+                        KIND_COMPLETE => {
+                            let task = lease.take().ok_or(NetError::BadKind(kind))?;
+                            let tally = wire::decode_tally(&payload)?;
+                            tx.send(Event::Complete { worker, task, tally: Box::new(tally) })
+                                .ok();
+                        }
+                        other => return Err(NetError::BadKind(other)),
+                    }
+                }
+            })();
+            if run.is_err() {
+                // Connection lost or protocol violation: surrender the lease.
+                tx.send(Event::Disconnected { worker }).ok();
+            }
+            let _ = lease;
+        }));
+    }
+    drop(tx);
+
+    // DataManager event loop. Workers whose request arrives while the
+    // queue is empty wait; a failed client's requeue may wake them.
+    let mut waiting: Vec<usize> = Vec::new();
+    // Server-side lease tracking: at most one task outstanding per client.
+    let mut leases: Vec<Option<SimTask>> = vec![None; expected_clients];
+    while !dm.finished() {
+        match rx.recv() {
+            Ok(Event::Request { worker }) => match dm.assign() {
+                Some(task) => {
+                    leases[worker] = Some(task);
+                    reply_txs[worker].send(Some(task)).ok();
+                }
+                None => waiting.push(worker),
+            },
+            Ok(Event::Complete { worker, task, tally }) => {
+                leases[worker] = None;
+                dm.complete(worker, task, &tally);
+            }
+            Ok(Event::Disconnected { worker }) => {
+                // A reclaimed/crashed client surrenders its lease; the
+                // task is re-queued and another client will rerun the
+                // identical photons (same stream index).
+                if let Some(task) = leases[worker].take() {
+                    dm.fail(worker, task);
+                    while let Some(w) = waiting.pop() {
+                        match dm.assign() {
+                            Some(t) => {
+                                leases[w] = Some(t);
+                                reply_txs[w].send(Some(t)).ok();
+                            }
+                            None => {
+                                waiting.push(w);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            Err(_) => break, // all proxies gone
+        }
+    }
+
+    // Release waiting clients and any future requests with Shutdown.
+    for w in waiting {
+        reply_txs[w].send(None).ok();
+    }
+    // Proxies still alive will forward one more request each; answer None.
+    drop(rx);
+    for tx in &reply_txs {
+        tx.send(None).ok();
+    }
+    for h in handles {
+        h.join().ok();
+    }
+
+    let (tally, worker_stats, requeues) = dm.into_results();
+    Ok(NetReport {
+        result: SimulationResult::new(tally, Vec::new()),
+        worker_stats,
+        requeues,
+        clients_served: expected_clients,
+    })
+}
+
+/// The client loop: connect to the server, request tasks, simulate them
+/// with the shared `sim` definition and `seed`, return tallies, exit on
+/// shutdown. Returns the number of tasks completed.
+pub fn run_client(addr: &str, sim: &Simulation, seed: u64) -> Result<u64, NetError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let factory = StreamFactory::new(seed);
+    let mut completed = 0u64;
+    loop {
+        write_frame(&mut stream, KIND_REQUEST, &[])?;
+        let (kind, payload) = read_frame(&mut stream)?;
+        match kind {
+            KIND_SHUTDOWN => return Ok(completed),
+            KIND_ASSIGN => {
+                let task = wire::decode_task(&payload)?;
+                let mut tally = sim.new_tally();
+                let mut rng = factory.stream(task.task_id);
+                sim.run_stream(task.photons, &mut rng, &mut tally, None);
+                write_frame(&mut stream, KIND_COMPLETE, &wire::encode_tally(&tally))?;
+                completed += 1;
+            }
+            other => return Err(NetError::BadKind(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_core::{Detector, ParallelConfig, Source};
+    use lumen_tissue::presets::semi_infinite_phantom;
+
+    fn sim() -> Simulation {
+        Simulation::new(
+            semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
+            Source::Delta,
+            Detector::new(1.0, 0.5),
+        )
+    }
+
+    #[test]
+    fn tcp_run_matches_rayon_driver() {
+        let s = sim();
+        let n = 4_000;
+        let tasks = 8;
+        let seed = 5;
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+
+        let clients: Vec<_> = (0..3)
+            .map(|_| {
+                let s = s.clone();
+                let addr = addr.clone();
+                thread::spawn(move || run_client(&addr, &s, seed).expect("client ok"))
+            })
+            .collect();
+
+        let report = serve(listener, &s, n, tasks, 3).expect("serve ok");
+        let completed: u64 = clients.into_iter().map(|c| c.join().expect("join")).sum();
+
+        assert_eq!(completed, tasks);
+        let rayon_res =
+            lumen_core::run_parallel(&s, n, ParallelConfig { seed, tasks });
+        assert_eq!(report.result.tally, rayon_res.tally);
+    }
+
+    #[test]
+    fn tcp_single_client_with_grids() {
+        use lumen_core::tally::GridSpec;
+        use lumen_core::Vec3;
+        let mut s = sim();
+        s.options.path_grid = Some(GridSpec::cubic(
+            10,
+            Vec3::new(-2.0, -2.0, 0.0),
+            Vec3::new(2.0, 2.0, 4.0),
+        ));
+        s.options.path_histogram = Some((200.0, 16));
+        let n = 3_000;
+        let seed = 9;
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let sc = s.clone();
+        let ac = addr.clone();
+        let client = thread::spawn(move || run_client(&ac, &sc, seed).expect("client"));
+
+        let report = serve(listener, &s, n, 4, 1).expect("serve");
+        client.join().expect("join");
+
+        let rayon_res = lumen_core::run_parallel(&s, n, ParallelConfig { seed, tasks: 4 });
+        assert_eq!(report.result.tally, rayon_res.tally);
+        assert!(report.result.tally.path_grid.is_some());
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let echo = thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let (kind, payload) = read_frame(&mut s).unwrap();
+            write_frame(&mut s, kind, &payload).unwrap();
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_frame(&mut stream, 0x42, b"hello").unwrap();
+        let (kind, payload) = read_frame(&mut stream).unwrap();
+        assert_eq!(kind, 0x42);
+        assert_eq!(payload, b"hello");
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn zero_length_frame_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let srv = thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            match read_frame(&mut s) {
+                Err(NetError::BadFrame(0)) => {}
+                other => panic!("expected BadFrame(0), got {other:?}"),
+            }
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&0u32.to_le_bytes()).unwrap();
+        srv.join().unwrap();
+    }
+}

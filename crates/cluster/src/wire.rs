@@ -1,0 +1,628 @@
+//! Binary wire format for the DataManager ⇄ client protocol.
+//!
+//! The original platform shipped Java-serialized objects over TCP sockets.
+//! The in-process executor uses channels and needs no serialization, but a
+//! multi-machine deployment does — so the protocol's encoding substrate is
+//! implemented here from scratch: a compact little-endian format with a
+//! magic header and version byte, covering tasks, worker stats, and full
+//! tallies (including optional grids). No external serialization crate is
+//! needed.
+//!
+//! Format: all integers little-endian; `u64` lengths prefix sequences;
+//! `Option<T>` is a presence byte then the payload; floats are IEEE-754
+//! bit patterns.
+
+use crate::protocol::{SimTask, WorkerStats};
+use lumen_core::radial::{CylinderGrid, RadialProfile, RadialSpec};
+use lumen_core::tally::{GridSpec, PathHistogram, Tally, VisitGrid};
+use lumen_core::Vec3;
+
+/// Magic bytes identifying a lumen wire message.
+pub const MAGIC: [u8; 4] = *b"LMN1";
+/// Wire format version.
+pub const VERSION: u8 = 1;
+
+/// Encoding buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Fresh encoder with the magic header.
+    pub fn new() -> Self {
+        let mut e = Self { buf: Vec::with_capacity(64) };
+        e.buf.extend_from_slice(&MAGIC);
+        e.buf.push(VERSION);
+        e
+    }
+
+    /// Finish, yielding the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append raw pre-encoded bytes (no header).
+    pub fn buf_extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    pub fn put_f64_slice(&mut self, vs: &[f64]) {
+        self.put_u64(vs.len() as u64);
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+
+    pub fn put_u64_slice(&mut self, vs: &[u64]) {
+        self.put_u64(vs.len() as u64);
+        for &v in vs {
+            self.put_u64(v);
+        }
+    }
+}
+
+/// Decoding cursor.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// Wire decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Missing or wrong magic/version header.
+    BadHeader,
+    /// Ran out of bytes mid-message.
+    Truncated,
+    /// A length prefix that cannot possibly fit the remaining bytes.
+    BadLength(u64),
+    /// Trailing bytes after a complete message.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadHeader => write!(f, "bad magic or version header"),
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadLength(n) => write!(f, "implausible length prefix {n}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl<'a> Decoder<'a> {
+    /// Open a decoder, checking the header.
+    pub fn new(buf: &'a [u8]) -> Result<Self, WireError> {
+        if buf.len() < 5 || buf[..4] != MAGIC || buf[4] != VERSION {
+            return Err(WireError::BadHeader);
+        }
+        Ok(Self { buf, pos: 5 })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    fn checked_len(&self, n: u64, elem_bytes: usize) -> Result<usize, WireError> {
+        let remaining = (self.buf.len() - self.pos) as u64;
+        if n.checked_mul(elem_bytes as u64).map(|b| b > remaining).unwrap_or(true) {
+            return Err(WireError::BadLength(n));
+        }
+        Ok(n as usize)
+    }
+
+    pub fn get_f64_vec(&mut self) -> Result<Vec<f64>, WireError> {
+        let n = self.get_u64()?;
+        let n = self.checked_len(n, 8)?;
+        (0..n).map(|_| self.get_f64()).collect()
+    }
+
+    pub fn get_u64_vec(&mut self) -> Result<Vec<u64>, WireError> {
+        let n = self.get_u64()?;
+        let n = self.checked_len(n, 8)?;
+        (0..n).map(|_| self.get_u64()).collect()
+    }
+
+    /// Assert the message is fully consumed.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::TrailingBytes(self.buf.len() - self.pos));
+        }
+        Ok(())
+    }
+}
+
+/// Encode a task assignment.
+pub fn encode_task(task: &SimTask) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u64(task.task_id);
+    e.put_u64(task.photons);
+    e.finish()
+}
+
+/// Decode a task assignment.
+pub fn decode_task(bytes: &[u8]) -> Result<SimTask, WireError> {
+    let mut d = Decoder::new(bytes)?;
+    let task = SimTask { task_id: d.get_u64()?, photons: d.get_u64()? };
+    d.finish()?;
+    Ok(task)
+}
+
+/// Encode worker statistics.
+pub fn encode_worker_stats(stats: &WorkerStats) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u64(stats.tasks_completed);
+    e.put_u64(stats.photons);
+    e.put_u64(stats.tasks_failed);
+    e.finish()
+}
+
+/// Decode worker statistics.
+pub fn decode_worker_stats(bytes: &[u8]) -> Result<WorkerStats, WireError> {
+    let mut d = Decoder::new(bytes)?;
+    let stats = WorkerStats {
+        tasks_completed: d.get_u64()?,
+        photons: d.get_u64()?,
+        tasks_failed: d.get_u64()?,
+    };
+    d.finish()?;
+    Ok(stats)
+}
+
+/// Encode the scalar portion of a tally (counts, weights, per-layer sums,
+/// path/depth moments). Grids ride separately in a real deployment because
+/// of their size; here the scalar message is what every task returns.
+pub fn encode_tally_scalars(t: &Tally) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u64(t.launched);
+    e.put_u64(t.detected);
+    e.put_u64(t.reflected);
+    e.put_u64(t.transmitted);
+    e.put_u64(t.roulette_killed);
+    e.put_u64(t.fully_absorbed);
+    e.put_u64(t.expired);
+    e.put_u64(t.gate_rejected);
+    e.put_u64(t.na_rejected);
+    e.put_f64(t.specular_weight);
+    e.put_f64(t.detected_weight);
+    e.put_f64(t.reflected_weight);
+    e.put_f64(t.transmitted_weight);
+    e.put_f64_slice(&t.absorbed_by_layer);
+    e.put_f64(t.detected_path_sum);
+    e.put_f64(t.detected_path_sq_sum);
+    e.put_f64(t.detected_weight_path_sum);
+    e.put_f64(t.detected_depth_sum);
+    e.put_f64(t.detected_depth_max);
+    e.put_u64_slice(&t.detected_reached_layer);
+    e.put_f64_slice(&t.detected_partial_path);
+    e.put_u64(t.detected_scatter_sum);
+    e.finish()
+}
+
+/// Decode a scalar tally (grids absent).
+pub fn decode_tally_scalars(bytes: &[u8]) -> Result<Tally, WireError> {
+    let mut d = Decoder::new(bytes)?;
+    let t = decode_tally_scalars_body(&mut d)?;
+    d.finish()?;
+    Ok(t)
+}
+
+fn decode_tally_scalars_body(d: &mut Decoder) -> Result<Tally, WireError> {
+    let launched = d.get_u64()?;
+    let detected = d.get_u64()?;
+    let reflected = d.get_u64()?;
+    let transmitted = d.get_u64()?;
+    let roulette_killed = d.get_u64()?;
+    let fully_absorbed = d.get_u64()?;
+    let expired = d.get_u64()?;
+    let gate_rejected = d.get_u64()?;
+    let na_rejected = d.get_u64()?;
+    let specular_weight = d.get_f64()?;
+    let detected_weight = d.get_f64()?;
+    let reflected_weight = d.get_f64()?;
+    let transmitted_weight = d.get_f64()?;
+    let absorbed_by_layer = d.get_f64_vec()?;
+    let detected_path_sum = d.get_f64()?;
+    let detected_path_sq_sum = d.get_f64()?;
+    let detected_weight_path_sum = d.get_f64()?;
+    let detected_depth_sum = d.get_f64()?;
+    let detected_depth_max = d.get_f64()?;
+    let detected_reached_layer = d.get_u64_vec()?;
+    let detected_partial_path = d.get_f64_vec()?;
+    let detected_scatter_sum = d.get_u64()?;
+
+    let mut t = Tally::new(absorbed_by_layer.len(), None, None);
+    t.launched = launched;
+    t.detected = detected;
+    t.reflected = reflected;
+    t.transmitted = transmitted;
+    t.roulette_killed = roulette_killed;
+    t.fully_absorbed = fully_absorbed;
+    t.expired = expired;
+    t.gate_rejected = gate_rejected;
+    t.na_rejected = na_rejected;
+    t.specular_weight = specular_weight;
+    t.detected_weight = detected_weight;
+    t.reflected_weight = reflected_weight;
+    t.transmitted_weight = transmitted_weight;
+    t.absorbed_by_layer = absorbed_by_layer;
+    t.detected_path_sum = detected_path_sum;
+    t.detected_path_sq_sum = detected_path_sq_sum;
+    t.detected_weight_path_sum = detected_weight_path_sum;
+    t.detected_depth_sum = detected_depth_sum;
+    t.detected_depth_max = detected_depth_max;
+    t.detected_reached_layer = detected_reached_layer;
+    t.detected_partial_path = detected_partial_path;
+    t.detected_scatter_sum = detected_scatter_sum;
+    Ok(t)
+}
+
+fn put_vec3(e: &mut Encoder, v: Vec3) {
+    e.put_f64(v.x);
+    e.put_f64(v.y);
+    e.put_f64(v.z);
+}
+
+fn get_vec3(d: &mut Decoder) -> Result<Vec3, WireError> {
+    Ok(Vec3::new(d.get_f64()?, d.get_f64()?, d.get_f64()?))
+}
+
+fn put_grid_spec(e: &mut Encoder, s: &GridSpec) {
+    e.put_u64(s.nx as u64);
+    e.put_u64(s.ny as u64);
+    e.put_u64(s.nz as u64);
+    put_vec3(e, s.min);
+    put_vec3(e, s.max);
+}
+
+fn get_grid_spec(d: &mut Decoder) -> Result<GridSpec, WireError> {
+    let nx = d.get_u64()? as usize;
+    let ny = d.get_u64()? as usize;
+    let nz = d.get_u64()? as usize;
+    // Bound before the data vec is even read: a grid cannot have more
+    // voxels than remaining bytes / 8.
+    if nx.checked_mul(ny).and_then(|v| v.checked_mul(nz)).is_none() {
+        return Err(WireError::BadLength(u64::MAX));
+    }
+    let min = get_vec3(d)?;
+    let max = get_vec3(d)?;
+    Ok(GridSpec { nx, ny, nz, min, max })
+}
+
+fn put_visit_grid(e: &mut Encoder, g: &VisitGrid) {
+    put_grid_spec(e, &g.spec);
+    e.put_f64_slice(g.data());
+}
+
+fn get_visit_grid(d: &mut Decoder) -> Result<VisitGrid, WireError> {
+    let spec = get_grid_spec(d)?;
+    let data = d.get_f64_vec()?;
+    if data.len() != spec.len() {
+        return Err(WireError::BadLength(data.len() as u64));
+    }
+    let mut g = VisitGrid::new(spec);
+    for (i, v) in data.into_iter().enumerate() {
+        // Rebuild by depositing at voxel centres: exact because centres
+        // index back to their own voxel.
+        if v != 0.0 {
+            g.deposit(spec.centre_of(i), v);
+        }
+    }
+    Ok(g)
+}
+
+fn put_radial_profile(e: &mut Encoder, p: &RadialProfile) {
+    e.put_u64(p.spec.nr as u64);
+    e.put_f64(p.spec.r_max);
+    e.put_f64_slice(p.weights());
+    e.put_f64(p.overflow);
+}
+
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0)` also rejects NaN
+fn get_radial_profile(d: &mut Decoder) -> Result<RadialProfile, WireError> {
+    let nr = d.get_u64()? as usize;
+    let r_max = d.get_f64()?;
+    let weights = d.get_f64_vec()?;
+    if weights.len() != nr || !(r_max > 0.0) || nr == 0 {
+        return Err(WireError::BadLength(weights.len() as u64));
+    }
+    let spec = RadialSpec { nr, r_max };
+    let mut p = RadialProfile::new(spec);
+    for (i, w) in weights.into_iter().enumerate() {
+        if w != 0.0 {
+            p.record(spec.r_of(i), w);
+        }
+    }
+    p.overflow = d.get_f64()?;
+    Ok(p)
+}
+
+fn put_path_histogram(e: &mut Encoder, h: &PathHistogram) {
+    e.put_f64(h.max_mm);
+    e.put_u64_slice(&h.counts);
+    e.put_u64(h.overflow);
+}
+
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn get_path_histogram(d: &mut Decoder) -> Result<PathHistogram, WireError> {
+    let max_mm = d.get_f64()?;
+    let counts = d.get_u64_vec()?;
+    if !(max_mm > 0.0) || counts.is_empty() {
+        return Err(WireError::BadLength(counts.len() as u64));
+    }
+    let mut h = PathHistogram::new(max_mm, counts.len());
+    h.counts = counts;
+    h.overflow = d.get_u64()?;
+    Ok(h)
+}
+
+fn put_cylinder(e: &mut Encoder, g: &CylinderGrid) {
+    e.put_u64(g.radial.nr as u64);
+    e.put_f64(g.radial.r_max);
+    e.put_u64(g.nz as u64);
+    e.put_f64(g.z_max);
+    let mut flat = Vec::with_capacity(g.radial.nr * g.nz);
+    for iz in 0..g.nz {
+        for ir in 0..g.radial.nr {
+            flat.push(g.at(ir, iz));
+        }
+    }
+    e.put_f64_slice(&flat);
+    e.put_f64(g.overflow);
+}
+
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn get_cylinder(d: &mut Decoder) -> Result<CylinderGrid, WireError> {
+    let nr = d.get_u64()? as usize;
+    let r_max = d.get_f64()?;
+    let nz = d.get_u64()? as usize;
+    let z_max = d.get_f64()?;
+    let flat = d.get_f64_vec()?;
+    if nr == 0 || nz == 0 || !(r_max > 0.0) || !(z_max > 0.0) || flat.len() != nr * nz {
+        return Err(WireError::BadLength(flat.len() as u64));
+    }
+    let radial = RadialSpec { nr, r_max };
+    let mut g = CylinderGrid::new(radial, nz, z_max);
+    for iz in 0..nz {
+        for ir in 0..nr {
+            let v = flat[iz * nr + ir];
+            if v != 0.0 {
+                let r = radial.r_of(ir);
+                let z = (iz as f64 + 0.5) * z_max / nz as f64;
+                g.deposit(r, z, v);
+            }
+        }
+    }
+    g.overflow = d.get_f64()?;
+    Ok(g)
+}
+
+fn put_option<T>(e: &mut Encoder, opt: Option<&T>, put: impl FnOnce(&mut Encoder, &T)) {
+    match opt {
+        Some(v) => {
+            e.put_u8(1);
+            put(e, v);
+        }
+        None => e.put_u8(0),
+    }
+}
+
+fn get_option<T>(
+    d: &mut Decoder,
+    get: impl FnOnce(&mut Decoder) -> Result<T, WireError>,
+) -> Result<Option<T>, WireError> {
+    match d.get_u8()? {
+        0 => Ok(None),
+        _ => Ok(Some(get(d)?)),
+    }
+}
+
+/// Encode a complete tally, grids and all — what a worker returns over
+/// the network.
+pub fn encode_tally(t: &Tally) -> Vec<u8> {
+    // Scalars first (re-using the scalar layout, minus header duplication).
+    let scalars = encode_tally_scalars(t);
+    let mut e = Encoder::new();
+    // Embed the scalar body (skip its header).
+    e.buf_extend(&scalars[5..]);
+    put_option(&mut e, t.path_grid.as_ref(), put_visit_grid);
+    put_option(&mut e, t.absorption_grid.as_ref(), put_visit_grid);
+    put_option(&mut e, t.path_histogram.as_ref(), put_path_histogram);
+    put_option(&mut e, t.reflectance_r.as_ref(), put_radial_profile);
+    put_option(&mut e, t.absorption_rz.as_ref(), put_cylinder);
+    e.finish()
+}
+
+/// Decode a complete tally.
+pub fn decode_tally(bytes: &[u8]) -> Result<Tally, WireError> {
+    let mut d = Decoder::new(bytes)?;
+    let mut t = decode_tally_scalars_body(&mut d)?;
+    t.path_grid = get_option(&mut d, get_visit_grid)?;
+    t.absorption_grid = get_option(&mut d, get_visit_grid)?;
+    t.path_histogram = get_option(&mut d, get_path_histogram)?;
+    t.reflectance_r = get_option(&mut d, get_radial_profile)?;
+    t.absorption_rz = get_option(&mut d, get_cylinder)?;
+    d.finish()?;
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn task_round_trip() {
+        let t = SimTask { task_id: 42, photons: 1_000_000 };
+        assert_eq!(decode_task(&encode_task(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let s = WorkerStats { tasks_completed: 7, photons: 175_000, tasks_failed: 2 };
+        assert_eq!(decode_worker_stats(&encode_worker_stats(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn tally_round_trip_preserves_everything() {
+        let mut t = Tally::new(3, None, None);
+        t.launched = 1000;
+        t.detected = 10;
+        t.reflected = 800;
+        t.roulette_killed = 190;
+        t.specular_weight = 27.5;
+        t.detected_weight = 3.25;
+        t.absorbed_by_layer = vec![1.5, 0.25, 0.0625];
+        t.detected_path_sum = 512.0;
+        t.detected_reached_layer = vec![10, 4, 1];
+        t.detected_scatter_sum = 12345;
+        let decoded = decode_tally_scalars(&encode_tally_scalars(&t)).unwrap();
+        assert_eq!(decoded, t);
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        assert_eq!(decode_task(b"XXXX\x01rest"), Err(WireError::BadHeader));
+        assert_eq!(decode_task(b""), Err(WireError::BadHeader));
+        // Wrong version byte.
+        let mut good = encode_task(&SimTask { task_id: 1, photons: 2 });
+        good[4] = 99;
+        assert_eq!(decode_task(&good), Err(WireError::BadHeader));
+    }
+
+    #[test]
+    fn truncated_message_is_rejected() {
+        let bytes = encode_task(&SimTask { task_id: 1, photons: 2 });
+        for cut in 5..bytes.len() {
+            assert!(
+                decode_task(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_task(&SimTask { task_id: 1, photons: 2 });
+        bytes.push(0);
+        assert_eq!(decode_task(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_without_allocation() {
+        // A tally message claiming 2^60 layers must fail fast.
+        let mut e = Encoder::new();
+        for _ in 0..9 {
+            e.put_u64(1);
+        }
+        for _ in 0..4 {
+            e.put_f64(0.0);
+        }
+        e.put_u64(1 << 60); // absurd layer count
+        let bytes = e.finish();
+        match decode_tally_scalars(&bytes) {
+            Err(WireError::BadLength(n)) => assert_eq!(n, 1 << 60),
+            other => panic!("expected BadLength, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_tally_round_trip_with_all_grids() {
+        use lumen_core::radial::RadialSpec;
+        use lumen_core::tally::GridSpec;
+        use lumen_core::Vec3;
+        let spec = GridSpec::cubic(5, Vec3::new(-1.0, -1.0, 0.0), Vec3::new(1.0, 1.0, 2.0));
+        let mut t = Tally::new(2, Some(spec), Some(spec))
+            .with_path_histogram(100.0, 8)
+            .with_reflectance_profile(RadialSpec { nr: 6, r_max: 3.0 })
+            .with_absorption_rz(RadialSpec { nr: 4, r_max: 2.0 }, 3, 6.0);
+        t.launched = 500;
+        t.detected = 7;
+        t.absorbed_by_layer = vec![1.25, 0.5];
+        t.detected_reached_layer = vec![7, 3];
+        t.path_grid.as_mut().unwrap().deposit(Vec3::new(0.1, 0.2, 0.3), 2.5);
+        t.absorption_grid.as_mut().unwrap().deposit(Vec3::new(-0.5, 0.0, 1.5), 0.75);
+        t.path_histogram.as_mut().unwrap().record(42.0);
+        t.path_histogram.as_mut().unwrap().record(250.0); // overflow
+        t.reflectance_r.as_mut().unwrap().record(1.1, 0.25);
+        t.reflectance_r.as_mut().unwrap().record(9.0, 0.5); // overflow
+        t.absorption_rz.as_mut().unwrap().deposit(0.6, 2.2, 0.125);
+
+        let bytes = encode_tally(&t);
+        let decoded = decode_tally(&bytes).unwrap();
+        assert_eq!(decoded, t);
+    }
+
+    #[test]
+    fn full_tally_round_trip_without_grids() {
+        let mut t = Tally::new(1, None, None);
+        t.launched = 10;
+        let decoded = decode_tally(&encode_tally(&t)).unwrap();
+        assert_eq!(decoded, t);
+    }
+
+    #[test]
+    fn full_tally_rejects_truncation() {
+        let mut t = Tally::new(1, None, None);
+        t.launched = 10;
+        let bytes = encode_tally(&t);
+        assert!(decode_tally(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn task_round_trips(id in any::<u64>(), photons in any::<u64>()) {
+            let t = SimTask { task_id: id, photons };
+            prop_assert_eq!(decode_task(&encode_task(&t)).unwrap(), t);
+        }
+
+        #[test]
+        fn tally_round_trips(
+            launched in 0u64..1_000_000,
+            detected in 0u64..1000,
+            weights in proptest::collection::vec(0.0f64..100.0, 1..6)
+        ) {
+            let mut t = Tally::new(weights.len(), None, None);
+            t.launched = launched;
+            t.detected = detected;
+            t.absorbed_by_layer = weights.clone();
+            t.detected_reached_layer = vec![0; weights.len()];
+            let decoded = decode_tally_scalars(&encode_tally_scalars(&t)).unwrap();
+            prop_assert_eq!(decoded, t);
+        }
+    }
+}

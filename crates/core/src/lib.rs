@@ -1,0 +1,54 @@
+//! # lumen-core — the Monte Carlo photon-transport engine
+//!
+//! This crate is the reproduction of the paper's `Algorithm` class: it takes
+//! simulation parameters, traces photon packets through a layered tissue
+//! model, and accumulates the tallies the paper's experiments need. The
+//! per-photon loop in [`sim`] follows the paper's Fig 1 pseudocode:
+//!
+//! ```text
+//! begin
+//!   initialise photon
+//!   while (photon survived)
+//!     move photon
+//!     if (changed medium)
+//!       if (photon angle > critical angle) internally reflect
+//!       else refract
+//!     if (photon passed through detector) save path and end
+//!     update absorption and photon weight
+//!     if (weight too small) survive roulette
+//! end
+//! ```
+//!
+//! Features reproduced from the paper's feature list:
+//!
+//! * sources: delta (laser), Gaussian, uniform footprints ([`source`]);
+//! * gated differential pathlengths ([`detector::GateWindow`]);
+//! * multiple user-defined layers (via `lumen-tissue`);
+//! * refraction and internal reflection, classical or probabilistic
+//!   ([`lumen_photon::BoundaryMode`]);
+//! * user-defined granularity of results ([`tally::GridSpec`]);
+//! * unlimited number of simulations (batching is the cluster's job —
+//!   see `lumen-cluster`).
+//!
+//! The sequential driver is [`Simulation::run`]; the shared-memory parallel
+//! driver ([`parallel::run_parallel`]) splits the photon budget into tasks
+//! with independent RNG substreams and merges per-worker tallies, which is
+//! exactly the DataManager/client decomposition in miniature.
+
+pub mod detector;
+pub mod parallel;
+pub mod radial;
+pub mod results;
+pub mod sim;
+pub mod source;
+pub mod tally;
+
+pub use detector::{Detector, GateWindow};
+pub use lumen_photon::{BoundaryMode, OpticalProperties, Photon, Vec3};
+pub use lumen_tissue::{LayeredTissue, OpticalProperties as TissueOptics};
+pub use parallel::{run_parallel, ParallelConfig};
+pub use radial::{CylinderGrid, RadialProfile, RadialSpec};
+pub use results::SimulationResult;
+pub use sim::{Simulation, SimulationOptions};
+pub use source::Source;
+pub use tally::{GridSpec, Tally, VisitGrid};

@@ -1,0 +1,183 @@
+//! Shared-memory parallel driver built on rayon.
+//!
+//! This is the DataManager/client decomposition collapsed into one address
+//! space: the photon budget is split into `tasks` batches, each batch gets
+//! its own RNG substream (so results are bit-identical regardless of thread
+//! count or scheduling order), workers fill private tallies, and the
+//! tallies are merged at the end. The full multi-process protocol — with
+//! task queues, heterogeneous workers, and failure handling — lives in
+//! `lumen-cluster`; this module is the fast path for a single machine.
+
+use crate::results::SimulationResult;
+use crate::sim::{PathRecord, Simulation};
+use crate::tally::Tally;
+use mcrng::StreamFactory;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Parallel execution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParallelConfig {
+    /// Experiment seed; together with the task index it fixes every draw.
+    pub seed: u64,
+    /// Number of batches the photon budget is split into. Results depend
+    /// on `(seed, tasks)` but *not* on how many threads execute them.
+    pub tasks: u64,
+}
+
+impl ParallelConfig {
+    /// A sensible default: enough tasks to load-balance but few enough that
+    /// merge cost is negligible.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, tasks: 64 }
+    }
+
+    /// Override the task count.
+    pub fn with_tasks(mut self, tasks: u64) -> Self {
+        self.tasks = tasks.max(1);
+        self
+    }
+}
+
+/// Split `total` photons into `tasks` near-equal batch sizes.
+pub fn batch_sizes(total: u64, tasks: u64) -> Vec<u64> {
+    let tasks = tasks.max(1);
+    let base = total / tasks;
+    let extra = total % tasks;
+    (0..tasks)
+        .map(|i| base + u64::from(i < extra))
+        .filter(|&n| n > 0)
+        .collect()
+}
+
+/// Run `n` photons through `sim` in parallel on the global rayon pool.
+///
+/// Deterministic: identical `(sim, n, config)` give identical results on
+/// any machine and any thread count.
+///
+/// ```
+/// use lumen_core::{run_parallel, Detector, ParallelConfig, Simulation, Source};
+/// use lumen_tissue::presets::semi_infinite_phantom;
+///
+/// let sim = Simulation::new(
+///     semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
+///     Source::Delta,
+///     Detector::new(2.0, 0.5),
+/// );
+/// let cfg = ParallelConfig { seed: 7, tasks: 8 };
+/// let a = run_parallel(&sim, 4_000, cfg);
+/// let b = run_parallel(&sim, 4_000, cfg);
+/// assert_eq!(a.tally, b.tally); // bit-identical regardless of threads
+/// ```
+pub fn run_parallel(sim: &Simulation, n: u64, config: ParallelConfig) -> SimulationResult {
+    sim.validate().expect("invalid simulation configuration");
+    let factory = StreamFactory::new(config.seed);
+    let sizes = batch_sizes(n, config.tasks);
+
+    // Collect per-task tallies, then merge sequentially in task order:
+    // float accumulation order is fixed, so results are bit-identical
+    // across thread counts and runs (a tree reduction would not be).
+    let per_task: Vec<(Tally, Vec<PathRecord>)> = sizes
+        .par_iter()
+        .enumerate()
+        .map(|(task_idx, &batch)| {
+            let mut rng = factory.stream(task_idx as u64);
+            let mut tally = sim.new_tally();
+            let mut paths: Vec<PathRecord> = Vec::new();
+            let want_paths = sim.options.record_paths > 0;
+            sim.run_stream(
+                batch,
+                &mut rng,
+                &mut tally,
+                if want_paths { Some(&mut paths) } else { None },
+            );
+            (tally, paths)
+        })
+        .collect();
+
+    let mut tally = sim.new_tally();
+    let mut paths = Vec::new();
+    for (t, p) in &per_task {
+        tally.merge(t);
+        paths.extend(p.iter().cloned());
+    }
+    paths.truncate(sim.options.record_paths);
+    SimulationResult::new(tally, paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::Detector;
+    use crate::source::Source;
+    use lumen_tissue::presets::semi_infinite_phantom;
+
+    fn sim() -> Simulation {
+        Simulation::new(
+            semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
+            Source::Delta,
+            Detector::new(1.0, 0.5),
+        )
+    }
+
+    #[test]
+    fn batch_sizes_sum_to_total() {
+        for (total, tasks) in [(100u64, 7u64), (5, 10), (0, 3), (64, 64), (1_000_003, 17)] {
+            let sizes = batch_sizes(total, tasks);
+            assert_eq!(sizes.iter().sum::<u64>(), total, "{total}/{tasks}");
+            // Near-equal: max-min <= 1 among non-filtered batches.
+            if let (Some(&mx), Some(&mn)) = (sizes.iter().max(), sizes.iter().min()) {
+                assert!(mx - mn <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_itself_across_thread_counts() {
+        let s = sim();
+        let cfg = ParallelConfig { seed: 5, tasks: 8 };
+        let a = run_parallel(&s, 4000, cfg);
+        // Re-run on a 2-thread local pool: same tasks, different schedule.
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let b = pool.install(|| run_parallel(&s, 4000, cfg));
+        assert_eq!(a.tally, b.tally);
+    }
+
+    #[test]
+    fn single_task_parallel_equals_sequential() {
+        let s = sim();
+        let seq = s.run(3000, 9);
+        let par = run_parallel(&s, 3000, ParallelConfig { seed: 9, tasks: 1 });
+        assert_eq!(seq.tally, par.tally);
+    }
+
+    #[test]
+    fn task_split_preserves_statistics() {
+        // Different task counts give different draws but the same physics;
+        // detected weight per photon must agree within MC error.
+        let s = sim();
+        let n = 40_000;
+        let a = run_parallel(&s, n, ParallelConfig { seed: 3, tasks: 4 });
+        let b = run_parallel(&s, n, ParallelConfig { seed: 3, tasks: 32 });
+        assert_eq!(a.launched(), n);
+        assert_eq!(b.launched(), n);
+        let ra = a.diffuse_reflectance();
+        let rb = b.diffuse_reflectance();
+        assert!((ra - rb).abs() / ra < 0.05, "{ra} vs {rb}");
+    }
+
+    #[test]
+    fn launched_total_is_exact() {
+        let s = sim();
+        let r = run_parallel(&s, 12_345, ParallelConfig { seed: 1, tasks: 7 });
+        assert_eq!(r.launched(), 12_345);
+    }
+
+    #[test]
+    fn path_recording_respects_cap_in_parallel() {
+        let mut s = sim();
+        s.options.record_paths = 3;
+        let r = run_parallel(&s, 30_000, ParallelConfig { seed: 2, tasks: 8 });
+        assert!(r.sample_paths.len() <= 3);
+    }
+}

@@ -1,0 +1,293 @@
+//! Cylindrical (r, z) tallies — the classic MCML outputs.
+//!
+//! The layered problem is azimuthally symmetric about the source axis, so
+//! the natural scoring grids are radial:
+//!
+//! * [`RadialProfile`] — diffuse reflectance `R(r)` (weight escaping the
+//!   top surface per unit area, binned by exit radius). This is the
+//!   quantity the diffusion approximation predicts analytically, which
+//!   gives us an independent check of the whole transport engine
+//!   (see `lumen-analysis`'s `diffusion` module).
+//! * [`CylinderGrid`] — absorbed weight `A(r, z)`, the rotational
+//!   equivalent of the Cartesian absorption grid.
+//!
+//! Bins are uniform in `r`; values can be read raw (weight per bin) or
+//! normalised per unit area (dividing by the annular bin area), which is
+//! what `R(r)` means physically.
+
+use serde::{Deserialize, Serialize};
+
+/// Uniform radial binning over `[0, r_max)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadialSpec {
+    /// Number of radial bins.
+    pub nr: usize,
+    /// Outer radius (mm); exits beyond it go to the overflow bin.
+    pub r_max: f64,
+}
+
+impl RadialSpec {
+    /// Validate.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nr == 0 {
+            return Err("radial profile needs at least one bin".into());
+        }
+        if !(self.r_max > 0.0 && self.r_max.is_finite()) {
+            return Err(format!("r_max must be finite and positive, got {}", self.r_max));
+        }
+        Ok(())
+    }
+
+    /// Bin width (mm).
+    #[inline]
+    pub fn dr(&self) -> f64 {
+        self.r_max / self.nr as f64
+    }
+
+    /// Bin index for radius `r`, or `None` beyond `r_max`.
+    #[inline]
+    pub fn bin_of(&self, r: f64) -> Option<usize> {
+        if r < 0.0 || r >= self.r_max {
+            return None;
+        }
+        Some(((r / self.r_max) * self.nr as f64) as usize)
+    }
+
+    /// Centre radius of bin `i`.
+    #[inline]
+    pub fn r_of(&self, i: usize) -> f64 {
+        (i as f64 + 0.5) * self.dr()
+    }
+
+    /// Area of annular bin `i` (mm²).
+    #[inline]
+    pub fn bin_area(&self, i: usize) -> f64 {
+        let dr = self.dr();
+        let r0 = i as f64 * dr;
+        let r1 = r0 + dr;
+        std::f64::consts::PI * (r1 * r1 - r0 * r0)
+    }
+}
+
+/// Radially binned surface weight (diffuse reflectance or transmittance).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadialProfile {
+    pub spec: RadialSpec,
+    /// Raw escaped weight per bin.
+    weight: Vec<f64>,
+    /// Weight escaping beyond `r_max`.
+    pub overflow: f64,
+}
+
+impl RadialProfile {
+    /// Empty profile.
+    pub fn new(spec: RadialSpec) -> Self {
+        spec.validate().expect("invalid radial spec");
+        Self { spec, weight: vec![0.0; spec.nr], overflow: 0.0 }
+    }
+
+    /// Record weight `w` escaping at radius `r`.
+    #[inline]
+    pub fn record(&mut self, r: f64, w: f64) {
+        match self.spec.bin_of(r) {
+            Some(i) => self.weight[i] += w,
+            None => self.overflow += w,
+        }
+    }
+
+    /// Raw per-bin weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weight
+    }
+
+    /// Total recorded weight (including overflow).
+    pub fn total(&self) -> f64 {
+        self.weight.iter().sum::<f64>() + self.overflow
+    }
+
+    /// `R(r)` per launched photon per mm²: `weight[i] / (n_launched ·
+    /// area_i)`. This is the quantity diffusion theory predicts.
+    pub fn per_area(&self, n_launched: u64) -> Vec<f64> {
+        assert!(n_launched > 0, "normalisation needs launched photons");
+        (0..self.spec.nr)
+            .map(|i| self.weight[i] / (n_launched as f64 * self.spec.bin_area(i)))
+            .collect()
+    }
+
+    /// Merge a worker profile.
+    pub fn merge(&mut self, other: &RadialProfile) {
+        assert_eq!(self.spec, other.spec, "radial spec mismatch in merge");
+        for (a, b) in self.weight.iter_mut().zip(&other.weight) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+    }
+}
+
+/// Cylindrical (r, z) accumulation grid for absorbed weight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CylinderGrid {
+    pub radial: RadialSpec,
+    /// Number of depth bins over `[0, z_max)`.
+    pub nz: usize,
+    /// Maximum depth (mm).
+    pub z_max: f64,
+    /// Row-major `[iz][ir]` weights.
+    data: Vec<f64>,
+    /// Weight deposited outside the grid.
+    pub overflow: f64,
+}
+
+impl CylinderGrid {
+    /// Empty grid.
+    pub fn new(radial: RadialSpec, nz: usize, z_max: f64) -> Self {
+        radial.validate().expect("invalid radial spec");
+        assert!(nz > 0 && z_max > 0.0, "invalid depth binning");
+        Self { radial, nz, z_max, data: vec![0.0; radial.nr * nz], overflow: 0.0 }
+    }
+
+    /// Deposit weight `w` at radius `r`, depth `z`.
+    #[inline]
+    pub fn deposit(&mut self, r: f64, z: f64, w: f64) {
+        let iz = if z >= 0.0 && z < self.z_max {
+            (z / self.z_max * self.nz as f64) as usize
+        } else {
+            self.overflow += w;
+            return;
+        };
+        match self.radial.bin_of(r) {
+            Some(ir) => self.data[iz * self.radial.nr + ir] += w,
+            None => self.overflow += w,
+        }
+    }
+
+    /// Value at `(ir, iz)`.
+    #[inline]
+    pub fn at(&self, ir: usize, iz: usize) -> f64 {
+        self.data[iz * self.radial.nr + ir]
+    }
+
+    /// Total deposited weight including overflow.
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum::<f64>() + self.overflow
+    }
+
+    /// Depth profile: total weight per z row.
+    pub fn depth_profile(&self) -> Vec<f64> {
+        (0..self.nz)
+            .map(|iz| (0..self.radial.nr).map(|ir| self.at(ir, iz)).sum())
+            .collect()
+    }
+
+    /// Merge a worker grid.
+    pub fn merge(&mut self, other: &CylinderGrid) {
+        assert_eq!(self.radial, other.radial, "cylinder radial mismatch");
+        assert_eq!(self.nz, other.nz, "cylinder nz mismatch");
+        assert_eq!(self.z_max, other.z_max, "cylinder z_max mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> RadialSpec {
+        RadialSpec { nr: 10, r_max: 5.0 }
+    }
+
+    #[test]
+    fn bin_arithmetic() {
+        let s = spec();
+        assert_eq!(s.dr(), 0.5);
+        assert_eq!(s.bin_of(0.0), Some(0));
+        assert_eq!(s.bin_of(0.49), Some(0));
+        assert_eq!(s.bin_of(0.5), Some(1));
+        assert_eq!(s.bin_of(4.99), Some(9));
+        assert_eq!(s.bin_of(5.0), None);
+        assert_eq!(s.bin_of(-0.1), None);
+        assert!((s.r_of(0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn annulus_areas_sum_to_disc() {
+        let s = spec();
+        let total: f64 = (0..s.nr).map(|i| s.bin_area(i)).sum();
+        let disc = std::f64::consts::PI * s.r_max * s.r_max;
+        assert!((total - disc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_records_and_overflows() {
+        let mut p = RadialProfile::new(spec());
+        p.record(0.2, 1.0);
+        p.record(0.2, 0.5);
+        p.record(7.0, 2.0);
+        assert!((p.weights()[0] - 1.5).abs() < 1e-12);
+        assert_eq!(p.overflow, 2.0);
+        assert!((p.total() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_area_normalisation() {
+        let mut p = RadialProfile::new(spec());
+        p.record(0.25, 2.0);
+        let per_area = p.per_area(4);
+        let expected = 2.0 / (4.0 * p.spec.bin_area(0));
+        assert!((per_area[0] - expected).abs() < 1e-12);
+        assert!(per_area[1..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn profile_merge() {
+        let mut a = RadialProfile::new(spec());
+        let mut b = RadialProfile::new(spec());
+        a.record(1.0, 1.0);
+        b.record(1.0, 2.0);
+        b.record(9.0, 0.5);
+        a.merge(&b);
+        assert!((a.total() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "spec mismatch")]
+    fn profile_merge_rejects_mismatch() {
+        let mut a = RadialProfile::new(spec());
+        let b = RadialProfile::new(RadialSpec { nr: 5, r_max: 5.0 });
+        a.merge(&b);
+    }
+
+    #[test]
+    fn cylinder_deposits() {
+        let mut g = CylinderGrid::new(spec(), 4, 8.0);
+        g.deposit(0.3, 1.0, 1.0);
+        g.deposit(0.3, 1.5, 0.5);
+        g.deposit(0.3, 9.0, 2.0); // below z_max range
+        g.deposit(6.0, 1.0, 3.0); // beyond r_max
+        assert!((g.at(0, 0) - 1.5).abs() < 1e-12);
+        assert_eq!(g.overflow, 5.0);
+        assert!((g.total() - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cylinder_depth_profile() {
+        let mut g = CylinderGrid::new(spec(), 2, 4.0);
+        g.deposit(1.0, 0.5, 1.0);
+        g.deposit(2.0, 0.5, 2.0);
+        g.deposit(1.0, 3.0, 4.0);
+        assert_eq!(g.depth_profile(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn cylinder_merge() {
+        let mut a = CylinderGrid::new(spec(), 2, 4.0);
+        let mut b = CylinderGrid::new(spec(), 2, 4.0);
+        a.deposit(1.0, 1.0, 1.0);
+        b.deposit(1.0, 1.0, 2.0);
+        a.merge(&b);
+        assert!((a.total() - 3.0).abs() < 1e-12);
+    }
+}

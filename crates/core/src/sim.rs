@@ -1,0 +1,730 @@
+//! The per-photon simulation loop (the paper's Fig 1) and the sequential
+//! driver.
+//!
+//! ## Boundary-mode semantics
+//!
+//! * **Probabilistic** (default, MCML): at every interface the whole packet
+//!   either reflects or transmits, with probability given by the Fresnel
+//!   reflectance. A packet that transmits through the top surface escapes;
+//!   if it exits inside the detector aperture (and passes the pathlength
+//!   gate) it is *detected* — "save path and end".
+//! * **Classical** ("classical physics" in the paper's feature list): at
+//!   the *external* surfaces the packet splits deterministically — the
+//!   transmitted fraction `(1−R)·w` escapes (and is tallied/detected), the
+//!   reflected fraction `R·w` continues inside the tissue. Internal
+//!   layer-to-layer interfaces remain probabilistic in both modes: the
+//!   reflected and refracted branches both continue propagating there, and
+//!   following one branch chosen with probability `R` is the unbiased way
+//!   to do that without packet splitting.
+//!
+//! In classical mode a single photon can therefore contribute several
+//! escape events; the *first* detected escape supplies the path statistics
+//! so counts remain one-per-photon.
+
+use crate::detector::Detector;
+use crate::results::SimulationResult;
+use crate::source::Source;
+use crate::radial::RadialSpec;
+use crate::tally::{GridSpec, Tally};
+use lumen_photon::{
+    fresnel::{interact_with_boundary, BoundaryOutcome},
+    fresnel_reflectance, hop, roulette, sample_step_mfps, spin,
+    step::Hop,
+    BoundaryMode, Fate, Photon, RouletteConfig, Vec3,
+};
+use lumen_tissue::LayeredTissue;
+use mcrng::{McRng, StreamFactory};
+use serde::{Deserialize, Serialize};
+
+/// A recorded trajectory of one detected photon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathRecord {
+    /// Trajectory vertices from launch to exit (mm).
+    pub vertices: Vec<Vec3>,
+    /// Total pathlength at detection (mm).
+    pub pathlength: f64,
+    /// Packet weight carried out through the detector.
+    pub exit_weight: f64,
+}
+
+/// Engine knobs beyond geometry/source/detector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationOptions {
+    /// How interface physics is resolved (see module docs).
+    pub boundary_mode: BoundaryMode,
+    /// Russian-roulette parameters.
+    pub roulette: RouletteConfig,
+    /// Hard cap on interactions per photon (safety valve; photons hitting
+    /// it are tallied as `expired` and should be ~0 in healthy runs).
+    pub max_interactions: u32,
+    /// Attach a visit grid accumulating detected-photon trajectories at
+    /// this granularity (the paper's Fig 3/4 "granularity of 50³").
+    pub path_grid: Option<GridSpec>,
+    /// Attach a grid accumulating absorbed weight from all photons.
+    pub absorption_grid: Option<GridSpec>,
+    /// Attach a detected-pathlength histogram `(max_mm, bins)`.
+    pub path_histogram: Option<(f64, usize)>,
+    /// Attach an MCML-style radial diffuse-reflectance profile R(r).
+    pub reflectance_profile: Option<RadialSpec>,
+    /// Attach an MCML-style cylindrical absorption grid A(r, z):
+    /// `(radial binning, depth bins, max depth in mm)`.
+    pub absorption_rz: Option<(RadialSpec, usize, f64)>,
+    /// Keep up to this many full detected trajectories for plotting.
+    pub record_paths: usize,
+}
+
+impl Default for SimulationOptions {
+    fn default() -> Self {
+        Self {
+            boundary_mode: BoundaryMode::Probabilistic,
+            roulette: RouletteConfig::default(),
+            max_interactions: 1_000_000,
+            path_grid: None,
+            absorption_grid: None,
+            path_histogram: None,
+            reflectance_profile: None,
+            absorption_rz: None,
+            record_paths: 0,
+        }
+    }
+}
+
+/// A fully specified Monte Carlo experiment.
+///
+/// ```
+/// use lumen_core::{Detector, Simulation, Source};
+/// use lumen_tissue::presets::homogeneous_white_matter;
+///
+/// let sim = Simulation::new(
+///     homogeneous_white_matter(),
+///     Source::Delta,
+///     Detector::new(3.0, 1.0), // 3 mm separation, 1 mm radius
+/// );
+/// let result = sim.run(5_000, 42); // photons, seed
+/// assert_eq!(result.launched(), 5_000);
+/// // Same seed, same everything:
+/// assert_eq!(sim.run(5_000, 42).tally, result.tally);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Simulation {
+    pub tissue: LayeredTissue,
+    pub source: Source,
+    pub detector: Detector,
+    pub options: SimulationOptions,
+}
+
+/// Per-photon scratch state reused across photons to avoid allocations on
+/// the hot path.
+#[derive(Default)]
+pub struct Scratch {
+    vertices: Vec<Vec3>,
+    /// Pathlength accrued in each layer by the current photon (mm).
+    partial_path: Vec<f64>,
+}
+
+impl Simulation {
+    /// Build a simulation with default options.
+    pub fn new(tissue: LayeredTissue, source: Source, detector: Detector) -> Self {
+        Self { tissue, source, detector, options: SimulationOptions::default() }
+    }
+
+    /// Replace the options (builder style).
+    pub fn with_options(mut self, options: SimulationOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Validate the full configuration.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0)` also rejects NaN
+    pub fn validate(&self) -> Result<(), String> {
+        self.source.validate()?;
+        self.detector.validate()?;
+        self.options.roulette.validate()?;
+        if let Some(g) = &self.options.path_grid {
+            g.validate()?;
+        }
+        if let Some(g) = &self.options.absorption_grid {
+            g.validate()?;
+        }
+        if let Some((max_mm, bins)) = &self.options.path_histogram {
+            if !(*max_mm > 0.0) || *bins == 0 {
+                return Err("path histogram needs positive range and bins".into());
+            }
+        }
+        if let Some(r) = &self.options.reflectance_profile {
+            r.validate()?;
+        }
+        if let Some((r, nz, z_max)) = &self.options.absorption_rz {
+            r.validate()?;
+            if *nz == 0 || !(*z_max > 0.0) {
+                return Err("absorption_rz needs positive depth binning".into());
+            }
+        }
+        if self.options.max_interactions == 0 {
+            return Err("max_interactions must be positive".into());
+        }
+        let last = self.tissue.layers().last().expect("validated non-empty");
+        if last.is_semi_infinite() && last.optics.is_transparent() {
+            return Err("the semi-infinite bottom layer cannot be transparent".into());
+        }
+        Ok(())
+    }
+
+    /// A tally shaped for this simulation.
+    pub fn new_tally(&self) -> Tally {
+        let mut tally = Tally::new(
+            self.tissue.len(),
+            self.options.path_grid,
+            self.options.absorption_grid,
+        );
+        if let Some((max_mm, bins)) = self.options.path_histogram {
+            tally = tally.with_path_histogram(max_mm, bins);
+        }
+        if let Some(spec) = self.options.reflectance_profile {
+            tally = tally.with_reflectance_profile(spec);
+        }
+        if let Some((radial, nz, z_max)) = self.options.absorption_rz {
+            tally = tally.with_absorption_rz(radial, nz, z_max);
+        }
+        tally
+    }
+
+    /// Trace one photon, accumulating into `tally`. Returns the terminal
+    /// fate. This is the paper's Fig 1 loop.
+    pub fn trace_photon<R: McRng>(
+        &self,
+        rng: &mut R,
+        tally: &mut Tally,
+        scratch: &mut Scratch,
+        paths_out: Option<&mut Vec<PathRecord>>,
+    ) -> Fate {
+        // --- initialise photon ---
+        let (mut photon, r_sp) = self.source.launch(&self.tissue, rng);
+        tally.launched += 1;
+        tally.specular_weight += r_sp;
+
+        let recording = tally.path_grid.is_some() || self.options.record_paths > 0;
+        scratch.vertices.clear();
+        scratch.partial_path.clear();
+        scratch.partial_path.resize(self.tissue.len(), 0.0);
+        if recording {
+            scratch.vertices.push(photon.pos);
+        }
+
+        let mut step_mfps = 0.0_f64; // unspent dimensionless step
+        let mut interactions = 0u32;
+        let mut max_layer = photon.layer;
+        let mut first_detection: Option<(f64, f64)> = None; // (pathlength, weight out)
+        let mut detection_weight_total = 0.0;
+
+        // --- while (photon survived) ---
+        while photon.survived() {
+            interactions += 1;
+            if interactions > self.options.max_interactions {
+                photon.terminate(Fate::Expired);
+                break;
+            }
+
+            let optics = *self.tissue.optics(photon.layer);
+            if step_mfps <= 0.0 {
+                step_mfps = sample_step_mfps(rng);
+            }
+            let hit = self.tissue.boundary_hit(photon.pos, photon.dir, photon.layer);
+
+            if !hit.distance.is_finite() && optics.is_transparent() {
+                // Degenerate: horizontal flight in a transparent slab can
+                // never interact nor reach a boundary. Probability-zero
+                // geometry; retire the photon rather than loop forever.
+                photon.terminate(Fate::Expired);
+                break;
+            }
+
+            // --- move photon ---
+            let path_before = photon.pathlength;
+            let hop_outcome = hop(&mut photon, step_mfps, optics.mu_t(), hit.distance);
+            scratch.partial_path[photon.layer] += photon.pathlength - path_before;
+            match hop_outcome {
+                Hop::Interact => {
+                    step_mfps = 0.0;
+                    if recording {
+                        scratch.vertices.push(photon.pos);
+                    }
+                    // --- update absorption and photon weight ---
+                    let deposited = photon.absorb(optics.mu_a, optics.mu_t());
+                    tally.absorbed_by_layer[photon.layer] += deposited;
+                    if let Some(grid) = tally.absorption_grid.as_mut() {
+                        grid.deposit(photon.pos, deposited);
+                    }
+                    if let Some(rz) = tally.absorption_rz.as_mut() {
+                        rz.deposit(photon.pos.radial(), photon.pos.z, deposited);
+                    }
+                    if photon.weight <= 0.0 {
+                        photon.terminate(Fate::Absorbed);
+                        break;
+                    }
+                    // --- scatter (spin) ---
+                    spin(&mut photon, optics.g, rng);
+                    // --- if (weight too small) survive roulette ---
+                    if !roulette(&mut photon, self.options.roulette, rng) {
+                        break;
+                    }
+                }
+                Hop::Boundary { remaining_mfps } => {
+                    step_mfps = remaining_mfps;
+                    if recording {
+                        scratch.vertices.push(photon.pos);
+                    }
+                    // --- changed medium: internally reflect or refract ---
+                    let moving_up = photon.dir.z < 0.0;
+                    let exits_tissue = hit.next_layer.is_none();
+                    let n_i = optics.n;
+                    let n_t = self.tissue.neighbour_n(photon.layer, moving_up);
+
+                    if exits_tissue {
+                        self.handle_surface(
+                            &mut photon,
+                            n_i,
+                            n_t,
+                            hit.is_top_surface,
+                            rng,
+                            tally,
+                            &mut first_detection,
+                            &mut detection_weight_total,
+                        );
+                    } else {
+                        // Internal interface: probabilistic branch selection
+                        // in both modes (see module docs).
+                        match interact_with_boundary(
+                            photon.dir,
+                            n_i,
+                            n_t,
+                            BoundaryMode::Probabilistic,
+                            rng,
+                        ) {
+                            BoundaryOutcome::Reflected { dir, .. } => {
+                                photon.dir = dir;
+                            }
+                            BoundaryOutcome::Transmitted { dir, .. } => {
+                                photon.dir = dir;
+                                photon.layer = hit.next_layer.expect("internal boundary");
+                                max_layer = max_layer.max(photon.layer);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- bookkeeping for the terminal fate ---
+        let fate = photon.fate;
+        tally.count_fate(fate);
+
+        // Classical mode finishes with roulette death after detection
+        // events; attribute path statistics to the first detection.
+        let detected_event = match fate {
+            Fate::Detected => Some((photon.pathlength, detection_weight_total)),
+            _ => first_detection.map(|(pl, _)| (pl, detection_weight_total)),
+        };
+
+        if let Some((pathlength, _)) = detected_event {
+            if let Some(hist) = tally.path_histogram.as_mut() {
+                hist.record(pathlength);
+            }
+        }
+        if let Some((pathlength, weight_out)) = detected_event {
+            if fate != Fate::Detected {
+                // Classical-mode photon that was detected earlier but died
+                // later: reclassify the count.
+                match fate {
+                    Fate::RouletteKilled => tally.roulette_killed -= 1,
+                    Fate::Absorbed => tally.fully_absorbed -= 1,
+                    Fate::ReflectedOut => tally.reflected -= 1,
+                    Fate::Transmitted => tally.transmitted -= 1,
+                    Fate::Expired => tally.expired -= 1,
+                    _ => {}
+                }
+                tally.detected += 1;
+            }
+            tally.detected_path_sum += pathlength;
+            tally.detected_path_sq_sum += pathlength * pathlength;
+            tally.detected_weight_path_sum += weight_out * pathlength;
+            tally.detected_depth_sum += photon.max_depth;
+            tally.detected_depth_max = tally.detected_depth_max.max(photon.max_depth);
+            tally.detected_scatter_sum += photon.scatters as u64;
+            for l in 0..=max_layer.min(tally.detected_reached_layer.len() - 1) {
+                tally.detected_reached_layer[l] += 1;
+            }
+            for (sum, &partial) in
+                tally.detected_partial_path.iter_mut().zip(&scratch.partial_path)
+            {
+                *sum += partial;
+            }
+
+            // "save path": rasterise the trajectory into the visit grid
+            // with density ∝ weight × residence length.
+            if let Some(grid) = tally.path_grid.as_mut() {
+                for pair in scratch.vertices.windows(2) {
+                    let seg_len = pair[0].distance(pair[1]);
+                    grid.deposit_segment(pair[0], pair[1], weight_out * seg_len);
+                }
+            }
+            if let Some(out) = paths_out {
+                if out.len() < self.options.record_paths {
+                    out.push(PathRecord {
+                        vertices: scratch.vertices.clone(),
+                        pathlength,
+                        exit_weight: weight_out,
+                    });
+                }
+            }
+        }
+
+        fate
+    }
+
+    /// External-surface encounter (top z=0 or the bottom of a finite stack).
+    #[allow(clippy::too_many_arguments)]
+    fn handle_surface<R: McRng>(
+        &self,
+        photon: &mut Photon,
+        n_i: f64,
+        n_t: f64,
+        is_top: bool,
+        rng: &mut R,
+        tally: &mut Tally,
+        first_detection: &mut Option<(f64, f64)>,
+        detection_weight_total: &mut f64,
+    ) {
+        let cos_i = photon.dir.z.abs();
+        let reflectance = fresnel_reflectance(n_i, n_t, cos_i);
+        // Exit-angle cosine on the ambient side (Snell); escapes only
+        // happen below the critical angle, so sin_t < 1 here.
+        let sin_t = (n_i / n_t) * (1.0 - cos_i * cos_i).max(0.0).sqrt();
+        let exit_cos = (1.0 - sin_t * sin_t).max(0.0).sqrt();
+
+        let escape = |photon: &mut Photon,
+                          weight_out: f64,
+                          tally: &mut Tally,
+                          first_detection: &mut Option<(f64, f64)>,
+                          detection_weight_total: &mut f64|
+         -> bool {
+            // Returns true if this escape event counts as a detection.
+            if is_top {
+                if let Some(profile) = tally.reflectance_r.as_mut() {
+                    profile.record(photon.pos.radial(), weight_out);
+                }
+                if self.detector.in_aperture(photon.pos) {
+                    if !self.detector.accepts_angle(exit_cos) {
+                        tally.na_rejected += 1;
+                        tally.reflected_weight += weight_out;
+                        return false;
+                    }
+                    if self.detector.gate.accepts(photon.pathlength) {
+                        tally.detected_weight += weight_out;
+                        *detection_weight_total += weight_out;
+                        if first_detection.is_none() {
+                            *first_detection = Some((photon.pathlength, weight_out));
+                        }
+                        return true;
+                    } else {
+                        tally.gate_rejected += 1;
+                        tally.reflected_weight += weight_out;
+                        return false;
+                    }
+                }
+                tally.reflected_weight += weight_out;
+                false
+            } else {
+                tally.transmitted_weight += weight_out;
+                false
+            }
+        };
+
+        match self.options.boundary_mode {
+            BoundaryMode::Probabilistic => {
+                if reflectance < 1.0 && rng.next_f64() >= reflectance {
+                    // Whole packet escapes.
+                    let w = photon.weight;
+                    let detected =
+                        escape(photon, w, tally, first_detection, detection_weight_total);
+                    photon.weight = 0.0;
+                    photon.terminate(if detected {
+                        Fate::Detected
+                    } else if is_top {
+                        Fate::ReflectedOut
+                    } else {
+                        Fate::Transmitted
+                    });
+                } else {
+                    // Internal reflection (total or Fresnel-sampled).
+                    photon.dir = Vec3::new(photon.dir.x, photon.dir.y, -photon.dir.z);
+                }
+            }
+            BoundaryMode::Classical => {
+                if reflectance < 1.0 {
+                    let escaped = photon.weight * (1.0 - reflectance);
+                    let _ = escape(photon, escaped, tally, first_detection, detection_weight_total);
+                    photon.weight -= escaped;
+                }
+                if photon.weight <= 0.0 {
+                    // Matched indices: everything escaped.
+                    photon.terminate(if first_detection.is_some() {
+                        Fate::Detected
+                    } else if is_top {
+                        Fate::ReflectedOut
+                    } else {
+                        Fate::Transmitted
+                    });
+                } else {
+                    photon.dir = Vec3::new(photon.dir.x, photon.dir.y, -photon.dir.z);
+                }
+            }
+        }
+    }
+
+    /// Run `n` photons from the given RNG into `tally`.
+    pub fn run_stream<R: McRng>(
+        &self,
+        n: u64,
+        rng: &mut R,
+        tally: &mut Tally,
+        paths_out: Option<&mut Vec<PathRecord>>,
+    ) {
+        let mut scratch = Scratch::default();
+        let mut paths = paths_out;
+        for _ in 0..n {
+            let out = paths.as_deref_mut();
+            self.trace_photon(rng, tally, &mut scratch, out);
+        }
+    }
+
+    /// Sequential driver: simulate `n` photons with the experiment `seed`
+    /// (stream 0 of the seed's stream family, so a 1-task parallel run
+    /// reproduces it exactly).
+    pub fn run(&self, n: u64, seed: u64) -> SimulationResult {
+        self.validate().expect("invalid simulation configuration");
+        let mut tally = self.new_tally();
+        let mut rng = StreamFactory::new(seed).stream(0);
+        let mut paths = Vec::new();
+        self.run_stream(n, &mut rng, &mut tally, Some(&mut paths));
+        SimulationResult::new(tally, paths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::GateWindow;
+    use lumen_photon::OpticalProperties;
+    use lumen_tissue::presets::{homogeneous_white_matter, semi_infinite_phantom};
+
+    fn quick_sim() -> Simulation {
+        // Matched-index phantom so photons can't get stuck: short walks.
+        let tissue = semi_infinite_phantom(0.1, 10.0, 0.0, 1.0);
+        Simulation::new(tissue, Source::Delta, Detector::new(1.0, 0.5))
+    }
+
+    #[test]
+    fn photons_all_reach_a_terminal_fate() {
+        let sim = quick_sim();
+        let res = sim.run(2000, 42);
+        let t = &res.tally;
+        assert_eq!(t.launched, 2000);
+        assert_eq!(
+            t.detected + t.reflected + t.transmitted + t.roulette_killed
+                + t.fully_absorbed + t.expired,
+            2000
+        );
+        assert_eq!(t.expired, 0, "no photon should hit the interaction cap");
+    }
+
+    #[test]
+    fn energy_is_conserved_in_expectation() {
+        let sim = quick_sim();
+        let res = sim.run(20_000, 7);
+        let frac = res.tally.accounted_weight_fraction();
+        // Roulette makes per-run accounting stochastic but unbiased;
+        // 20k photons bring it within ~1%.
+        assert!((frac - 1.0).abs() < 0.01, "accounted fraction {frac}");
+    }
+
+    #[test]
+    fn energy_conserved_with_index_mismatch_and_layers() {
+        let tissue = lumen_tissue::presets::adult_head(Default::default());
+        let sim = Simulation::new(tissue, Source::Delta, Detector::new(20.0, 2.0));
+        let res = sim.run(5_000, 11);
+        let frac = res.tally.accounted_weight_fraction();
+        assert!((frac - 1.0).abs() < 0.02, "accounted fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sim = quick_sim();
+        let a = sim.run(1000, 99);
+        let b = sim.run(1000, 99);
+        assert_eq!(a.tally, b.tally);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let sim = quick_sim();
+        let a = sim.run(1000, 1);
+        let b = sim.run(1000, 2);
+        assert_ne!(a.tally, b.tally);
+    }
+
+    #[test]
+    fn some_photons_are_detected_at_close_separation() {
+        let tissue = homogeneous_white_matter();
+        let sim = Simulation::new(tissue, Source::Delta, Detector::new(2.0, 1.0));
+        let res = sim.run(20_000, 3);
+        assert!(res.tally.detected > 0, "no detections at 2 mm separation");
+        assert!(res.tally.detected_weight > 0.0);
+    }
+
+    #[test]
+    fn detected_pathlength_exceeds_separation() {
+        // The motivating physics: the differential pathlength is much
+        // longer than the geometric source-detector distance.
+        let tissue = homogeneous_white_matter();
+        let sim = Simulation::new(tissue, Source::Delta, Detector::new(3.0, 1.0));
+        let res = sim.run(50_000, 5);
+        assert!(res.tally.detected >= 10);
+        let mean_path = res.tally.detected_path_sum / res.tally.detected as f64;
+        assert!(
+            mean_path > 3.0,
+            "mean detected pathlength {mean_path} should exceed the 3 mm separation"
+        );
+    }
+
+    #[test]
+    fn gating_reduces_detections() {
+        let tissue = homogeneous_white_matter();
+        let open = Simulation::new(tissue.clone(), Source::Delta, Detector::new(2.0, 1.0));
+        let gated = Simulation::new(
+            tissue,
+            Source::Delta,
+            Detector::new(2.0, 1.0).with_gate(GateWindow::new(2.0, 6.0).unwrap()),
+        );
+        let ro = open.run(30_000, 13);
+        let rg = gated.run(30_000, 13);
+        assert!(rg.tally.detected < ro.tally.detected);
+        assert!(rg.tally.gate_rejected > 0);
+        // Gated mean pathlength must respect the window.
+        if rg.tally.detected > 0 {
+            let mean = rg.tally.detected_path_sum / rg.tally.detected as f64;
+            assert!((2.0..=6.0).contains(&mean), "gated mean pathlength {mean}");
+        }
+    }
+
+    #[test]
+    fn path_grid_populates_on_detection() {
+        let tissue = homogeneous_white_matter();
+        let spec = GridSpec::cubic(
+            20,
+            Vec3::new(-2.0, -2.0, 0.0),
+            Vec3::new(4.0, 2.0, 4.0),
+        );
+        let mut opts = SimulationOptions::default();
+        opts.path_grid = Some(spec);
+        let sim = Simulation::new(tissue, Source::Delta, Detector::new(2.0, 1.0))
+            .with_options(opts);
+        let res = sim.run(20_000, 21);
+        let grid = res.tally.path_grid.as_ref().unwrap();
+        assert!(res.tally.detected > 0);
+        assert!(grid.total() > 0.0);
+    }
+
+    #[test]
+    fn recorded_paths_start_at_surface_and_respect_cap() {
+        let tissue = homogeneous_white_matter();
+        let mut opts = SimulationOptions::default();
+        opts.record_paths = 5;
+        let sim = Simulation::new(tissue, Source::Delta, Detector::new(2.0, 1.0))
+            .with_options(opts);
+        let res = sim.run(50_000, 31);
+        assert!(!res.sample_paths.is_empty());
+        assert!(res.sample_paths.len() <= 5);
+        for p in &res.sample_paths {
+            assert_eq!(p.vertices.first().unwrap().z, 0.0);
+            assert!(p.pathlength > 0.0);
+            assert!(p.exit_weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn classical_and_probabilistic_agree_in_distribution() {
+        let tissue = semi_infinite_phantom(0.05, 5.0, 0.8, 1.4);
+        let mk = |mode| {
+            let mut opts = SimulationOptions::default();
+            opts.boundary_mode = mode;
+            Simulation::new(tissue.clone(), Source::Delta, Detector::new(2.0, 1.0))
+                .with_options(opts)
+        };
+        let n = 60_000;
+        let p = mk(BoundaryMode::Probabilistic).run(n, 8);
+        let c = mk(BoundaryMode::Classical).run(n, 8);
+        // Detected weight per photon should agree within MC error.
+        let dw_p = p.tally.detected_weight / n as f64;
+        let dw_c = c.tally.detected_weight / n as f64;
+        let rel = (dw_p - dw_c).abs() / dw_p.max(1e-12);
+        assert!(rel < 0.15, "classical {dw_c} vs probabilistic {dw_p}");
+        // Total reflectance (diffuse + detected) likewise.
+        let r_p = (p.tally.reflected_weight + p.tally.detected_weight) / n as f64;
+        let r_c = (c.tally.reflected_weight + c.tally.detected_weight) / n as f64;
+        assert!((r_p - r_c).abs() / r_p < 0.1, "classical {r_c} vs probabilistic {r_p}");
+    }
+
+    #[test]
+    fn absorbing_only_medium_absorbs_everything_not_reflected() {
+        // mu_s = 0: photons travel straight down and are absorbed; nothing
+        // returns (matched indices, no scattering back).
+        let tissue = lumen_tissue::LayeredTissue::homogeneous(
+            "ink",
+            OpticalProperties::new(1.0, 0.0, 0.0, 1.0),
+            1.0,
+        );
+        let sim = Simulation::new(tissue, Source::Delta, Detector::new(1.0, 0.5));
+        let res = sim.run(2_000, 17);
+        assert_eq!(res.tally.detected, 0);
+        assert_eq!(res.tally.reflected, 0);
+        let absorbed = res.tally.total_absorbed() / 2000.0;
+        assert!(absorbed > 0.99, "absorbed fraction {absorbed}");
+    }
+
+    #[test]
+    fn validate_catches_bad_configs() {
+        let mut sim = quick_sim();
+        assert!(sim.validate().is_ok());
+        sim.detector.radius = -1.0;
+        assert!(sim.validate().is_err());
+        let mut sim2 = quick_sim();
+        sim2.options.max_interactions = 0;
+        assert!(sim2.validate().is_err());
+        // Transparent semi-infinite bottom layer is rejected.
+        let tissue = lumen_tissue::LayeredTissue::homogeneous(
+            "void",
+            OpticalProperties::transparent(1.0),
+            1.0,
+        );
+        let sim3 = Simulation::new(tissue, Source::Delta, Detector::new(1.0, 0.5));
+        assert!(sim3.validate().is_err());
+    }
+
+    #[test]
+    fn index_mismatch_increases_internal_reflection() {
+        // With n=1.4 tissue under air, some upward photons are internally
+        // reflected, increasing absorbed fraction vs matched boundaries.
+        let matched = semi_infinite_phantom(0.1, 10.0, 0.0, 1.0);
+        let mismatched = semi_infinite_phantom(0.1, 10.0, 0.0, 1.4);
+        let det = Detector::new(1.0, 0.5);
+        let a = Simulation::new(matched, Source::Delta, det).run(20_000, 4);
+        let b = Simulation::new(mismatched, Source::Delta, det).run(20_000, 4);
+        let abs_a = a.tally.total_absorbed() / 20_000.0;
+        let abs_b = b.tally.total_absorbed() / 20_000.0;
+        assert!(
+            abs_b > abs_a,
+            "index mismatch should trap more light: {abs_b} <= {abs_a}"
+        );
+    }
+}

@@ -1,0 +1,594 @@
+//! Accumulation of simulation results.
+//!
+//! Each worker owns a private [`Tally`] and tallies are merged after the
+//! fact — no shared-memory synchronisation on the photon hot path. This is
+//! the design decision that gives the near-linear speedup of the paper's
+//! Fig 2 (the only sequential work is O(tally size) merging at the end).
+//!
+//! The paper's "user defined granularity of results" is [`GridSpec`]: the
+//! volume of interest is divided into `nx × ny × nz` voxels (the paper's
+//! Fig 3 uses 50³) and detected-photon trajectories deposit visit weight
+//! into a [`VisitGrid`].
+
+use crate::radial::{CylinderGrid, RadialProfile, RadialSpec};
+use lumen_photon::{Fate, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Voxelisation of the volume of interest.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// Voxel counts along x, y, z.
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    /// Lower corner of the gridded volume (mm).
+    pub min: Vec3,
+    /// Upper corner of the gridded volume (mm).
+    pub max: Vec3,
+}
+
+impl GridSpec {
+    /// Cubic grid of `n³` voxels over the given corners — the paper's
+    /// "granularity of 50³" is `GridSpec::cubic(50, ..)`.
+    pub fn cubic(n: usize, min: Vec3, max: Vec3) -> Self {
+        Self { nx: n, ny: n, nz: n, min, max }
+    }
+
+    /// Validate extents.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nx == 0 || self.ny == 0 || self.nz == 0 {
+            return Err("grid needs at least one voxel per axis".into());
+        }
+        if !(self.min.x < self.max.x && self.min.y < self.max.y && self.min.z < self.max.z) {
+            return Err(format!("degenerate grid extents {:?}..{:?}", self.min, self.max));
+        }
+        Ok(())
+    }
+
+    /// Total voxel count.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// True when the grid has no voxels (impossible after validation).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Voxel edge lengths (mm).
+    pub fn voxel_size(&self) -> Vec3 {
+        Vec3::new(
+            (self.max.x - self.min.x) / self.nx as f64,
+            (self.max.y - self.min.y) / self.ny as f64,
+            (self.max.z - self.min.z) / self.nz as f64,
+        )
+    }
+
+    /// Flattened index of the voxel containing `p`, or `None` outside.
+    #[inline]
+    pub fn index_of(&self, p: Vec3) -> Option<usize> {
+        if p.x < self.min.x || p.y < self.min.y || p.z < self.min.z {
+            return None;
+        }
+        let vs = self.voxel_size();
+        let ix = ((p.x - self.min.x) / vs.x) as usize;
+        let iy = ((p.y - self.min.y) / vs.y) as usize;
+        let iz = ((p.z - self.min.z) / vs.z) as usize;
+        if ix >= self.nx || iy >= self.ny || iz >= self.nz {
+            return None;
+        }
+        Some((iz * self.ny + iy) * self.nx + ix)
+    }
+
+    /// Inverse of [`Self::index_of`]: voxel centre coordinates.
+    pub fn centre_of(&self, idx: usize) -> Vec3 {
+        let ix = idx % self.nx;
+        let iy = (idx / self.nx) % self.ny;
+        let iz = idx / (self.nx * self.ny);
+        let vs = self.voxel_size();
+        Vec3::new(
+            self.min.x + (ix as f64 + 0.5) * vs.x,
+            self.min.y + (iy as f64 + 0.5) * vs.y,
+            self.min.z + (iz as f64 + 0.5) * vs.z,
+        )
+    }
+}
+
+/// Dense voxel accumulator for path-visit weight (or absorbed weight).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VisitGrid {
+    pub spec: GridSpec,
+    data: Vec<f64>,
+}
+
+impl VisitGrid {
+    /// An empty grid over `spec`.
+    pub fn new(spec: GridSpec) -> Self {
+        spec.validate().expect("invalid grid spec");
+        Self { spec, data: vec![0.0; spec.len()] }
+    }
+
+    /// Deposit `w` at point `p` (ignored outside the grid).
+    #[inline]
+    pub fn deposit(&mut self, p: Vec3, w: f64) {
+        if let Some(i) = self.spec.index_of(p) {
+            self.data[i] += w;
+        }
+    }
+
+    /// Deposit `w` along the segment `a → b`, sampling at half-voxel
+    /// spacing so thin diagonal segments still mark every voxel they pass
+    /// through. Weight is split evenly across the samples so a segment
+    /// contributes `w` in total.
+    pub fn deposit_segment(&mut self, a: Vec3, b: Vec3, w: f64) {
+        let vs = self.spec.voxel_size();
+        let step = 0.5 * vs.x.min(vs.y).min(vs.z);
+        let length = a.distance(b);
+        if length <= step {
+            self.deposit(b, w);
+            return;
+        }
+        let n = (length / step).ceil() as usize;
+        let dw = w / (n as f64 + 1.0);
+        let dir = (b - a) / length;
+        for i in 0..=n {
+            let t = (i as f64 / n as f64) * length;
+            self.deposit(a + dir * t, dw);
+        }
+    }
+
+    /// Raw voxel values, z-major as defined by [`GridSpec::index_of`].
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Value of voxel `idx`.
+    pub fn value(&self, idx: usize) -> f64 {
+        self.data[idx]
+    }
+
+    /// Sum of all voxel values.
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Largest voxel value.
+    pub fn max_value(&self) -> f64 {
+        self.data.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Merge another grid's weight into this one (specs must match).
+    pub fn merge(&mut self, other: &VisitGrid) {
+        assert_eq!(self.spec, other.spec, "cannot merge grids with different specs");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Scale every voxel (e.g. 1/N normalisation).
+    pub fn scale(&mut self, factor: f64) {
+        for v in &mut self.data {
+            *v *= factor;
+        }
+    }
+}
+
+/// Fixed-bin histogram of detected-photon pathlengths (mm).
+///
+/// Lives in the tally (not the analysis crate) so workers can accumulate
+/// and merge it like every other tally; `lumen-analysis` converts it into
+/// a temporal point-spread function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathHistogram {
+    /// Upper edge of the binned range (mm); lower edge is 0.
+    pub max_mm: f64,
+    /// Per-bin detected-photon counts.
+    pub counts: Vec<u64>,
+    /// Detections with pathlength >= max_mm.
+    pub overflow: u64,
+}
+
+impl PathHistogram {
+    /// Empty histogram with `bins` uniform bins over `[0, max_mm)`.
+    pub fn new(max_mm: f64, bins: usize) -> Self {
+        assert!(max_mm > 0.0 && bins > 0, "invalid path histogram spec");
+        Self { max_mm, counts: vec![0; bins], overflow: 0 }
+    }
+
+    /// Record one detected pathlength.
+    #[inline]
+    pub fn record(&mut self, pathlength_mm: f64) {
+        if pathlength_mm >= self.max_mm {
+            self.overflow += 1;
+        } else {
+            let n_bins = self.counts.len();
+            let bin = (pathlength_mm / self.max_mm * n_bins as f64) as usize;
+            self.counts[bin.min(n_bins - 1)] += 1;
+        }
+    }
+
+    /// Total recorded detections.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Centre of bin `i` (mm).
+    pub fn bin_centre(&self, i: usize) -> f64 {
+        (i as f64 + 0.5) * self.max_mm / self.counts.len() as f64
+    }
+
+    /// Merge a worker histogram (binning must match).
+    pub fn merge(&mut self, other: &PathHistogram) {
+        assert_eq!(self.max_mm, other.max_mm, "path histogram range mismatch");
+        assert_eq!(self.counts.len(), other.counts.len(), "path histogram bin mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+    }
+}
+
+/// Everything a simulation accumulates.
+///
+/// Weights are normalised per launched photon when converted into a
+/// [`crate::results::SimulationResult`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tally {
+    /// Photons launched.
+    pub launched: u64,
+    /// Photon count by fate.
+    pub detected: u64,
+    pub reflected: u64,
+    pub transmitted: u64,
+    pub roulette_killed: u64,
+    pub fully_absorbed: u64,
+    pub expired: u64,
+    /// Photons that hit the aperture but failed the pathlength gate.
+    pub gate_rejected: u64,
+    /// Photons that hit the aperture but exited outside the acceptance
+    /// cone (numerical aperture).
+    pub na_rejected: u64,
+
+    /// Weight sums (per launched photon when normalised).
+    pub specular_weight: f64,
+    pub detected_weight: f64,
+    pub reflected_weight: f64,
+    pub transmitted_weight: f64,
+
+    /// Absorbed weight per tissue layer.
+    pub absorbed_by_layer: Vec<f64>,
+
+    /// Pathlength moments over *detected* photons (for the differential
+    /// pathlength / DPF statistics the paper motivates).
+    pub detected_path_sum: f64,
+    pub detected_path_sq_sum: f64,
+    /// Weighted pathlength sums (weight-averaged DPF).
+    pub detected_weight_path_sum: f64,
+
+    /// Penetration-depth moments over detected photons.
+    pub detected_depth_sum: f64,
+    pub detected_depth_max: f64,
+    /// Count of detected photons whose walk reached each layer.
+    pub detected_reached_layer: Vec<u64>,
+    /// Sum over detected photons of the pathlength accrued inside each
+    /// layer (mm) — the *partial pathlengths* that quantify which layer
+    /// dominates the detected signal (Beer–Lambert sensitivity).
+    pub detected_partial_path: Vec<f64>,
+
+    /// Scatter-count total over detected photons.
+    pub detected_scatter_sum: u64,
+
+    /// Optional visit grid over detected photon trajectories (Fig 3/4).
+    pub path_grid: Option<VisitGrid>,
+    /// Optional absorption grid (all photons deposit absorbed weight).
+    pub absorption_grid: Option<VisitGrid>,
+    /// Optional detected-pathlength histogram (for TPSFs / gating design).
+    pub path_histogram: Option<PathHistogram>,
+    /// Optional radial diffuse-reflectance profile R(r) (MCML-style).
+    pub reflectance_r: Option<RadialProfile>,
+    /// Optional cylindrical absorption grid A(r, z) (MCML-style).
+    pub absorption_rz: Option<CylinderGrid>,
+}
+
+impl Tally {
+    /// Empty tally for a model with `n_layers` layers; grids are attached
+    /// according to the simulation options.
+    pub fn new(n_layers: usize, path_grid: Option<GridSpec>, absorption_grid: Option<GridSpec>) -> Self {
+        Self {
+            launched: 0,
+            detected: 0,
+            reflected: 0,
+            transmitted: 0,
+            roulette_killed: 0,
+            fully_absorbed: 0,
+            expired: 0,
+            gate_rejected: 0,
+            na_rejected: 0,
+            specular_weight: 0.0,
+            detected_weight: 0.0,
+            reflected_weight: 0.0,
+            transmitted_weight: 0.0,
+            absorbed_by_layer: vec![0.0; n_layers],
+            detected_path_sum: 0.0,
+            detected_path_sq_sum: 0.0,
+            detected_weight_path_sum: 0.0,
+            detected_depth_sum: 0.0,
+            detected_depth_max: 0.0,
+            detected_reached_layer: vec![0; n_layers],
+            detected_partial_path: vec![0.0; n_layers],
+            detected_scatter_sum: 0,
+            path_grid: path_grid.map(VisitGrid::new),
+            absorption_grid: absorption_grid.map(VisitGrid::new),
+            path_histogram: None,
+            reflectance_r: None,
+            absorption_rz: None,
+        }
+    }
+
+    /// Attach a detected-pathlength histogram.
+    pub fn with_path_histogram(mut self, max_mm: f64, bins: usize) -> Self {
+        self.path_histogram = Some(PathHistogram::new(max_mm, bins));
+        self
+    }
+
+    /// Attach an MCML-style radial reflectance profile.
+    pub fn with_reflectance_profile(mut self, spec: RadialSpec) -> Self {
+        self.reflectance_r = Some(RadialProfile::new(spec));
+        self
+    }
+
+    /// Attach an MCML-style cylindrical absorption grid.
+    pub fn with_absorption_rz(mut self, radial: RadialSpec, nz: usize, z_max: f64) -> Self {
+        self.absorption_rz = Some(CylinderGrid::new(radial, nz, z_max));
+        self
+    }
+
+    /// Record a terminal fate's counters (weight bookkeeping is done by the
+    /// engine as it learns the exit weight).
+    pub fn count_fate(&mut self, fate: Fate) {
+        match fate {
+            Fate::Detected => self.detected += 1,
+            Fate::ReflectedOut => self.reflected += 1,
+            Fate::Transmitted => self.transmitted += 1,
+            Fate::RouletteKilled => self.roulette_killed += 1,
+            Fate::Absorbed => self.fully_absorbed += 1,
+            Fate::Expired => self.expired += 1,
+            Fate::Alive => unreachable!("cannot tally a live photon"),
+        }
+    }
+
+    /// Total absorbed weight across layers.
+    pub fn total_absorbed(&self) -> f64 {
+        self.absorbed_by_layer.iter().sum()
+    }
+
+    /// Merge a worker tally into this aggregate — the DataManager's
+    /// "processes the returned results" step.
+    pub fn merge(&mut self, other: &Tally) {
+        assert_eq!(
+            self.absorbed_by_layer.len(),
+            other.absorbed_by_layer.len(),
+            "layer count mismatch in tally merge"
+        );
+        self.launched += other.launched;
+        self.detected += other.detected;
+        self.reflected += other.reflected;
+        self.transmitted += other.transmitted;
+        self.roulette_killed += other.roulette_killed;
+        self.fully_absorbed += other.fully_absorbed;
+        self.expired += other.expired;
+        self.gate_rejected += other.gate_rejected;
+        self.na_rejected += other.na_rejected;
+        self.specular_weight += other.specular_weight;
+        self.detected_weight += other.detected_weight;
+        self.reflected_weight += other.reflected_weight;
+        self.transmitted_weight += other.transmitted_weight;
+        for (a, b) in self.absorbed_by_layer.iter_mut().zip(&other.absorbed_by_layer) {
+            *a += b;
+        }
+        self.detected_path_sum += other.detected_path_sum;
+        self.detected_path_sq_sum += other.detected_path_sq_sum;
+        self.detected_weight_path_sum += other.detected_weight_path_sum;
+        self.detected_depth_sum += other.detected_depth_sum;
+        self.detected_depth_max = self.detected_depth_max.max(other.detected_depth_max);
+        for (a, b) in self.detected_reached_layer.iter_mut().zip(&other.detected_reached_layer) {
+            *a += b;
+        }
+        for (a, b) in self.detected_partial_path.iter_mut().zip(&other.detected_partial_path) {
+            *a += b;
+        }
+        self.detected_scatter_sum += other.detected_scatter_sum;
+        match (&mut self.path_grid, &other.path_grid) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, None) => {}
+            _ => panic!("path grid presence mismatch in tally merge"),
+        }
+        match (&mut self.absorption_grid, &other.absorption_grid) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, None) => {}
+            _ => panic!("absorption grid presence mismatch in tally merge"),
+        }
+        match (&mut self.path_histogram, &other.path_histogram) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, None) => {}
+            _ => panic!("path histogram presence mismatch in tally merge"),
+        }
+        match (&mut self.reflectance_r, &other.reflectance_r) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, None) => {}
+            _ => panic!("reflectance profile presence mismatch in tally merge"),
+        }
+        match (&mut self.absorption_rz, &other.absorption_rz) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, None) => {}
+            _ => panic!("cylindrical grid presence mismatch in tally merge"),
+        }
+    }
+
+    /// Conservation check: specular + detected + reflected + transmitted +
+    /// absorbed should account for all launched weight, up to the weight
+    /// destroyed by roulette (which is unbiased but not per-photon exact)
+    /// and expired photons. Returns the accounted fraction.
+    pub fn accounted_weight_fraction(&self) -> f64 {
+        if self.launched == 0 {
+            return 1.0;
+        }
+        (self.specular_weight
+            + self.detected_weight
+            + self.reflected_weight
+            + self.transmitted_weight
+            + self.total_absorbed())
+            / self.launched as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spec() -> GridSpec {
+        GridSpec::cubic(10, Vec3::new(-5.0, -5.0, 0.0), Vec3::new(5.0, 5.0, 10.0))
+    }
+
+    #[test]
+    fn grid_indexing_round_trip() {
+        let s = spec();
+        for idx in [0usize, 1, 99, 500, 999] {
+            let c = s.centre_of(idx);
+            assert_eq!(s.index_of(c), Some(idx), "idx {idx}, centre {c:?}");
+        }
+    }
+
+    #[test]
+    fn grid_rejects_outside_points() {
+        let s = spec();
+        assert_eq!(s.index_of(Vec3::new(-5.1, 0.0, 5.0)), None);
+        assert_eq!(s.index_of(Vec3::new(0.0, 0.0, -0.1)), None);
+        assert_eq!(s.index_of(Vec3::new(0.0, 0.0, 10.1)), None);
+        // Lower corner is inside, upper corner is outside (half-open).
+        assert!(s.index_of(Vec3::new(-5.0, -5.0, 0.0)).is_some());
+        assert!(s.index_of(Vec3::new(5.0, 5.0, 10.0)).is_none());
+    }
+
+    #[test]
+    fn grid_spec_validation() {
+        assert!(spec().validate().is_ok());
+        let bad = GridSpec::cubic(0, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0));
+        assert!(bad.validate().is_err());
+        let degenerate = GridSpec::cubic(10, Vec3::ZERO, Vec3::ZERO);
+        assert!(degenerate.validate().is_err());
+    }
+
+    #[test]
+    fn deposit_accumulates() {
+        let mut g = VisitGrid::new(spec());
+        let p = Vec3::new(0.0, 0.0, 5.0);
+        g.deposit(p, 1.0);
+        g.deposit(p, 0.5);
+        let idx = g.spec.index_of(p).unwrap();
+        assert!((g.value(idx) - 1.5).abs() < 1e-12);
+        assert!((g.total() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deposit_outside_is_ignored() {
+        let mut g = VisitGrid::new(spec());
+        g.deposit(Vec3::new(100.0, 0.0, 0.0), 1.0);
+        assert_eq!(g.total(), 0.0);
+    }
+
+    #[test]
+    fn segment_deposit_conserves_weight_inside() {
+        let mut g = VisitGrid::new(spec());
+        g.deposit_segment(Vec3::new(-4.0, 0.0, 1.0), Vec3::new(4.0, 0.0, 9.0), 2.0);
+        assert!((g.total() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_deposit_marks_multiple_voxels() {
+        let mut g = VisitGrid::new(spec());
+        g.deposit_segment(Vec3::new(-4.5, 0.0, 0.5), Vec3::new(4.5, 0.0, 0.5), 1.0);
+        let occupied = g.data().iter().filter(|&&v| v > 0.0).count();
+        assert!(occupied >= 9, "only {occupied} voxels hit by a 9 mm segment");
+    }
+
+    #[test]
+    fn short_segment_deposits_at_endpoint() {
+        let mut g = VisitGrid::new(spec());
+        let b = Vec3::new(0.1, 0.0, 5.0);
+        g.deposit_segment(Vec3::new(0.0, 0.0, 5.0), b, 1.0);
+        assert!((g.value(g.spec.index_of(b).unwrap()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tally_merge_sums_everything() {
+        let mut a = Tally::new(2, Some(spec()), None);
+        let mut b = Tally::new(2, Some(spec()), None);
+        a.launched = 10;
+        b.launched = 5;
+        a.detected = 2;
+        b.detected = 1;
+        a.absorbed_by_layer[0] = 1.0;
+        b.absorbed_by_layer[0] = 0.5;
+        b.absorbed_by_layer[1] = 0.25;
+        a.path_grid.as_mut().unwrap().deposit(Vec3::new(0.0, 0.0, 5.0), 1.0);
+        b.path_grid.as_mut().unwrap().deposit(Vec3::new(0.0, 0.0, 5.0), 2.0);
+        a.merge(&b);
+        assert_eq!(a.launched, 15);
+        assert_eq!(a.detected, 3);
+        assert!((a.absorbed_by_layer[0] - 1.5).abs() < 1e-12);
+        assert!((a.absorbed_by_layer[1] - 0.25).abs() < 1e-12);
+        assert!((a.path_grid.as_ref().unwrap().total() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer count mismatch")]
+    fn tally_merge_rejects_layer_mismatch() {
+        let mut a = Tally::new(2, None, None);
+        let b = Tally::new(3, None, None);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different specs")]
+    fn grid_merge_rejects_spec_mismatch() {
+        let mut a = VisitGrid::new(spec());
+        let b = VisitGrid::new(GridSpec::cubic(5, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0)));
+        a.merge(&b);
+    }
+
+    #[test]
+    fn scale_multiplies_all() {
+        let mut g = VisitGrid::new(spec());
+        g.deposit(Vec3::new(0.0, 0.0, 5.0), 4.0);
+        g.scale(0.25);
+        assert!((g.total() - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn index_of_within_bounds_is_valid(
+            x in -5.0f64..5.0, y in -5.0f64..5.0, z in 0.0f64..10.0
+        ) {
+            let s = spec();
+            let idx = s.index_of(Vec3::new(x, y, z));
+            prop_assert!(idx.is_some());
+            prop_assert!(idx.unwrap() < s.len());
+        }
+
+        #[test]
+        fn merge_is_commutative_on_counts(
+            la in 0u64..1000, lb in 0u64..1000, da in 0u64..100, db in 0u64..100
+        ) {
+            let mut a1 = Tally::new(1, None, None);
+            let mut b1 = Tally::new(1, None, None);
+            a1.launched = la; a1.detected = da;
+            b1.launched = lb; b1.detected = db;
+            let mut ab = a1.clone(); ab.merge(&b1);
+            let mut ba = b1.clone(); ba.merge(&a1);
+            prop_assert_eq!(ab.launched, ba.launched);
+            prop_assert_eq!(ab.detected, ba.detected);
+        }
+    }
+}

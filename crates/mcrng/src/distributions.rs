@@ -1,0 +1,181 @@
+//! Samplers used by the photon-transport kernels.
+//!
+//! All functions are generic over [`McRng`] and allocation-free; they are the
+//! only places in the codebase where physics meets randomness, which keeps
+//! statistical behaviour auditable in one module.
+
+use crate::McRng;
+
+/// Sample an exponentially distributed dimensionless step length
+/// `s = -ln(ξ)` with `ξ ∈ (0, 1)`.
+///
+/// The physical step is `s / μt` where `μt = μa + μs` is the interaction
+/// coefficient; the division is left to the caller because the medium can
+/// change mid-flight at layer boundaries (MCML's "unfinished step" rule).
+#[inline]
+pub fn sample_exponential<R: McRng>(rng: &mut R) -> f64 {
+    -rng.next_f64_open().ln()
+}
+
+/// Sample the cosine of the polar scattering angle from the
+/// Henyey–Greenstein phase function with anisotropy `g ∈ (-1, 1)`.
+///
+/// `g = 0` is isotropic scattering (uniform cosine); `g → 1` forward
+/// scattering; `g → -1` back-scattering — matching the footnote in the
+/// paper's Table 1.
+#[inline]
+pub fn henyey_greenstein_cos<R: McRng>(rng: &mut R, g: f64) -> f64 {
+    debug_assert!((-1.0..=1.0).contains(&g));
+    if g.abs() < 1e-6 {
+        // Isotropic limit: cos θ uniform on [-1, 1].
+        return 2.0 * rng.next_f64() - 1.0;
+    }
+    let xi = rng.next_f64();
+    let frac = (1.0 - g * g) / (1.0 - g + 2.0 * g * xi);
+    let cos_theta = (1.0 + g * g - frac * frac) / (2.0 * g);
+    cos_theta.clamp(-1.0, 1.0)
+}
+
+/// Sample a uniform azimuthal angle `ψ ∈ [0, 2π)` and return `(cos ψ, sin ψ)`.
+#[inline]
+pub fn uniform_azimuth<R: McRng>(rng: &mut R) -> (f64, f64) {
+    let psi = 2.0 * std::f64::consts::PI * rng.next_f64();
+    (psi.cos(), psi.sin())
+}
+
+/// Uniform point on a disc of the given radius, returned as `(x, y)`.
+/// Used for the paper's *uniform* source footprint.
+#[inline]
+pub fn uniform_disc<R: McRng>(rng: &mut R, radius: f64) -> (f64, f64) {
+    let r = radius * rng.next_f64().sqrt();
+    let (c, s) = uniform_azimuth(rng);
+    (r * c, r * s)
+}
+
+/// Pair of independent standard normal deviates via Box–Muller.
+/// Used for the paper's *Gaussian* source footprint.
+#[inline]
+pub fn gaussian_pair<R: McRng>(rng: &mut R) -> (f64, f64) {
+    let u1 = rng.next_f64_open();
+    let u2 = rng.next_f64();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// Uniformly distributed unit vector on the sphere, `(x, y, z)`.
+/// Useful for isotropic point sources and for tests.
+#[inline]
+pub fn uniform_sphere<R: McRng>(rng: &mut R) -> (f64, f64, f64) {
+    let z = 2.0 * rng.next_f64() - 1.0;
+    let rho = (1.0 - z * z).max(0.0).sqrt();
+    let (c, s) = uniform_azimuth(rng);
+    (rho * c, rho * s, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xoshiro256PlusPlus;
+
+    fn rng() -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn exponential_mean_is_one() {
+        let mut r = rng();
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| sample_exponential(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn exponential_is_positive_and_finite() {
+        let mut r = rng();
+        for _ in 0..100_000 {
+            let s = sample_exponential(&mut r);
+            assert!(s > 0.0 && s.is_finite());
+        }
+    }
+
+    #[test]
+    fn hg_mean_cosine_equals_g() {
+        // The defining property of Henyey–Greenstein: E[cos θ] = g.
+        let mut r = rng();
+        for &g in &[-0.7, -0.3, 0.0, 0.3, 0.7, 0.9] {
+            let n = 200_000;
+            let mean: f64 =
+                (0..n).map(|_| henyey_greenstein_cos(&mut r, g)).sum::<f64>() / n as f64;
+            assert!((mean - g).abs() < 0.01, "g = {g}, mean = {mean}");
+        }
+    }
+
+    #[test]
+    fn hg_cosine_in_range() {
+        let mut r = rng();
+        for &g in &[-0.99, -0.5, 0.0, 0.5, 0.9, 0.99] {
+            for _ in 0..10_000 {
+                let c = henyey_greenstein_cos(&mut r, g);
+                assert!((-1.0..=1.0).contains(&c), "g={g}, cos={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn azimuth_is_on_unit_circle() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let (c, s) = uniform_azimuth(&mut r);
+            assert!((c * c + s * s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn disc_points_within_radius_and_uniform() {
+        let mut r = rng();
+        let radius = 2.5;
+        let n = 100_000;
+        let mut inside_half_radius = 0usize;
+        for _ in 0..n {
+            let (x, y) = uniform_disc(&mut r, radius);
+            let d2 = x * x + y * y;
+            assert!(d2 <= radius * radius + 1e-9);
+            if d2 <= (radius / 2.0) * (radius / 2.0) {
+                inside_half_radius += 1;
+            }
+        }
+        // Uniform density ⇒ quarter of the points inside half the radius.
+        let frac = inside_half_radius as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn gaussian_pair_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for _ in 0..n {
+            let (a, b) = gaussian_pair(&mut r);
+            sum += a + b;
+            sum2 += a * a + b * b;
+        }
+        let mean = sum / (2 * n) as f64;
+        let var = sum2 / (2 * n) as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var = {var}");
+    }
+
+    #[test]
+    fn sphere_vectors_are_unit_and_balanced() {
+        let mut r = rng();
+        let n = 100_000;
+        let mut zsum = 0.0;
+        for _ in 0..n {
+            let (x, y, z) = uniform_sphere(&mut r);
+            assert!((x * x + y * y + z * z - 1.0).abs() < 1e-9);
+            zsum += z;
+        }
+        assert!((zsum / n as f64).abs() < 0.01);
+    }
+}

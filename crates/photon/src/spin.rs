@@ -1,0 +1,160 @@
+//! Spin: update the photon direction after a scattering event.
+//!
+//! The polar angle comes from the Henyey–Greenstein phase function with the
+//! layer's anisotropy `g`; the azimuth is uniform. The new direction is
+//! computed with MCML's rotation formulae, including the special case for
+//! near-vertical travel where the general formula degenerates.
+
+use crate::photon::Photon;
+use mcrng::{henyey_greenstein_cos, uniform_azimuth, McRng};
+
+/// Threshold on |uz| above which the direction-update special case is used.
+const NEARLY_VERTICAL: f64 = 1.0 - 1e-12;
+
+/// Scatter `photon` into a new direction sampled from HG(g).
+/// Increments the scatter counter and re-normalises the direction to
+/// suppress floating-point drift over long walks.
+pub fn spin<R: McRng>(photon: &mut Photon, g: f64, rng: &mut R) {
+    let cos_t = henyey_greenstein_cos(rng, g);
+    let sin_t = (1.0 - cos_t * cos_t).max(0.0).sqrt();
+    let (cos_p, sin_p) = uniform_azimuth(rng);
+
+    let d = photon.dir;
+    let new_dir = if d.z.abs() > NEARLY_VERTICAL {
+        // Travelling (anti)parallel to z: rotate about x/y directly.
+        crate::vec3::Vec3::new(
+            sin_t * cos_p,
+            sin_t * sin_p,
+            cos_t * d.z.signum(),
+        )
+    } else {
+        let denom = (1.0 - d.z * d.z).sqrt();
+        crate::vec3::Vec3::new(
+            sin_t * (d.x * d.z * cos_p - d.y * sin_p) / denom + d.x * cos_t,
+            sin_t * (d.y * d.z * cos_p + d.x * sin_p) / denom + d.y * cos_t,
+            -sin_t * cos_p * denom + d.z * cos_t,
+        )
+    };
+
+    photon.dir = new_dir.renormalize();
+    photon.scatters += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::photon::Photon;
+    use crate::vec3::Vec3;
+    use mcrng::Xoshiro256PlusPlus;
+
+    fn rng() -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(31)
+    }
+
+    #[test]
+    fn spin_preserves_unit_direction() {
+        let mut r = rng();
+        for &g in &[0.0, 0.5, 0.9, -0.5] {
+            let mut p = Photon::launch(Vec3::ZERO, Vec3::PLUS_Z, 0);
+            for _ in 0..1000 {
+                spin(&mut p, g, &mut r);
+                assert!(p.dir.is_unit(1e-9), "g={g}, dir={:?}", p.dir);
+            }
+        }
+    }
+
+    #[test]
+    fn spin_increments_counter() {
+        let mut r = rng();
+        let mut p = Photon::launch(Vec3::ZERO, Vec3::PLUS_Z, 0);
+        spin(&mut p, 0.9, &mut r);
+        spin(&mut p, 0.9, &mut r);
+        assert_eq!(p.scatters, 2);
+    }
+
+    #[test]
+    fn mean_deflection_cosine_matches_g() {
+        // <d_old · d_new> over many single scatters must equal g.
+        let mut r = rng();
+        for &g in &[0.0, 0.7, 0.9] {
+            let n = 100_000;
+            let mut acc = 0.0;
+            for _ in 0..n {
+                let mut p = Photon::launch(Vec3::ZERO, Vec3::PLUS_Z, 0);
+                let before = p.dir;
+                spin(&mut p, g, &mut r);
+                acc += before.dot(p.dir);
+            }
+            let mean = acc / n as f64;
+            assert!((mean - g).abs() < 0.01, "g={g}, mean={mean}");
+        }
+    }
+
+    #[test]
+    fn mean_deflection_correct_from_oblique_directions() {
+        // The rotation formula must give <cos theta> = g regardless of the
+        // incoming direction.
+        let mut r = rng();
+        let start = Vec3::new(0.6, 0.48, 0.64).renormalize();
+        let g = 0.8;
+        let n = 100_000;
+        let mut acc = 0.0;
+        for _ in 0..n {
+            let mut p = Photon::launch(Vec3::ZERO, start, 0);
+            spin(&mut p, g, &mut r);
+            acc += start.dot(p.dir);
+        }
+        let mean = acc / n as f64;
+        assert!((mean - g).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn isotropic_scatter_covers_both_hemispheres() {
+        let mut r = rng();
+        let (mut up, mut down) = (0usize, 0usize);
+        for _ in 0..10_000 {
+            let mut p = Photon::launch(Vec3::ZERO, Vec3::PLUS_Z, 0);
+            spin(&mut p, 0.0, &mut r);
+            if p.dir.z >= 0.0 {
+                up += 1
+            } else {
+                down += 1
+            }
+        }
+        let frac = up as f64 / (up + down) as f64;
+        assert!((frac - 0.5).abs() < 0.02, "frac up = {frac}");
+    }
+
+    #[test]
+    fn azimuthal_symmetry_from_vertical() {
+        let mut r = rng();
+        let (mut px, mut py) = (0.0, 0.0);
+        let n = 100_000;
+        for _ in 0..n {
+            let mut p = Photon::launch(Vec3::ZERO, Vec3::PLUS_Z, 0);
+            spin(&mut p, 0.9, &mut r);
+            px += p.dir.x;
+            py += p.dir.y;
+        }
+        assert!((px / n as f64).abs() < 0.01);
+        assert!((py / n as f64).abs() < 0.01);
+    }
+
+    #[test]
+    fn downward_vertical_special_case() {
+        let mut r = rng();
+        let mut p = Photon::launch(Vec3::ZERO, -Vec3::PLUS_Z, 0);
+        let n = 50_000;
+        let mut acc = 0.0;
+        let before = p.dir;
+        for _ in 0..n {
+            let mut q = p;
+            spin(&mut q, 0.9, &mut r);
+            acc += before.dot(q.dir);
+            assert!(q.dir.is_unit(1e-9));
+        }
+        let mean = acc / n as f64;
+        assert!((mean - 0.9).abs() < 0.01, "mean={mean}");
+        let _ = &mut p; // silence unused-mut on some toolchains
+    }
+}

@@ -1,0 +1,21 @@
+//! # lumen-tissue — layered tissue geometry and presets
+//!
+//! The reproduced paper models the head as a stack of horizontal layers
+//! (Table 1: scalp, skull, CSF, grey matter, white matter), each a
+//! homogeneous slab with its own optical properties. This crate provides:
+//!
+//! * [`Layer`] — one slab: name, z-extent, [`OpticalProperties`];
+//! * [`LayeredTissue`] — the stack, with validated construction, layer
+//!   lookup by depth, and boundary-distance queries used by the transport
+//!   engine's hop/boundary logic;
+//! * [`presets`] — the paper's models: the Table 1 adult head, the
+//!   homogeneous white-matter medium of Fig 3, and a neonatal variant after
+//!   Fukui et al. (the paper's reference [1]).
+
+pub mod layer;
+pub mod model;
+pub mod presets;
+
+pub use layer::Layer;
+pub use lumen_photon::OpticalProperties;
+pub use model::{BoundaryHit, LayeredTissue};

@@ -1,0 +1,61 @@
+//! The Fig 4 scenario: photon migration through the five-layer adult-head
+//! model, including how much light reaches the white matter and how the
+//! CSF layer shapes the distribution.
+//!
+//! Run: `cargo run --release --example adult_head`
+
+use lumen::core::{Detector, ParallelConfig, Simulation, Source};
+use lumen::tissue::presets::{adult_head, AdultHeadConfig};
+
+fn main() {
+    let cfg = AdultHeadConfig::default();
+    let head = adult_head(cfg);
+
+    println!("adult head model (Table 1):");
+    for layer in head.layers() {
+        println!(
+            "  {:<14} z = {:>5.1} .. {:<6} mu_s' = {:.2}/mm, mu_a = {:.3}/mm",
+            layer.name,
+            layer.z_top,
+            if layer.is_semi_infinite() {
+                "inf".to_string()
+            } else {
+                format!("{:.1}", layer.z_bottom)
+            },
+            layer.optics.mu_s_prime(),
+            layer.optics.mu_a,
+        );
+    }
+
+    // Sweep the source-detector separation across the paper's 20-60 mm
+    // range: larger spacings interrogate more grey matter but the CSF
+    // still confines sensitivity (the paper's Sect. 2 discussion).
+    println!(
+        "\n{:>10} | {:>9} | {:>12} | {:>12} | {:>14} | {:>12}",
+        "sep (mm)", "detected", "mean path", "DPF", "mean depth", "reach WM"
+    );
+    for separation in [20.0, 30.0, 40.0, 50.0, 60.0] {
+        // Annular detector: same physics as a disc by symmetry, ~30x the
+        // statistical efficiency at these separations.
+        let sim = Simulation::new(
+            head.clone(),
+            Source::Delta,
+            Detector::ring(separation, 2.0),
+        );
+        let res = lumen::core::run_parallel(&sim, 400_000, ParallelConfig::new(11));
+        println!(
+            "{:>10.0} | {:>9} | {:>9.0} mm | {:>12.2} | {:>11.1} mm | {:>11.2}%",
+            separation,
+            res.tally.detected,
+            res.mean_detected_pathlength(),
+            res.differential_pathlength_factor(separation),
+            res.mean_penetration_depth(),
+            res.detected_reached_layer_fraction(4) * 100.0,
+        );
+    }
+    println!(
+        "\n(white matter begins at {:.1} mm; detected photons reaching it are the \
+         signal of interest)",
+        cfg.white_matter_depth()
+    );
+}

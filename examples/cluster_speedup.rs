@@ -1,0 +1,60 @@
+//! Reproduce the shape of the paper's Fig 2 speedup curve on the
+//! simulated 2006 cluster, and exercise the real threaded master/worker
+//! engine on this machine.
+//!
+//! Run: `cargo run --release --example cluster_speedup`
+
+use lumen::cluster::{
+    run_distributed, speedup_curve, AvailabilityModel, DistributedConfig, JobSpec, NetworkModel,
+};
+use lumen::core::{Detector, Simulation, Source};
+use lumen::tissue::presets::homogeneous_white_matter;
+
+fn main() {
+    // --- simulated Fig 2 curve ---
+    println!("simulated speedup curve (homogeneous P4-class machines, 10^9 photons):");
+    let points = speedup_curve(
+        &JobSpec::paper_job(),
+        &[1, 10, 20, 30, 40, 50, 60],
+        NetworkModel::lan_2006(),
+        AvailabilityModel::DEDICATED,
+        2006,
+    );
+    for p in &points {
+        let bar_len = (p.speedup / 60.0 * 40.0).round() as usize;
+        println!(
+            "  k={:>2}  speedup {:>5.1}  eff {:>5.1}%  {}",
+            p.k,
+            p.speedup,
+            p.efficiency * 100.0,
+            "#".repeat(bar_len)
+        );
+    }
+
+    // --- real master/worker engine on this machine ---
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    println!("\nreal master/worker engine ({workers} worker threads, demand-driven):");
+    let sim = Simulation::new(
+        homogeneous_white_matter(),
+        Source::Delta,
+        Detector::new(6.0, 1.0),
+    );
+    let report = run_distributed(
+        &sim,
+        200_000,
+        DistributedConfig { seed: 3, tasks: workers as u64 * 8, workers, failure_rate: 0.05 },
+    );
+    println!(
+        "  {} photons in {:.2} s with 5% injected task failures ({} requeues)",
+        report.result.launched(),
+        report.wall_seconds,
+        report.requeues
+    );
+    for (i, w) in report.worker_stats.iter().enumerate() {
+        println!(
+            "  worker {i:>2}: {:>3} tasks, {:>7} photons, {} failures",
+            w.tasks_completed, w.photons, w.tasks_failed
+        );
+    }
+    println!("  detected fraction: {:.2e}", report.result.detected_fraction());
+}

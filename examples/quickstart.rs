@@ -1,0 +1,43 @@
+//! Quickstart: simulate near-infrared photons through the adult-head model
+//! and print the quantities an NIRS experimenter cares about.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use lumen::core::{Detector, ParallelConfig, Simulation, Source};
+use lumen::tissue::presets::{adult_head, AdultHeadConfig};
+
+fn main() {
+    // 1. Pick a tissue model — here the paper's Table 1 adult head.
+    let tissue = adult_head(AdultHeadConfig::default());
+
+    // 2. Pick a source and a detector: a laser at the origin, a 3 mm-radius
+    //    detector 30 mm away (a typical NIRS optode spacing).
+    let source = Source::Delta;
+    let detector = Detector::new(30.0, 3.0);
+
+    // 3. Build and run the simulation in parallel (deterministic per seed).
+    let sim = Simulation::new(tissue, source, detector);
+    let photons = 500_000;
+    let result = lumen::core::run_parallel(&sim, photons, ParallelConfig::new(42));
+
+    // 4. Read off the physics.
+    println!("photons launched:        {}", result.launched());
+    println!("detected:                {}", result.tally.detected);
+    println!("detected fraction:       {:.2e}", result.detected_fraction());
+    println!("specular reflectance:    {:.4}", result.specular_reflectance());
+    println!("diffuse reflectance:     {:.4}", result.diffuse_reflectance());
+    println!("absorbed fraction:       {:.4}", result.absorbed_fraction());
+    println!();
+    println!("mean detected pathlength: {:.1} mm", result.mean_detected_pathlength());
+    println!(
+        "differential pathlength factor (DPF): {:.2}",
+        result.differential_pathlength_factor(30.0)
+    );
+    println!("mean penetration depth:   {:.1} mm", result.mean_penetration_depth());
+    println!("max penetration depth:    {:.1} mm", result.max_penetration_depth());
+    println!();
+    println!("absorbed weight per layer (per launched photon):");
+    for (layer, frac) in sim.tissue.layers().iter().zip(result.absorbed_fraction_by_layer()) {
+        println!("  {:<14} {:.5}", layer.name, frac);
+    }
+}

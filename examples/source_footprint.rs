@@ -1,0 +1,63 @@
+//! Compare the paper's three source footprints (delta, Gaussian, uniform)
+//! in a highly scattering medium — the experiment behind the paper's
+//! finding that "lasers do produce a small beam in a highly scattering
+//! medium" while the footprint shapes the shallow distribution.
+//!
+//! Run: `cargo run --release --example source_footprint`
+
+use lumen::analysis::profile::surface_beam_width;
+use lumen::analysis::Projection2D;
+use lumen::core::{
+    Detector, GridSpec, ParallelConfig, Simulation, SimulationOptions, Source, Vec3,
+};
+use lumen::tissue::presets::homogeneous_white_matter;
+
+fn main() {
+    let separation = 6.0;
+    let spec = GridSpec::cubic(
+        50,
+        Vec3::new(-4.0, -4.0, 0.0),
+        Vec3::new(separation + 4.0, 4.0, 9.0),
+    );
+
+    println!(
+        "{:<22} | {:>10} | {:>14} | {:>12}",
+        "source", "detected", "surface width", "mean depth"
+    );
+    for source in [
+        Source::Delta,
+        Source::Gaussian { radius: 1.0 },
+        Source::Gaussian { radius: 3.0 },
+        Source::Uniform { radius: 1.0 },
+        Source::Uniform { radius: 3.0 },
+    ] {
+        let mut options = SimulationOptions::default();
+        // The injected beam is measured on the absorption grid of ALL
+        // photons; detected-only paths are biased toward the detector.
+        options.absorption_grid = Some(spec);
+        let sim = Simulation::new(
+            homogeneous_white_matter(),
+            source,
+            Detector::new(separation, 1.0),
+        )
+        .with_options(options);
+        let res = lumen::core::run_parallel(&sim, 400_000, ParallelConfig::new(5));
+        let proj = Projection2D::from_grid(res.tally.absorption_grid.as_ref().unwrap());
+        let label = match source {
+            Source::Delta => "delta (laser)".to_string(),
+            Source::Gaussian { radius } => format!("gaussian r={radius} mm"),
+            Source::Uniform { radius } => format!("uniform r={radius} mm"),
+        };
+        println!(
+            "{:<22} | {:>10} | {:>11.2} mm | {:>9.2} mm",
+            label,
+            res.tally.detected,
+            surface_beam_width(&proj, 5),
+            res.mean_penetration_depth(),
+        );
+    }
+    println!(
+        "\nthe delta source keeps the narrowest surface beam; wider footprints \
+         broaden the shallow distribution (the paper's Sect. 4 conclusion)"
+    );
+}

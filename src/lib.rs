@@ -1,0 +1,7 @@
+//! Lumen facade crate: re-exports the full public API.
+pub use lumen_analysis as analysis;
+pub use lumen_cluster as cluster;
+pub use lumen_core as core;
+pub use lumen_photon as photon;
+pub use lumen_tissue as tissue;
+pub use mcrng;

@@ -1,0 +1,130 @@
+//! Cross-crate consistency: the sequential engine, the rayon driver, and
+//! the threaded master/worker platform must all agree; failures must not
+//! change physics; the DES must reproduce the paper's scaling claims.
+
+use lumen::cluster::{
+    run_distributed, speedup_curve, AvailabilityModel, ClusterSim, DistributedConfig, JobSpec,
+    NetworkModel,
+};
+use lumen::core::{Detector, ParallelConfig, Simulation, Source};
+use lumen::tissue::presets::{homogeneous_white_matter, semi_infinite_phantom};
+
+fn sim() -> Simulation {
+    Simulation::new(
+        semi_infinite_phantom(0.1, 10.0, 0.5, 1.4),
+        Source::Delta,
+        Detector::new(3.0, 1.0),
+    )
+}
+
+#[test]
+fn three_execution_paths_agree_exactly() {
+    let s = sim();
+    let n = 6_000;
+    let tasks = 12;
+    let seed = 77;
+
+    let rayon_res = lumen::core::run_parallel(&s, n, ParallelConfig { seed, tasks });
+    let dist = run_distributed(
+        &s,
+        n,
+        DistributedConfig { seed, tasks, workers: 3, failure_rate: 0.0 },
+    );
+    assert_eq!(rayon_res.tally, dist.result.tally, "rayon vs master/worker");
+
+    // Sequential equals a single-task parallel run.
+    let seq = s.run(n, seed);
+    let single = lumen::core::run_parallel(&s, n, ParallelConfig { seed, tasks: 1 });
+    assert_eq!(seq.tally, single.tally, "sequential vs 1-task parallel");
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    let s = sim();
+    let n = 5_000;
+    let mk = |workers| {
+        run_distributed(
+            &s,
+            n,
+            DistributedConfig { seed: 9, tasks: 10, workers, failure_rate: 0.0 },
+        )
+        .result
+        .tally
+    };
+    let one = mk(1);
+    let four = mk(4);
+    let eight = mk(8);
+    assert_eq!(one, four);
+    assert_eq!(four, eight);
+}
+
+#[test]
+fn failures_change_nothing_but_requeue_counts() {
+    let s = sim();
+    let n = 5_000;
+    let clean = run_distributed(
+        &s,
+        n,
+        DistributedConfig { seed: 4, tasks: 10, workers: 4, failure_rate: 0.0 },
+    );
+    let faulty = run_distributed(
+        &s,
+        n,
+        DistributedConfig { seed: 4, tasks: 10, workers: 4, failure_rate: 0.4 },
+    );
+    assert_eq!(clean.result.tally, faulty.result.tally);
+    assert!(faulty.requeues > 0);
+    assert_eq!(clean.requeues, 0);
+}
+
+#[test]
+fn des_reproduces_fig2_shape() {
+    // Near-linear speedup, >95% efficiency at 60 homogeneous processors.
+    let points = speedup_curve(
+        &JobSpec::paper_job(),
+        &[1, 20, 40, 60],
+        NetworkModel::lan_2006(),
+        AvailabilityModel::DEDICATED,
+        1,
+    );
+    assert!((points[0].speedup - 1.0).abs() < 1e-9);
+    for w in points.windows(2) {
+        assert!(w[1].speedup > w[0].speedup, "monotone speedup");
+    }
+    let last = points.last().unwrap();
+    assert!(last.efficiency > 0.95, "efficiency at 60: {}", last.efficiency);
+}
+
+#[test]
+fn des_reproduces_table2_two_hour_runtime() {
+    let cluster = ClusterSim {
+        pool: lumen::cluster::table2_pool(),
+        network: NetworkModel::lan_2006(),
+        availability: AvailabilityModel::semi_idle(),
+        seed: 10,
+    };
+    let report = cluster.run(&JobSpec::paper_job());
+    let hours = report.makespan_s / 3600.0;
+    assert!((1.0..4.0).contains(&hours), "expected ~2 h, got {hours:.2} h");
+    // All 150 machines contributed.
+    assert_eq!(report.machine_tasks.len(), 150);
+    assert!(report.machine_tasks.iter().all(|&t| t > 0), "every client got work");
+}
+
+#[test]
+fn executor_handles_white_matter_workload() {
+    // End-to-end: real physics + real protocol + failures.
+    let s = Simulation::new(
+        homogeneous_white_matter(),
+        Source::Delta,
+        Detector::new(5.0, 1.0),
+    );
+    let report = run_distributed(
+        &s,
+        20_000,
+        DistributedConfig { seed: 2, tasks: 16, workers: 4, failure_rate: 0.1 },
+    );
+    assert_eq!(report.result.launched(), 20_000);
+    let frac = report.result.tally.accounted_weight_fraction();
+    assert!((frac - 1.0).abs() < 0.03, "energy accounted: {frac}");
+}

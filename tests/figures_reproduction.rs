@@ -1,0 +1,170 @@
+//! End-to-end reproduction checks for the paper's figures: the banana of
+//! Fig 3 must emerge from the physics, the Fig 4 head model must show the
+//! reported layer behaviour, and the source-footprint conclusions must
+//! hold.
+
+use lumen::analysis::profile::surface_beam_width;
+use lumen::analysis::{banana_metrics, threshold_fraction, Projection2D};
+use lumen::core::{
+    Detector, GridSpec, ParallelConfig, Simulation, SimulationOptions, Source, Vec3,
+};
+use lumen::tissue::presets::{adult_head, homogeneous_white_matter, AdultHeadConfig};
+
+fn with_grid(sim: Simulation, spec: GridSpec) -> Simulation {
+    let mut options = SimulationOptions::default();
+    options.path_grid = Some(spec);
+    sim.with_options(options)
+}
+
+fn with_absorption_grid(sim: Simulation, spec: GridSpec) -> Simulation {
+    let mut options = SimulationOptions::default();
+    options.absorption_grid = Some(spec);
+    sim.with_options(options)
+}
+
+#[test]
+fn fig3_banana_emerges_in_white_matter() {
+    let separation = 6.0;
+    let spec = GridSpec::cubic(
+        50,
+        Vec3::new(-3.0, -3.0, 0.0),
+        Vec3::new(separation + 3.0, 3.0, 9.0),
+    );
+    let sim = with_grid(
+        Simulation::new(
+            homogeneous_white_matter(),
+            Source::Delta,
+            Detector::new(separation, 1.0),
+        ),
+        spec,
+    );
+    let res = lumen::core::run_parallel(&sim, 600_000, ParallelConfig { seed: 3, tasks: 32 });
+    assert!(res.tally.detected > 100, "need detections: {}", res.tally.detected);
+
+    let mut proj = Projection2D::from_grid(res.tally.path_grid.as_ref().unwrap());
+    threshold_fraction(&mut proj, 0.05);
+    let metrics = banana_metrics(&proj, separation);
+    assert!(
+        metrics.is_banana(separation),
+        "thresholded detected paths must form a banana: {metrics:?}"
+    );
+    // The arch peaks between source and detector.
+    assert!(
+        metrics.deepest_x > separation * 0.2 && metrics.deepest_x < separation * 0.8,
+        "deepest point at x = {}",
+        metrics.deepest_x
+    );
+}
+
+#[test]
+fn fig4_head_model_layer_behaviour() {
+    let cfg = AdultHeadConfig::default();
+    let sim = Simulation::new(adult_head(cfg), Source::Delta, Detector::ring(30.0, 2.0));
+    let res = lumen::core::run_parallel(&sim, 150_000, ParallelConfig { seed: 4, tasks: 32 });
+
+    // All detected photons traverse the scalp; monotonically fewer reach
+    // each deeper layer.
+    let fractions: Vec<f64> =
+        (0..5).map(|i| res.detected_reached_layer_fraction(i)).collect();
+    assert!((fractions[0] - 1.0).abs() < 1e-9);
+    for w in fractions.windows(2) {
+        assert!(w[0] >= w[1], "layer reach must be monotone: {fractions:?}");
+    }
+}
+
+#[test]
+fn fig4_some_detected_photons_probe_deep_tissue() {
+    // At a 30 mm spacing, detected photons should at least reach the CSF
+    // and typically the grey matter (the paper's "intensely sensitive
+    // region is confined to the grey matter"). A ring detector gives the
+    // statistics a disc would need ~30x the photons for.
+    let cfg = AdultHeadConfig::default();
+    let sim = Simulation::new(adult_head(cfg), Source::Delta, Detector::ring(30.0, 2.0));
+    let res = lumen::core::run_parallel(&sim, 200_000, ParallelConfig { seed: 5, tasks: 32 });
+    assert!(res.tally.detected > 30);
+    assert!(
+        res.max_penetration_depth() > cfg.csf_depth(),
+        "max depth {} should pass the CSF at {}",
+        res.max_penetration_depth(),
+        cfg.csf_depth()
+    );
+    assert!(res.detected_reached_layer_fraction(2) > 0.1, "CSF reach");
+}
+
+#[test]
+fn source_footprint_shapes_surface_distribution() {
+    // The paper: footprint affects the distribution; the laser stays a
+    // narrow beam. The injected beam is visible in the absorption grid of
+    // *all* photons (detected-only paths are biased toward the detector).
+    let spec = GridSpec::cubic(
+        40,
+        Vec3::new(-5.0, -5.0, 0.0),
+        Vec3::new(5.0, 5.0, 10.0),
+    );
+    let widths: Vec<f64> = [Source::Delta, Source::Uniform { radius: 3.0 }]
+        .into_iter()
+        .map(|source| {
+            let sim = with_absorption_grid(
+                Simulation::new(
+                    homogeneous_white_matter(),
+                    source,
+                    Detector::new(6.0, 1.0),
+                ),
+                spec,
+            );
+            let res =
+                lumen::core::run_parallel(&sim, 100_000, ParallelConfig { seed: 6, tasks: 32 });
+            let proj = Projection2D::from_grid(res.tally.absorption_grid.as_ref().unwrap());
+            surface_beam_width(&proj, 4)
+        })
+        .collect();
+    assert!(
+        widths[0] < widths[1],
+        "delta beam ({}) should be narrower than a 3 mm uniform footprint ({})",
+        widths[0],
+        widths[1]
+    );
+}
+
+#[test]
+fn gating_selects_path_lengths() {
+    use lumen::core::GateWindow;
+    // Calibrate the gate around the ungated mean pathlength so both
+    // windows are populated regardless of the medium's DPF.
+    let open = Simulation::new(
+        homogeneous_white_matter(),
+        Source::Delta,
+        Detector::new(5.0, 1.0),
+    );
+    let ref_run = lumen::core::run_parallel(&open, 200_000, ParallelConfig { seed: 70, tasks: 32 });
+    assert!(ref_run.tally.detected > 50, "reference run needs detections");
+    let mean = ref_run.mean_detected_pathlength();
+
+    let sim_early = Simulation::new(
+        homogeneous_white_matter(),
+        Source::Delta,
+        Detector::new(5.0, 1.0).with_gate(GateWindow::new(0.0, mean).unwrap()),
+    );
+    let sim_late = Simulation::new(
+        homogeneous_white_matter(),
+        Source::Delta,
+        Detector::new(5.0, 1.0).with_gate(GateWindow::new(mean, mean * 20.0).unwrap()),
+    );
+    let early = lumen::core::run_parallel(&sim_early, 400_000, ParallelConfig { seed: 7, tasks: 32 });
+    let late = lumen::core::run_parallel(&sim_late, 400_000, ParallelConfig { seed: 7, tasks: 32 });
+    if early.tally.detected > 20 && late.tally.detected > 20 {
+        assert!(
+            late.mean_detected_pathlength() > early.mean_detected_pathlength(),
+            "late gate should select longer paths"
+        );
+        assert!(
+            late.mean_penetration_depth() > early.mean_penetration_depth(),
+            "late gate should select deeper photons"
+        );
+    } else {
+        panic!(
+            "insufficient detections for gating test: early {}, late {}",
+            early.tally.detected, late.tally.detected
+        );
+    }
+}
