@@ -153,10 +153,7 @@ mod tests {
         assert_eq!(photons_for_relative_error(1_000_000, 0.02, 0.01), 4_000_000);
         // 10x tighter -> 100x photons: the paper's "billions" from a
         // percent-level pilot at ~10^7.
-        assert_eq!(
-            photons_for_relative_error(10_000_000, 0.1, 0.01),
-            1_000_000_000
-        );
+        assert_eq!(photons_for_relative_error(10_000_000, 0.1, 0.01), 1_000_000_000);
     }
 
     #[test]

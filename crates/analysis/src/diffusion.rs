@@ -1,6 +1,6 @@
 //! Diffusion-approximation baseline.
 //!
-//! The paper (Sect. 2, citing Profio [6]) frames Monte Carlo as the
+//! The paper (Sect. 2, citing Profio \[6\]) frames Monte Carlo as the
 //! numerical solution of the radiative transport equation, with the
 //! *diffusion approximation* as the standard analytical alternative. This
 //! module implements the Farrell–Patterson–Wilson dipole solution for the
@@ -100,9 +100,8 @@ impl DiffusionModel {
         let z_img = z0 + 2.0 * zb;
         let r2 = (z_img * z_img + rho * rho).sqrt();
 
-        let term = |z: f64, r: f64| -> f64 {
-            z * (mu_eff + 1.0 / r) * (-mu_eff * r).exp() / (r * r)
-        };
+        let term =
+            |z: f64, r: f64| -> f64 { z * (mu_eff + 1.0 / r) * (-mu_eff * r).exp() / (r * r) };
         (term(z0, r1) + term(z_img, r2)) / (4.0 * std::f64::consts::PI)
     }
 

@@ -91,15 +91,7 @@ mod tests {
         for &r in rows {
             values.extend(std::iter::repeat(r).take(nx));
         }
-        Projection2D {
-            nx,
-            nz,
-            x_min: 0.0,
-            x_max: nx as f64,
-            z_min: 0.0,
-            z_max: nz as f64,
-            values,
-        }
+        Projection2D { nx, nz, x_min: 0.0, x_max: nx as f64, z_min: 0.0, z_max: nz as f64, values }
     }
 
     #[test]

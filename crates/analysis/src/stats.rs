@@ -22,7 +22,16 @@ impl Histogram {
     pub fn new(min: f64, max: f64, bins: usize) -> Self {
         assert!(max > min, "histogram range must be non-empty");
         assert!(bins > 0, "histogram needs at least one bin");
-        Self { min, max, counts: vec![0; bins], underflow: 0, overflow: 0, sum: 0.0, sum_sq: 0.0, n: 0 }
+        Self {
+            min,
+            max,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            n: 0,
+        }
     }
 
     /// Record one sample.

@@ -49,15 +49,7 @@ mod tests {
     use super::*;
 
     fn field(values: Vec<f64>, nx: usize, nz: usize) -> Projection2D {
-        Projection2D {
-            nx,
-            nz,
-            x_min: 0.0,
-            x_max: nx as f64,
-            z_min: 0.0,
-            z_max: nz as f64,
-            values,
-        }
+        Projection2D { nx, nz, x_min: 0.0, x_max: nx as f64, z_min: 0.0, z_max: nz as f64, values }
     }
 
     #[test]

@@ -81,10 +81,7 @@ mod tests {
         }
         let tpsf = tpsf_from_pathlengths(&h, 1.4);
         assert_eq!(tpsf.len(), 5);
-        assert_eq!(
-            tpsf.counts.iter().sum::<u64>(),
-            h.counts.iter().sum::<u64>()
-        );
+        assert_eq!(tpsf.counts.iter().sum::<u64>(), h.counts.iter().sum::<u64>());
     }
 
     #[test]
@@ -97,9 +94,6 @@ mod tests {
 
     #[test]
     fn mean_tof_matches_conversion() {
-        assert_eq!(
-            mean_time_of_flight_ps(50.0, 1.4),
-            pathlength_to_time_ps(50.0, 1.4)
-        );
+        assert_eq!(mean_time_of_flight_ps(50.0, 1.4), pathlength_to_time_ps(50.0, 1.4));
     }
 }

@@ -13,10 +13,9 @@ fn bench_boundary_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_boundary_mode");
     group.throughput(Throughput::Elements(photons));
     group.sample_size(10);
-    for (label, mode) in [
-        ("probabilistic", BoundaryMode::Probabilistic),
-        ("classical", BoundaryMode::Classical),
-    ] {
+    for (label, mode) in
+        [("probabilistic", BoundaryMode::Probabilistic), ("classical", BoundaryMode::Classical)]
+    {
         let mut sim = fig3_scenario(6.0, 20);
         sim.options.boundary_mode = mode;
         group.bench_function(label, |b| {

@@ -18,9 +18,7 @@ fn bench_des_table2(c: &mut Criterion) {
         seed: 150,
     };
     let job = JobSpec::paper_job();
-    c.bench_function("table2_des_run", |b| {
-        b.iter(|| black_box(&sim).run(black_box(&job)))
-    });
+    c.bench_function("table2_des_run", |b| b.iter(|| black_box(&sim).run(black_box(&job))));
 }
 
 fn bench_threaded_executor(c: &mut Criterion) {

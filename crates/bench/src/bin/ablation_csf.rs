@@ -15,10 +15,7 @@ use lumen_tissue::presets::{adult_head, grey_matter_optics, AdultHeadConfig};
 use lumen_tissue::{Layer, LayeredTissue};
 
 fn main() {
-    let photons: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1_000_000);
+    let photons: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
     let cfg = AdultHeadConfig::default();
     let separation = 30.0;
 

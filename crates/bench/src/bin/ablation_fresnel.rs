@@ -12,10 +12,7 @@ use lumen_bench::fig3_scenario;
 use lumen_core::{run_parallel, BoundaryMode, ParallelConfig};
 
 fn main() {
-    let photons: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(500_000);
+    let photons: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(500_000);
     println!("== A2: classical vs probabilistic boundary handling ==");
     println!("scenario: Fig 3 white matter, {photons} photons per mode\n");
 

@@ -2,7 +2,7 @@
 //!
 //! The original platform's demand-driven self-scheduling is what makes a
 //! heterogeneous, non-dedicated cluster efficient; the paper's reference
-//! [4] studies GA-based scheduling for the same setting. This binary
+//! \[4\] studies GA-based scheduling for the same setting. This binary
 //! compares: self-scheduling, naive static round-robin, rate-proportional
 //! static, and the GA scheduler.
 //!
@@ -54,10 +54,7 @@ fn main() {
     let chunk = results.iter().find(|(n, _)| *n == "static-chunking").expect("ran").1;
     let ga = results.iter().find(|(n, _)| *n == "ga-scheduler").expect("ran").1;
     println!("\n-- findings --");
-    println!(
-        "self-scheduling beats naive static chunking by {:.1}x on this pool",
-        chunk / selfs
-    );
+    println!("self-scheduling beats naive static chunking by {:.1}x on this pool", chunk / selfs);
     println!(
         "the GA's informed static plan comes within {:.1}% of self-scheduling",
         (ga / selfs - 1.0) * 100.0

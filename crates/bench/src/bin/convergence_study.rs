@@ -22,10 +22,7 @@ fn main() {
         Detector::ring(30.0, 2.0),
     );
 
-    println!(
-        "{:>12} | {:>12} | {:>12} | {:>10}",
-        "photons", "detected", "signal/ph", "rel error"
-    );
+    println!("{:>12} | {:>12} | {:>12} | {:>10}", "photons", "detected", "signal/ph", "rel error");
     let mut last: Option<(u64, f64)> = None;
     for exp in [14u32, 15, 16, 17, 18] {
         let photons = 1u64 << exp;
@@ -41,13 +38,10 @@ fn main() {
             })
             .collect();
         let est = batch_means(&per_batch).expect("batches >= 2");
-        let detected_total = lumen_core::run_parallel(
-            &sim,
-            photons,
-            ParallelConfig { seed: 99, tasks: batches },
-        )
-        .tally
-        .detected;
+        let detected_total =
+            lumen_core::run_parallel(&sim, photons, ParallelConfig { seed: 99, tasks: batches })
+                .tally
+                .detected;
         println!(
             "{:>12} | {:>12} | {:>12.3e} | {:>9.2}%",
             photons,

@@ -24,13 +24,8 @@ fn main() {
     // --- Curve 1: simulated 2006 cluster, paper-scale job ---
     let job = JobSpec::paper_job();
     let ks = [1usize, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60];
-    let points = speedup_curve(
-        &job,
-        &ks,
-        NetworkModel::lan_2006(),
-        AvailabilityModel::DEDICATED,
-        2006,
-    );
+    let points =
+        speedup_curve(&job, &ks, NetworkModel::lan_2006(), AvailabilityModel::DEDICATED, 2006);
     println!("-- simulated cluster (10^9 photons, P4 2.4GHz class machines) --");
     println!("{:>4} | {:>12} | {:>8} | {:>10}", "k", "time (s)", "speedup", "efficiency");
     for p in &points {
@@ -58,10 +53,7 @@ fn main() {
     let mut t1 = None;
     let mut k = 1usize;
     while k <= cores {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(k)
-            .build()
-            .expect("thread pool");
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(k).build().expect("thread pool");
         let started = Instant::now();
         let res = pool.install(|| {
             lumen_core::run_parallel(

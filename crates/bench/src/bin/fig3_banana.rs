@@ -8,10 +8,7 @@ use lumen_analysis::{banana_metrics, render_ascii, threshold_fraction, Projectio
 use lumen_bench::{fig3_scenario, run_scenario};
 
 fn main() {
-    let photons: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2_000_000);
+    let photons: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2_000_000);
     let separation = 6.0; // mm; white matter's μs' = 9.1/mm keeps paths shallow
     let granularity = 50;
 

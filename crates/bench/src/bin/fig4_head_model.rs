@@ -12,10 +12,7 @@ use lumen_bench::{fig4_scenario, run_scenario};
 use lumen_tissue::presets::AdultHeadConfig;
 
 fn main() {
-    let photons: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2_000_000);
+    let photons: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2_000_000);
     let separation = 30.0; // mm, inside the paper's 20-60 mm optode range
     let granularity = 50;
     let cfg = AdultHeadConfig::default();
@@ -55,11 +52,7 @@ fn main() {
 
     println!("\n-- detected photons reaching each layer --");
     for (i, layer) in sim.tissue.layers().iter().enumerate() {
-        println!(
-            "{:<14} {:>7.2}%",
-            layer.name,
-            res.detected_reached_layer_fraction(i) * 100.0
-        );
+        println!("{:<14} {:>7.2}%", layer.name, res.detected_reached_layer_fraction(i) * 100.0);
     }
     println!(
         "\nCSF starts at {:.1} mm, white matter at {:.1} mm; \

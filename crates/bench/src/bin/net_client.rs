@@ -18,8 +18,8 @@ fn main() {
     let scenario = arg(2, "white_matter");
     let seed: u64 = arg(3, "42").parse().expect("seed");
 
-    let sim = scenario_by_name(&scenario)
-        .unwrap_or_else(|| panic!("unknown scenario '{scenario}'"));
+    let sim =
+        scenario_by_name(&scenario).unwrap_or_else(|| panic!("unknown scenario '{scenario}'"));
     println!("lumen client connecting to {addr} (scenario={scenario})...");
     match lumen_cluster::run_client(&addr, &sim, seed) {
         Ok(n) => println!("shut down after completing {n} task(s)"),

@@ -22,15 +22,19 @@ fn main() {
     let clients: usize = arg(5, "2").parse().expect("clients");
     let _seed: u64 = arg(6, "42").parse().expect("seed");
 
-    let sim = scenario_by_name(&scenario)
-        .unwrap_or_else(|| panic!("unknown scenario '{scenario}'"));
+    let sim =
+        scenario_by_name(&scenario).unwrap_or_else(|| panic!("unknown scenario '{scenario}'"));
     let listener = TcpListener::bind(&addr).expect("bind server address");
     println!("lumen DataManager on {addr}: scenario={scenario}, photons={photons}, tasks={tasks}; waiting for {clients} client(s)...");
 
-    let report = lumen_cluster::serve(listener, &sim, photons, tasks, clients)
-        .expect("distributed run");
-    println!("done: {} photons over {} clients ({} requeues)",
-        report.result.launched(), report.clients_served, report.requeues);
+    let report =
+        lumen_cluster::serve(listener, &sim, photons, tasks, clients).expect("distributed run");
+    println!(
+        "done: {} photons over {} clients ({} requeues)",
+        report.result.launched(),
+        report.clients_served,
+        report.requeues
+    );
     println!("detected fraction: {:.3e}", report.result.detected_fraction());
     println!("diffuse reflectance: {:.4}", report.result.diffuse_reflectance());
     for (i, w) in report.worker_stats.iter().enumerate() {

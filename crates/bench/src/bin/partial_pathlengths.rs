@@ -12,10 +12,7 @@ use lumen_core::{Detector, ParallelConfig, Simulation, Source};
 use lumen_tissue::presets::{adult_head, AdultHeadConfig};
 
 fn main() {
-    let photons: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400_000);
+    let photons: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400_000);
     let head = adult_head(AdultHeadConfig::default());
 
     println!("== partial pathlengths by layer (adult head, ring detectors) ==");
@@ -25,11 +22,7 @@ fn main() {
         "sep (mm)", "detected", "total", "scalp", "skull", "CSF", "grey", "white"
     );
     for separation in [20.0, 30.0, 40.0] {
-        let sim = Simulation::new(
-            head.clone(),
-            Source::Delta,
-            Detector::ring(separation, 2.0),
-        );
+        let sim = Simulation::new(head.clone(), Source::Delta, Detector::ring(separation, 2.0));
         let res = lumen_core::run_parallel(&sim, photons, ParallelConfig::new(88));
         let ppl = res.mean_partial_pathlengths();
         println!(
@@ -42,7 +35,9 @@ fn main() {
         let total = res.mean_detected_pathlength().max(1e-12);
         println!(
             "{:>10} | {:>9} | {:>10} | {:>9.1}% | {:>9.1}% | {:>9.1}% | {:>9.1}% | {:>9.1}%",
-            "", "", "share:",
+            "",
+            "",
+            "share:",
             ppl[0] / total * 100.0,
             ppl[1] / total * 100.0,
             ppl[2] / total * 100.0,

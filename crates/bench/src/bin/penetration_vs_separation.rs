@@ -11,10 +11,7 @@ use lumen_core::{Detector, ParallelConfig, Simulation, Source};
 use lumen_tissue::presets::{adult_head, AdultHeadConfig};
 
 fn main() {
-    let photons: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(600_000);
+    let photons: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(600_000);
     let cfg = AdultHeadConfig::default();
     let head = adult_head(cfg);
 
@@ -34,11 +31,7 @@ fn main() {
     let mut grey_reach = Vec::new();
     let mut wm_reach = Vec::new();
     for separation in [10.0, 20.0, 30.0, 40.0, 50.0, 60.0] {
-        let sim = Simulation::new(
-            head.clone(),
-            Source::Delta,
-            Detector::ring(separation, 2.0),
-        );
+        let sim = Simulation::new(head.clone(), Source::Delta, Detector::ring(separation, 2.0));
         let res = lumen_core::run_parallel(&sim, photons, ParallelConfig::new(77));
         // p90 of max depth approximated via mean + 1.28 sigma is wrong for
         // skewed data; report max as the optimistic bound instead.

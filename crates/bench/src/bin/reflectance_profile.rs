@@ -3,7 +3,7 @@
 //!
 //! The paper frames Monte Carlo as the numerical solution of the radiative
 //! transport equation; the diffusion approximation is the standard
-//! analytical baseline (the paper's reference [6]). This binary prints
+//! analytical baseline (the paper's reference \[6\]). This binary prints
 //! both R(r) curves side by side: they agree far from the source and
 //! diverge near it — exactly the regime where MC is needed.
 //!
@@ -14,10 +14,7 @@ use lumen_core::{Detector, ParallelConfig, RadialSpec, Simulation, Source};
 use lumen_tissue::presets::semi_infinite_phantom;
 
 fn main() {
-    let photons: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2_000_000);
+    let photons: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2_000_000);
 
     let mu_a = 0.05;
     let mu_s = 20.0;
@@ -40,10 +37,7 @@ fn main() {
     let mc = profile.per_area(res.launched());
 
     let model = DiffusionModel::new(mu_a, mu_s_prime, 1.0);
-    println!(
-        "{:>8} | {:>14} | {:>14} | {:>8}",
-        "r (mm)", "MC R(r)", "diffusion R(r)", "ratio"
-    );
+    println!("{:>8} | {:>14} | {:>14} | {:>8}", "r (mm)", "MC R(r)", "diffusion R(r)", "ratio");
     for (i, &mc_val) in mc.iter().enumerate() {
         let r = spec.r_of(i);
         let theory = model.reflectance(r);

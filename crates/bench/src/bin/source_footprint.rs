@@ -15,10 +15,7 @@ use lumen_bench::{footprint_scenario, run_scenario};
 use lumen_core::Source;
 
 fn main() {
-    let photons: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1_000_000);
+    let photons: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
     let separation = 6.0;
     let granularity = 50;
     let radius = 2.0; // mm footprint for the extended sources
@@ -26,11 +23,7 @@ fn main() {
     println!("== Source footprint comparison (delta vs gaussian vs uniform) ==");
     println!("photons per source: {photons}, separation: {separation} mm, radius: {radius} mm\n");
 
-    let sources = [
-        Source::Delta,
-        Source::Gaussian { radius },
-        Source::Uniform { radius },
-    ];
+    let sources = [Source::Delta, Source::Gaussian { radius }, Source::Uniform { radius }];
 
     println!(
         "{:<10} | {:>9} | {:>12} | {:>12} | {:>12} | {:>12}",

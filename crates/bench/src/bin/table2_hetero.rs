@@ -61,8 +61,7 @@ fn main() {
     let rates = pool.machine_rates();
     let mut offset = 0usize;
     for c in &pool.classes {
-        let photons: u64 =
-            report.machine_photons[offset..offset + c.count].iter().sum();
+        let photons: u64 = report.machine_photons[offset..offset + c.count].iter().sum();
         println!(
             "{:<20} | {:>8} | {:>14} | {:>11.1}%",
             c.cpu,

@@ -90,9 +90,7 @@ mod tests {
     fn scenarios_validate() {
         assert!(fig3_scenario(6.0, 20).validate().is_ok());
         assert!(fig4_scenario(30.0, 20).validate().is_ok());
-        assert!(
-            footprint_scenario(Source::Gaussian { radius: 1.0 }, 6.0, 20).validate().is_ok()
-        );
+        assert!(footprint_scenario(Source::Gaussian { radius: 1.0 }, 6.0, 20).validate().is_ok());
     }
 
     #[test]

@@ -106,8 +106,7 @@ impl Config {
 
     /// Photon budget (required).
     pub fn photons(&self) -> Result<u64, ConfigError> {
-        self.parse_num::<u64>("photons", "positive integer")?
-            .ok_or(ConfigError::Missing("photons"))
+        self.parse_num::<u64>("photons", "positive integer")?.ok_or(ConfigError::Missing("photons"))
     }
 
     /// Experiment seed (default 42).
@@ -150,8 +149,7 @@ impl Config {
             "neonatal_head" => Ok(neonatal_head()),
             "white_matter" => Ok(homogeneous_white_matter()),
             "phantom" => {
-                let nums: Vec<f64> =
-                    parts.filter_map(|p| p.parse().ok()).collect();
+                let nums: Vec<f64> = parts.filter_map(|p| p.parse().ok()).collect();
                 if nums.len() != 4 {
                     return Err(ConfigError::BadValue {
                         key: "tissue".into(),
@@ -203,8 +201,7 @@ impl Config {
             }
         };
         if let Some(gate) = self.get("gate") {
-            let nums: Vec<f64> =
-                gate.split_whitespace().filter_map(|p| p.parse().ok()).collect();
+            let nums: Vec<f64> = gate.split_whitespace().filter_map(|p| p.parse().ok()).collect();
             let window = match nums.as_slice() {
                 [lo, hi] => GateWindow::new(*lo, *hi).map_err(|e| ConfigError::BadValue {
                     key: "gate".into(),
@@ -229,8 +226,7 @@ impl Config {
 
     fn path_grid(&self, detector: &Detector) -> Result<Option<GridSpec>, ConfigError> {
         let Some(spec) = self.get("path_grid") else { return Ok(None) };
-        let nums: Vec<f64> =
-            spec.split_whitespace().filter_map(|p| p.parse().ok()).collect();
+        let nums: Vec<f64> = spec.split_whitespace().filter_map(|p| p.parse().ok()).collect();
         match nums.as_slice() {
             [granularity, depth] if *granularity >= 1.0 => {
                 let margin = detector.separation.max(1.0);
@@ -250,12 +246,9 @@ impl Config {
 
     fn path_histogram(&self) -> Result<Option<(f64, usize)>, ConfigError> {
         let Some(spec) = self.get("path_histogram") else { return Ok(None) };
-        let nums: Vec<f64> =
-            spec.split_whitespace().filter_map(|p| p.parse().ok()).collect();
+        let nums: Vec<f64> = spec.split_whitespace().filter_map(|p| p.parse().ok()).collect();
         match nums.as_slice() {
-            [max_mm, bins] if *max_mm > 0.0 && *bins >= 1.0 => {
-                Ok(Some((*max_mm, *bins as usize)))
-            }
+            [max_mm, bins] if *max_mm > 0.0 && *bins >= 1.0 => Ok(Some((*max_mm, *bins as usize))),
             _ => Err(ConfigError::BadValue {
                 key: "path_histogram".into(),
                 value: spec.into(),
@@ -300,8 +293,8 @@ path_histogram = 500 25
 
     #[test]
     fn minimal_config_with_defaults() {
-        let cfg = Config::parse("tissue = white_matter\ndetector = disc 6 1\nphotons = 10")
-            .unwrap();
+        let cfg =
+            Config::parse("tissue = white_matter\ndetector = disc 6 1\nphotons = 10").unwrap();
         let sim = cfg.build_simulation().unwrap();
         assert!(matches!(sim.source, Source::Delta));
         assert_eq!(cfg.seed().unwrap(), 42);
@@ -338,8 +331,8 @@ path_histogram = 500 25
         assert_eq!(cfg.photons(), Err(ConfigError::Missing("photons")));
         let bad = Config::parse("tissue = jelly\ndetector = disc 6 1\nphotons = 1").unwrap();
         assert!(matches!(bad.build_simulation(), Err(ConfigError::BadValue { .. })));
-        let bad_det = Config::parse("tissue = white_matter\ndetector = disc 6\nphotons = 1")
-            .unwrap();
+        let bad_det =
+            Config::parse("tissue = white_matter\ndetector = disc 6\nphotons = 1").unwrap();
         assert!(bad_det.build_simulation().is_err());
         let bad_gate =
             Config::parse("tissue = white_matter\ndetector = disc 6 1\ngate = 9 1\nphotons = 1")

@@ -67,11 +67,8 @@ fn cmd_run(path: &str) -> i32 {
     };
 
     let started = std::time::Instant::now();
-    let result = lumen_core::run_parallel(
-        &sim,
-        photons,
-        lumen_core::ParallelConfig { seed, tasks },
-    );
+    let result =
+        lumen_core::run_parallel(&sim, photons, lumen_core::ParallelConfig { seed, tasks });
     let elapsed = started.elapsed().as_secs_f64();
     report::print_report(&sim, &result, elapsed);
     0

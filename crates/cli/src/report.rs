@@ -22,7 +22,11 @@ pub fn print_report(sim: &Simulation, result: &SimulationResult, elapsed_s: f64)
     );
 
     println!("outcomes:");
-    println!("  detected        {:>10}  ({:.3e} of launched)", t.detected, result.detected_fraction());
+    println!(
+        "  detected        {:>10}  ({:.3e} of launched)",
+        t.detected,
+        result.detected_fraction()
+    );
     println!("  diffuse refl.   {:>10.4}", result.diffuse_reflectance());
     println!("  specular refl.  {:>10.4}", result.specular_reflectance());
     println!("  transmittance   {:>10.4}", result.transmittance());
@@ -61,7 +65,10 @@ pub fn print_report(sim: &Simulation, result: &SimulationResult, elapsed_s: f64)
     if let Some(grid) = t.path_grid.as_ref() {
         println!(
             "\npath grid: {}x{}x{} voxels, total visit weight {:.3e}",
-            grid.spec.nx, grid.spec.ny, grid.spec.nz, grid.total()
+            grid.spec.nx,
+            grid.spec.ny,
+            grid.spec.nz,
+            grid.total()
         );
     }
     if let Some(hist) = t.path_histogram.as_ref() {

@@ -29,11 +29,7 @@ fn example_config_parses_back() {
     let text = text.replace("photons   = 200000", "photons   = 2000");
     std::fs::write(&cfg_path, text.as_bytes()).unwrap();
     let run = lumen().arg("run").arg(&cfg_path).output().expect("run cfg");
-    assert!(
-        run.status.success(),
-        "stderr: {}",
-        String::from_utf8_lossy(&run.stderr)
-    );
+    assert!(run.status.success(), "stderr: {}", String::from_utf8_lossy(&run.stderr));
     let report = String::from_utf8_lossy(&run.stdout);
     assert!(report.contains("== lumen run =="), "{report}");
     assert!(report.contains("energy accounted"), "{report}");

@@ -288,9 +288,7 @@ impl ClusterSim {
         }
 
         DesReport {
-            makespan_s: server_free.max(
-                machine_free.iter().copied().fold(0.0, f64::max),
-            ),
+            makespan_s: server_free.max(machine_free.iter().copied().fold(0.0, f64::max)),
             sequential_s: job.sequential_seconds(self.pool.fastest_mflops()),
             tasks: job.n_tasks(),
             machine_busy_s: busy,

@@ -60,16 +60,9 @@ pub struct DistributedReport {
 /// scheduling order, or injected failures (a re-executed task re-runs the
 /// identical photons, exactly as the original platform re-assigns a lost
 /// simulation).
-pub fn run_distributed(
-    sim: &Simulation,
-    n: u64,
-    config: DistributedConfig,
-) -> DistributedReport {
+pub fn run_distributed(sim: &Simulation, n: u64, config: DistributedConfig) -> DistributedReport {
     assert!(config.workers > 0, "need at least one worker");
-    assert!(
-        (0.0..1.0).contains(&config.failure_rate),
-        "failure rate must be in [0, 1)"
-    );
+    assert!((0.0..1.0).contains(&config.failure_rate), "failure rate must be in [0, 1)");
     sim.validate().expect("invalid simulation configuration");
 
     let started = Instant::now();
@@ -116,8 +109,8 @@ pub fn run_distributed(
                                     tally: Box::new(tally),
                                 });
                             }
-                            let _ = to_server
-                                .send(ClientMessage::RequestTask { worker: worker_id });
+                            let _ =
+                                to_server.send(ClientMessage::RequestTask { worker: worker_id });
                         }
                     }
                 }
@@ -196,11 +189,8 @@ mod tests {
         let n = 8_000;
         let cfg = DistributedConfig { seed: 5, tasks: 16, workers: 4, failure_rate: 0.0 };
         let dist = run_distributed(&s, n, cfg);
-        let rayon = lumen_core::run_parallel(
-            &s,
-            n,
-            lumen_core::ParallelConfig { seed: 5, tasks: 16 },
-        );
+        let rayon =
+            lumen_core::run_parallel(&s, n, lumen_core::ParallelConfig { seed: 5, tasks: 16 });
         assert_eq!(dist.result.tally, rayon.tally);
     }
 

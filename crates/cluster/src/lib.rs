@@ -1,7 +1,7 @@
 //! # lumen-cluster — the distributed execution platform
 //!
 //! The reproduced paper runs its Monte Carlo on a general-purpose Java
-//! master/worker platform (Keane et al., the paper's reference [2]): a
+//! master/worker platform (Keane et al., the paper's reference \[2\]): a
 //! `DataManager` on a server assigns photon batches to client PCs and
 //! merges the returned results; clients are non-dedicated machines whose
 //! available compute varies stochastically.
@@ -23,7 +23,7 @@
 //!
 //! Schedulers are pluggable ([`scheduler`]): demand-driven self-scheduling
 //! (what the original platform does), static pre-partitioning, and a
-//! genetic-algorithm scheduler in the spirit of the paper's reference [4].
+//! genetic-algorithm scheduler in the spirit of the paper's reference \[4\].
 //! For multi-machine deployments, [`wire`] provides the binary message
 //! format (the role Java serialization played in the original).
 

@@ -78,9 +78,27 @@ impl MachinePool {
 pub fn table2_pool() -> MachinePool {
     MachinePool {
         classes: vec![
-            MachineClass { count: 91, mflops: 29.5, ram_mb: 256, os: "Linux".into(), cpu: "P3 600MHz".into() },
-            MachineClass { count: 50, mflops: 209.5, ram_mb: 512, os: "Linux".into(), cpu: "P4 2.4GHz".into() },
-            MachineClass { count: 4, mflops: 15.0, ram_mb: 192, os: "Linux".into(), cpu: "P2 266MHz".into() },
+            MachineClass {
+                count: 91,
+                mflops: 29.5,
+                ram_mb: 256,
+                os: "Linux".into(),
+                cpu: "P3 600MHz".into(),
+            },
+            MachineClass {
+                count: 50,
+                mflops: 209.5,
+                ram_mb: 512,
+                os: "Linux".into(),
+                cpu: "P4 2.4GHz".into(),
+            },
+            MachineClass {
+                count: 4,
+                mflops: 15.0,
+                ram_mb: 192,
+                os: "Linux".into(),
+                cpu: "P2 266MHz".into(),
+            },
             MachineClass {
                 count: 1,
                 mflops: 154.0,
@@ -88,10 +106,34 @@ pub fn table2_pool() -> MachinePool {
                 os: "Windows XP".into(),
                 cpu: "P4 Centrino 1.4GHz".into(),
             },
-            MachineClass { count: 1, mflops: 25.0, ram_mb: 512, os: "Linux".into(), cpu: "P3 500MHz".into() },
-            MachineClass { count: 1, mflops: 37.0, ram_mb: 256, os: "Linux".into(), cpu: "P3 1GHz".into() },
-            MachineClass { count: 1, mflops: 72.0, ram_mb: 256, os: "Linux".into(), cpu: "P4 1.7GHz".into() },
-            MachineClass { count: 1, mflops: 91.0, ram_mb: 1024, os: "FreeBSD".into(), cpu: "AMD 2400+XP".into() },
+            MachineClass {
+                count: 1,
+                mflops: 25.0,
+                ram_mb: 512,
+                os: "Linux".into(),
+                cpu: "P3 500MHz".into(),
+            },
+            MachineClass {
+                count: 1,
+                mflops: 37.0,
+                ram_mb: 256,
+                os: "Linux".into(),
+                cpu: "P3 1GHz".into(),
+            },
+            MachineClass {
+                count: 1,
+                mflops: 72.0,
+                ram_mb: 256,
+                os: "Linux".into(),
+                cpu: "P4 1.7GHz".into(),
+            },
+            MachineClass {
+                count: 1,
+                mflops: 91.0,
+                ram_mb: 1024,
+                os: "FreeBSD".into(),
+                cpu: "AMD 2400+XP".into(),
+            },
         ],
     }
 }

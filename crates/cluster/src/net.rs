@@ -156,7 +156,11 @@ pub fn serve(
                             match reply_rx.recv().unwrap_or(None) {
                                 Some(task) => {
                                     lease = Some(task);
-                                    write_frame(&mut stream, KIND_ASSIGN, &wire::encode_task(&task))?;
+                                    write_frame(
+                                        &mut stream,
+                                        KIND_ASSIGN,
+                                        &wire::encode_task(&task),
+                                    )?;
                                 }
                                 None => {
                                     write_frame(&mut stream, KIND_SHUTDOWN, &[])?;
@@ -167,8 +171,7 @@ pub fn serve(
                         KIND_COMPLETE => {
                             let task = lease.take().ok_or(NetError::BadKind(kind))?;
                             let tally = wire::decode_tally(&payload)?;
-                            tx.send(Event::Complete { worker, task, tally: Box::new(tally) })
-                                .ok();
+                            tx.send(Event::Complete { worker, task, tally: Box::new(tally) }).ok();
                         }
                         other => return Err(NetError::BadKind(other)),
                     }
@@ -309,8 +312,7 @@ mod tests {
         let completed: u64 = clients.into_iter().map(|c| c.join().expect("join")).sum();
 
         assert_eq!(completed, tasks);
-        let rayon_res =
-            lumen_core::run_parallel(&s, n, ParallelConfig { seed, tasks });
+        let rayon_res = lumen_core::run_parallel(&s, n, ParallelConfig { seed, tasks });
         assert_eq!(report.result.tally, rayon_res.tally);
     }
 
@@ -319,11 +321,8 @@ mod tests {
         use lumen_core::tally::GridSpec;
         use lumen_core::Vec3;
         let mut s = sim();
-        s.options.path_grid = Some(GridSpec::cubic(
-            10,
-            Vec3::new(-2.0, -2.0, 0.0),
-            Vec3::new(2.0, 2.0, 4.0),
-        ));
+        s.options.path_grid =
+            Some(GridSpec::cubic(10, Vec3::new(-2.0, -2.0, 0.0), Vec3::new(2.0, 2.0, 4.0)));
         s.options.path_histogram = Some((200.0, 16));
         let n = 3_000;
         let seed = 9;

@@ -3,7 +3,7 @@
 //! The original platform uses demand-driven *self-scheduling*: an idle
 //! client asks for work, so fast machines naturally take more batches and
 //! slow machines never become the bottleneck. The paper cites Page &
-//! Naughton's genetic-algorithm scheduler (reference [4]) for the
+//! Naughton's genetic-algorithm scheduler (reference \[4\]) for the
 //! heterogeneous case; we implement a faithful small GA over static
 //! task→machine assignments so the two approaches can be compared
 //! (experiment A1 in DESIGN.md).
@@ -97,7 +97,7 @@ fn rate_proportional_plan(n_tasks: usize, rates: &[f64]) -> Vec<usize> {
     plan
 }
 
-/// Genetic-algorithm scheduler after Page & Naughton (paper ref. [4]):
+/// Genetic-algorithm scheduler after Page & Naughton (paper ref. \[4\]):
 /// evolves static task→machine assignments to minimise predicted makespan.
 #[derive(Debug, Clone, Copy)]
 pub struct GaScheduler {
@@ -148,8 +148,7 @@ impl Scheduler for GaScheduler {
             population
                 .push((0..n_tasks).map(|_| rng.next_below(n_machines as u64) as usize).collect());
         }
-        let mut scores: Vec<f64> =
-            population.iter().map(|p| Self::fitness(p, rates)).collect();
+        let mut scores: Vec<f64> = population.iter().map(|p| Self::fitness(p, rates)).collect();
 
         for _ in 0..self.generations {
             let mut next: Vec<Vec<usize>> = Vec::with_capacity(self.population);
@@ -258,10 +257,7 @@ mod tests {
         };
         let ga_ms = GaScheduler::fitness(&ga_plan, &rates);
         let rr_ms = GaScheduler::fitness(&rr_plan, &rates);
-        assert!(
-            ga_ms < rr_ms * 0.5,
-            "GA should halve round-robin's makespan: {ga_ms} vs {rr_ms}"
-        );
+        assert!(ga_ms < rr_ms * 0.5, "GA should halve round-robin's makespan: {ga_ms} vs {rr_ms}");
     }
 
     #[test]

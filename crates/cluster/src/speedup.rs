@@ -41,9 +41,8 @@ pub fn speedup_curve(
     seed: u64,
 ) -> Vec<SpeedupPoint> {
     assert!(!ks.is_empty(), "need at least one pool size");
-    let p1 = ClusterSim { pool: homogeneous_pool(1), network, availability, seed }
-        .run(job)
-        .makespan_s;
+    let p1 =
+        ClusterSim { pool: homogeneous_pool(1), network, availability, seed }.run(job).makespan_s;
     ks.iter()
         .map(|&k| {
             assert!(k >= 1, "pool sizes must be >= 1");

@@ -528,10 +528,7 @@ mod tests {
     fn truncated_message_is_rejected() {
         let bytes = encode_task(&SimTask { task_id: 1, photons: 2 });
         for cut in 5..bytes.len() {
-            assert!(
-                decode_task(&bytes[..cut]).is_err(),
-                "cut at {cut} should fail"
-            );
+            assert!(decode_task(&bytes[..cut]).is_err(), "cut at {cut} should fail");
         }
     }
 

@@ -131,7 +131,10 @@ impl Detector {
     /// Validate geometry.
     pub fn validate(&self) -> Result<(), String> {
         if !(self.separation >= 0.0 && self.separation.is_finite()) {
-            return Err(format!("detector separation must be finite >= 0, got {}", self.separation));
+            return Err(format!(
+                "detector separation must be finite >= 0, got {}",
+                self.separation
+            ));
         }
         if !(self.radius > 0.0 && self.radius.is_finite()) {
             return Err(format!("detector radius must be finite > 0, got {}", self.radius));
@@ -230,6 +233,7 @@ mod tests {
         assert!(d.accepts_angle(1.0)); // normal exit
         assert!(d.accepts_angle(0.90));
         assert!(!d.accepts_angle(0.80)); // outside the cone
+
         // No NA accepts grazing exits.
         assert!(Detector::new(10.0, 1.0).accepts_angle(0.01));
         // NA >= n accepts everything.

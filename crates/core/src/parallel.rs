@@ -44,10 +44,7 @@ pub fn batch_sizes(total: u64, tasks: u64) -> Vec<u64> {
     let tasks = tasks.max(1);
     let base = total / tasks;
     let extra = total % tasks;
-    (0..tasks)
-        .map(|i| base + u64::from(i < extra))
-        .filter(|&n| n > 0)
-        .collect()
+    (0..tasks).map(|i| base + u64::from(i < extra)).filter(|&n| n > 0).collect()
 }
 
 /// Run `n` photons through `sim` in parallel on the global rayon pool.

@@ -174,9 +174,7 @@ impl CylinderGrid {
 
     /// Depth profile: total weight per z row.
     pub fn depth_profile(&self) -> Vec<f64> {
-        (0..self.nz)
-            .map(|iz| (0..self.radial.nr).map(|ir| self.at(ir, iz)).sum())
-            .collect()
+        (0..self.nz).map(|iz| (0..self.radial.nr).map(|ir| self.at(ir, iz)).sum()).collect()
     }
 
     /// Merge a worker grid.

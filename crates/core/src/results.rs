@@ -38,10 +38,7 @@ impl SimulationResult {
     /// Total diffuse reflectance per launched photon (excludes specular,
     /// includes detected photons — they also exit the top surface).
     pub fn diffuse_reflectance(&self) -> f64 {
-        ratio(
-            self.tally.reflected_weight + self.tally.detected_weight,
-            self.tally.launched as f64,
-        )
+        ratio(self.tally.reflected_weight + self.tally.detected_weight, self.tally.launched as f64)
     }
 
     /// Specular reflectance per launched photon.
@@ -56,11 +53,7 @@ impl SimulationResult {
 
     /// Absorbed fraction per layer, per launched photon.
     pub fn absorbed_fraction_by_layer(&self) -> Vec<f64> {
-        self.tally
-            .absorbed_by_layer
-            .iter()
-            .map(|&w| ratio(w, self.tally.launched as f64))
-            .collect()
+        self.tally.absorbed_by_layer.iter().map(|&w| ratio(w, self.tally.launched as f64)).collect()
     }
 
     /// Total absorbed fraction.

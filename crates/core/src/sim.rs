@@ -22,9 +22,9 @@
 //! so counts remain one-per-photon.
 
 use crate::detector::Detector;
+use crate::radial::RadialSpec;
 use crate::results::SimulationResult;
 use crate::source::Source;
-use crate::radial::RadialSpec;
 use crate::tally::{GridSpec, Tally};
 use lumen_photon::{
     fresnel::{interact_with_boundary, BoundaryOutcome},
@@ -172,11 +172,8 @@ impl Simulation {
 
     /// A tally shaped for this simulation.
     pub fn new_tally(&self) -> Tally {
-        let mut tally = Tally::new(
-            self.tissue.len(),
-            self.options.path_grid,
-            self.options.absorption_grid,
-        );
+        let mut tally =
+            Tally::new(self.tissue.len(), self.options.path_grid, self.options.absorption_grid);
         if let Some((max_mm, bins)) = self.options.path_histogram {
             tally = tally.with_path_histogram(max_mm, bins);
         }
@@ -354,8 +351,7 @@ impl Simulation {
             for l in 0..=max_layer.min(tally.detected_reached_layer.len() - 1) {
                 tally.detected_reached_layer[l] += 1;
             }
-            for (sum, &partial) in
-                tally.detected_partial_path.iter_mut().zip(&scratch.partial_path)
+            for (sum, &partial) in tally.detected_partial_path.iter_mut().zip(&scratch.partial_path)
             {
                 *sum += partial;
             }
@@ -403,10 +399,10 @@ impl Simulation {
         let exit_cos = (1.0 - sin_t * sin_t).max(0.0).sqrt();
 
         let escape = |photon: &mut Photon,
-                          weight_out: f64,
-                          tally: &mut Tally,
-                          first_detection: &mut Option<(f64, f64)>,
-                          detection_weight_total: &mut f64|
+                      weight_out: f64,
+                      tally: &mut Tally,
+                      first_detection: &mut Option<(f64, f64)>,
+                      detection_weight_total: &mut f64|
          -> bool {
             // Returns true if this escape event counts as a detection.
             if is_top {
@@ -531,8 +527,12 @@ mod tests {
         let t = &res.tally;
         assert_eq!(t.launched, 2000);
         assert_eq!(
-            t.detected + t.reflected + t.transmitted + t.roulette_killed
-                + t.fully_absorbed + t.expired,
+            t.detected
+                + t.reflected
+                + t.transmitted
+                + t.roulette_killed
+                + t.fully_absorbed
+                + t.expired,
             2000
         );
         assert_eq!(t.expired, 0, "no photon should hit the interaction cap");
@@ -620,15 +620,11 @@ mod tests {
     #[test]
     fn path_grid_populates_on_detection() {
         let tissue = homogeneous_white_matter();
-        let spec = GridSpec::cubic(
-            20,
-            Vec3::new(-2.0, -2.0, 0.0),
-            Vec3::new(4.0, 2.0, 4.0),
-        );
+        let spec = GridSpec::cubic(20, Vec3::new(-2.0, -2.0, 0.0), Vec3::new(4.0, 2.0, 4.0));
         let mut opts = SimulationOptions::default();
         opts.path_grid = Some(spec);
-        let sim = Simulation::new(tissue, Source::Delta, Detector::new(2.0, 1.0))
-            .with_options(opts);
+        let sim =
+            Simulation::new(tissue, Source::Delta, Detector::new(2.0, 1.0)).with_options(opts);
         let res = sim.run(20_000, 21);
         let grid = res.tally.path_grid.as_ref().unwrap();
         assert!(res.tally.detected > 0);
@@ -640,8 +636,8 @@ mod tests {
         let tissue = homogeneous_white_matter();
         let mut opts = SimulationOptions::default();
         opts.record_paths = 5;
-        let sim = Simulation::new(tissue, Source::Delta, Detector::new(2.0, 1.0))
-            .with_options(opts);
+        let sim =
+            Simulation::new(tissue, Source::Delta, Detector::new(2.0, 1.0)).with_options(opts);
         let res = sim.run(50_000, 31);
         assert!(!res.sample_paths.is_empty());
         assert!(res.sample_paths.len() <= 5);
@@ -722,9 +718,6 @@ mod tests {
         let b = Simulation::new(mismatched, Source::Delta, det).run(20_000, 4);
         let abs_a = a.tally.total_absorbed() / 20_000.0;
         let abs_b = b.tally.total_absorbed() / 20_000.0;
-        assert!(
-            abs_b > abs_a,
-            "index mismatch should trap more light: {abs_b} <= {abs_a}"
-        );
+        assert!(abs_b > abs_a, "index mismatch should trap more light: {abs_b} <= {abs_a}");
     }
 }

@@ -293,7 +293,11 @@ pub struct Tally {
 impl Tally {
     /// Empty tally for a model with `n_layers` layers; grids are attached
     /// according to the simulation options.
-    pub fn new(n_layers: usize, path_grid: Option<GridSpec>, absorption_grid: Option<GridSpec>) -> Self {
+    pub fn new(
+        n_layers: usize,
+        path_grid: Option<GridSpec>,
+        absorption_grid: Option<GridSpec>,
+    ) -> Self {
         Self {
             launched: 0,
             detected: 0,

@@ -46,10 +46,7 @@ impl Xoshiro256PlusPlus {
     #[inline]
     fn step(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -60,19 +57,11 @@ impl Xoshiro256PlusPlus {
         result
     }
 
-    const JUMP: [u64; 4] = [
-        0x180ec6d33cfd0aba,
-        0xd5a61266f0c9392c,
-        0xa9582618e03fc9aa,
-        0x39abdc4529b1661c,
-    ];
+    const JUMP: [u64; 4] =
+        [0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c];
 
-    const LONG_JUMP: [u64; 4] = [
-        0x76e15d3efefdcbbf,
-        0xc5004e441c522fb3,
-        0x77710069854ee241,
-        0x39109bb02acbe635,
-    ];
+    const LONG_JUMP: [u64; 4] =
+        [0x76e15d3efefdcbbf, 0xc5004e441c522fb3, 0x77710069854ee241, 0x39109bb02acbe635];
 
     fn apply_jump(&mut self, poly: &[u64; 4]) {
         let mut acc = [0u64; 4];

@@ -1,7 +1,7 @@
 //! # lumen-photon — single-photon transport physics
 //!
 //! This crate implements the per-photon physics of the variance-reduced
-//! Monte Carlo method of Prahl et al. (the paper's reference [5]), the same
+//! Monte Carlo method of Prahl et al. (the paper's reference \[5\]), the same
 //! formulation used by MCML and by the reproduced paper's `Algorithm` class:
 //!
 //! * **hop** — sample an exponential free path and advance the photon,
@@ -9,12 +9,12 @@
 //! * **drop** — deposit a fraction `μa/μt` of the photon weight in the
 //!   medium ([`Photon::absorb`]);
 //! * **spin** — scatter into a new direction drawn from the
-//!   Henyey–Greenstein phase function ([`spin`]);
+//!   Henyey–Greenstein phase function ([`spin()`](fn@spin));
 //! * **boundary** — Fresnel reflection/refraction at refractive-index
 //!   mismatches, in both the paper's "classical physics" and
 //!   "probabilistic" modes ([`fresnel`]);
 //! * **roulette** — unbiased termination of low-weight photons
-//!   ([`roulette`]).
+//!   ([`roulette()`](fn@roulette)).
 //!
 //! Everything here is geometry-free except for the planar-boundary helpers;
 //! the layered-medium bookkeeping lives in `lumen-tissue` and the simulation

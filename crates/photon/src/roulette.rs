@@ -92,10 +92,7 @@ mod tests {
             }
         }
         let mean = total / n as f64;
-        assert!(
-            (mean - w0).abs() < 0.02 * w0,
-            "expected weight {w0}, measured {mean}"
-        );
+        assert!((mean - w0).abs() < 0.02 * w0, "expected weight {w0}, measured {mean}");
         let survival = survivors as f64 / n as f64;
         assert!((survival - cfg.survival).abs() < 0.01);
     }

@@ -22,11 +22,7 @@ pub fn spin<R: McRng>(photon: &mut Photon, g: f64, rng: &mut R) {
     let d = photon.dir;
     let new_dir = if d.z.abs() > NEARLY_VERTICAL {
         // Travelling (anti)parallel to z: rotate about x/y directly.
-        crate::vec3::Vec3::new(
-            sin_t * cos_p,
-            sin_t * sin_p,
-            cos_t * d.z.signum(),
-        )
+        crate::vec3::Vec3::new(sin_t * cos_p, sin_t * sin_p, cos_t * d.z.signum())
     } else {
         let denom = (1.0 - d.z * d.z).sqrt();
         crate::vec3::Vec3::new(

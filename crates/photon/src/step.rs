@@ -134,9 +134,6 @@ mod tests {
         }
         let mean = total / n as f64;
         let expect = 1.0 / mu_t;
-        assert!(
-            (mean - expect).abs() < 0.02 * expect,
-            "mean {mean} vs expected {expect}"
-        );
+        assert!((mean - expect).abs() < 0.02 * expect, "mean {mean} vs expected {expect}");
     }
 }

@@ -23,7 +23,12 @@ pub struct Layer {
 impl Layer {
     /// Construct a layer; `thickness` may be `f64::INFINITY` for the final
     /// semi-infinite slab.
-    pub fn new(name: impl Into<String>, z_top: f64, thickness: f64, optics: OpticalProperties) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        z_top: f64,
+        thickness: f64,
+        optics: OpticalProperties,
+    ) -> Self {
         assert!(z_top >= 0.0 && z_top.is_finite(), "layer top must be finite, >= 0");
         assert!(thickness > 0.0, "layer thickness must be positive");
         Self { name: name.into(), z_top, z_bottom: z_top + thickness, optics }

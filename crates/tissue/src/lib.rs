@@ -10,7 +10,7 @@
 //!   engine's hop/boundary logic;
 //! * [`presets`] — the paper's models: the Table 1 adult head, the
 //!   homogeneous white-matter medium of Fig 3, and a neonatal variant after
-//!   Fukui et al. (the paper's reference [1]).
+//!   Fukui et al. (the paper's reference \[1\]).
 
 pub mod layer;
 pub mod model;

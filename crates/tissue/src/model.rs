@@ -176,11 +176,7 @@ impl LayeredTissue {
 
     /// Total one-way optical depth of the finite part of the stack.
     pub fn cumulative_optical_depth(&self) -> f64 {
-        self.layers
-            .iter()
-            .filter(|l| !l.is_semi_infinite())
-            .map(|l| l.optical_thickness())
-            .sum()
+        self.layers.iter().filter(|l| !l.is_semi_infinite()).map(|l| l.optical_thickness()).sum()
     }
 }
 

@@ -116,7 +116,7 @@ pub fn homogeneous_white_matter() -> LayeredTissue {
 }
 
 /// A neonatal head variant after Fukui, Ajichi & Okada (the paper's
-/// reference [1]): substantially thinner superficial layers, which is why
+/// reference \[1\]): substantially thinner superficial layers, which is why
 /// neonatal NIRS probes deeper brain tissue than adult probes do.
 pub fn neonatal_head() -> LayeredTissue {
     LayeredTissue::stack(

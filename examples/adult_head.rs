@@ -37,11 +37,7 @@ fn main() {
     for separation in [20.0, 30.0, 40.0, 50.0, 60.0] {
         // Annular detector: same physics as a disc by symmetry, ~30x the
         // statistical efficiency at these separations.
-        let sim = Simulation::new(
-            head.clone(),
-            Source::Delta,
-            Detector::ring(separation, 2.0),
-        );
+        let sim = Simulation::new(head.clone(), Source::Delta, Detector::ring(separation, 2.0));
         let res = lumen::core::run_parallel(&sim, 400_000, ParallelConfig::new(11));
         println!(
             "{:>10.0} | {:>9} | {:>9.0} mm | {:>12.2} | {:>11.1} mm | {:>11.2}%",

@@ -22,12 +22,9 @@ fn main() {
     options.path_grid = Some(spec);
     options.record_paths = 3;
 
-    let sim = Simulation::new(
-        homogeneous_white_matter(),
-        Source::Delta,
-        Detector::new(separation, 1.0),
-    )
-    .with_options(options);
+    let sim =
+        Simulation::new(homogeneous_white_matter(), Source::Delta, Detector::new(separation, 1.0))
+            .with_options(options);
 
     let result = lumen::core::run_parallel(&sim, 1_000_000, ParallelConfig::new(7));
     println!(

@@ -34,11 +34,7 @@ fn main() {
     // --- real master/worker engine on this machine ---
     let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     println!("\nreal master/worker engine ({workers} worker threads, demand-driven):");
-    let sim = Simulation::new(
-        homogeneous_white_matter(),
-        Source::Delta,
-        Detector::new(6.0, 1.0),
-    );
+    let sim = Simulation::new(homogeneous_white_matter(), Source::Delta, Detector::new(6.0, 1.0));
     let report = run_distributed(
         &sim,
         200_000,

@@ -17,11 +17,8 @@ fn main() {
     let photons = 600_000;
 
     // Ungated reference.
-    let open = Simulation::new(
-        homogeneous_white_matter(),
-        Source::Delta,
-        Detector::new(separation, 1.0),
-    );
+    let open =
+        Simulation::new(homogeneous_white_matter(), Source::Delta, Detector::new(separation, 1.0));
     let reference = lumen::core::run_parallel(&open, photons, ParallelConfig::new(13));
     println!(
         "ungated: {} detected, pathlengths {:.1} ± {:.1} mm",

@@ -26,11 +26,8 @@ fn main() {
     let job = JobSpec::paper_job();
 
     println!("\npolicy comparison for the 10^9-photon job:");
-    let policies: Vec<Box<dyn Scheduler>> = vec![
-        Box::new(SelfScheduling),
-        Box::new(StaticChunking),
-        Box::new(GaScheduler::default()),
-    ];
+    let policies: Vec<Box<dyn Scheduler>> =
+        vec![Box::new(SelfScheduling), Box::new(StaticChunking), Box::new(GaScheduler::default())];
     for policy in &policies {
         let report = sim.run_with(&job, policy.as_ref());
         println!(

@@ -1,7 +1,7 @@
 //! Adult vs neonatal head models — the paper's Sect. 2 motivates Monte
 //! Carlo by "the effect of the superficial tissue thickness, which differs
 //! between adult and neonates" (after Fukui, Ajichi & Okada, the paper's
-//! reference [1]). The neonate's thin scalp/skull lets the same optode
+//! reference \[1\]). The neonate's thin scalp/skull lets the same optode
 //! spacing probe much deeper brain tissue.
 //!
 //! Run: `cargo run --release --example neonatal_comparison`
@@ -19,10 +19,9 @@ fn main() {
         "model", "detected", "mean path", "mean depth", "reach grey", "reach WM"
     );
 
-    for (label, tissue) in [
-        ("adult", adult_head(AdultHeadConfig::default())),
-        ("neonatal", neonatal_head()),
-    ] {
+    for (label, tissue) in
+        [("adult", adult_head(AdultHeadConfig::default())), ("neonatal", neonatal_head())]
+    {
         let superficial = tissue.layers()[0].thickness() + tissue.layers()[1].thickness();
         let sim = Simulation::new(tissue, Source::Delta, Detector::ring(separation, 2.0));
         let res = lumen::core::run_parallel(&sim, photons, ParallelConfig::new(19));

@@ -14,11 +14,8 @@ use lumen::tissue::presets::homogeneous_white_matter;
 
 fn main() {
     let separation = 6.0;
-    let spec = GridSpec::cubic(
-        50,
-        Vec3::new(-4.0, -4.0, 0.0),
-        Vec3::new(separation + 4.0, 4.0, 9.0),
-    );
+    let spec =
+        GridSpec::cubic(50, Vec3::new(-4.0, -4.0, 0.0), Vec3::new(separation + 4.0, 4.0, 9.0));
 
     println!(
         "{:<22} | {:>10} | {:>14} | {:>12}",
@@ -35,12 +32,9 @@ fn main() {
         // The injected beam is measured on the absorption grid of ALL
         // photons; detected-only paths are biased toward the detector.
         options.absorption_grid = Some(spec);
-        let sim = Simulation::new(
-            homogeneous_white_matter(),
-            source,
-            Detector::new(separation, 1.0),
-        )
-        .with_options(options);
+        let sim =
+            Simulation::new(homogeneous_white_matter(), source, Detector::new(separation, 1.0))
+                .with_options(options);
         let res = lumen::core::run_parallel(&sim, 400_000, ParallelConfig::new(5));
         let proj = Projection2D::from_grid(res.tally.absorption_grid.as_ref().unwrap());
         let label = match source {

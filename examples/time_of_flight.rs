@@ -11,11 +11,8 @@ use lumen::tissue::presets::homogeneous_white_matter;
 
 fn main() {
     let separation = 6.0;
-    let mut sim = Simulation::new(
-        homogeneous_white_matter(),
-        Source::Delta,
-        Detector::new(separation, 1.0),
-    );
+    let mut sim =
+        Simulation::new(homogeneous_white_matter(), Source::Delta, Detector::new(separation, 1.0));
     sim.options.path_histogram = Some((600.0, 30));
 
     let res = lumen::core::run_parallel(&sim, 1_500_000, ParallelConfig::new(23));
@@ -35,13 +32,7 @@ fn main() {
     for (i, &count) in hist.counts.iter().enumerate() {
         let l = hist.bin_centre(i);
         let bar = "#".repeat((count * 40 / max_count) as usize);
-        println!(
-            "{:>10.0} | {:>10.0} | {:>7} | {}",
-            l,
-            pathlength_to_time_ps(l, n),
-            count,
-            bar
-        );
+        println!("{:>10.0} | {:>10.0} | {:>7} | {}", l, pathlength_to_time_ps(l, n), count, bar);
     }
     if hist.overflow > 0 {
         println!("{:>10} | {:>10} | {:>7} |", ">600", "late", hist.overflow);

@@ -1,0 +1,198 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the `lumen-bench` benches use —
+//! `criterion_group!`/`criterion_main!`, [`Criterion::benchmark_group`],
+//! `bench_function`/`bench_with_input`, [`Throughput`], [`BenchmarkId`]
+//! and `Bencher::iter` — as a small wall-clock harness: each benchmark
+//! is warmed up, then timed over `sample_size` samples, and the
+//! per-iteration mean/min plus optional throughput are printed to
+//! stdout. No statistics beyond that, no HTML reports, no comparison to
+//! previous runs; swap in the real criterion via the workspace manifest
+//! when those are needed.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work like the real crate.
+pub use std::hint::black_box;
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for a function/parameter pair.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup { _parent: self, name, sample_size: 20, throughput: None }
+    }
+
+    /// Benchmark `f` outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.benchmark_group("criterion").bench_function(id, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare per-iteration throughput, reported as elem/s or B/s.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark `f`.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher);
+        bencher.report(&self.name, &id.to_string(), self.throughput);
+        self
+    }
+
+    /// Benchmark `f` against one `input` value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.to_string(), self.throughput);
+        self
+    }
+
+    /// Close the group (cosmetic in the shim).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Times a closure, collecting one duration per sample.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, auto-scaling iterations-per-sample so a sample
+    /// lasts ≳1 ms (or is a single call if the routine is slower).
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up and calibration: time a single call.
+        let start = Instant::now();
+        black_box(routine());
+        let single = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(1).as_nanos() / single.as_nanos()).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("  {group}/{id}: no samples (b.iter never called)");
+            return;
+        }
+        let mean = self.samples.iter().sum::<Duration>().as_secs_f64() / self.samples.len() as f64;
+        let min = self.samples.iter().min().expect("non-empty").as_secs_f64();
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  ({:.3e} elem/s)", n as f64 / mean)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  ({:.3e} B/s)", n as f64 / mean)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "  {group}/{id}: mean {:.3} µs, min {:.3} µs over {} samples{rate}",
+            mean * 1e6,
+            min * 1e6,
+            self.samples.len()
+        );
+    }
+}
+
+/// Bundle benchmark functions into a group runner, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups, like criterion's.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

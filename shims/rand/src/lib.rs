@@ -1,0 +1,19 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds without network access, so instead of the
+//! crates.io `rand` it ships this shim exposing the one item the code
+//! depends on: the [`RngCore`] trait, signature-compatible with
+//! `rand` 0.8 (minus the `Error` plumbing of `try_fill_bytes`).
+//! `mcrng`'s generators implement it so they can interoperate with the
+//! wider `rand` ecosystem when the real crate is substituted in
+//! `[workspace.dependencies]`.
+
+/// A random number generator core, API-compatible with `rand::RngCore`.
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}

@@ -1,0 +1,265 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the slice of rayon's API the engine uses — `par_iter()`
+//! followed by `enumerate`/`map`/`collect`, plus `ThreadPoolBuilder` and
+//! `ThreadPool::install` — with genuine data parallelism on
+//! `std::thread::scope`. Work is split into one contiguous index chunk
+//! per thread and results are reassembled in order, so `collect`ed
+//! output is identical to a sequential run (which the engine's
+//! determinism tests rely on).
+//!
+//! This is not work-stealing: per-item cost imbalance is smoothed only
+//! by over-splitting (the engine already over-splits its photon budget
+//! into many more tasks than threads). Substituting the real rayon is a
+//! one-line change in the workspace manifest.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+    pub use crate::{IndexedParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn current_num_threads() -> usize {
+    INSTALLED_THREADS
+        .with(|n| n.get())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1))
+}
+
+/// Error from [`ThreadPoolBuilder::build`]; the shim never fails.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error (unreachable in shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the number of worker threads.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Finish the build (infallible in the shim).
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = self.num_threads.filter(|&n| n > 0).unwrap_or_else(current_num_threads);
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A scoped thread-count context mirroring `rayon::ThreadPool`.
+///
+/// The shim has no persistent workers; `install` merely pins the thread
+/// count that `collect` will use for parallel work executed inside it.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count in effect.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        INSTALLED_THREADS.with(|cell| {
+            let prev = cell.replace(Some(self.num_threads));
+            let out = f();
+            cell.set(prev);
+            out
+        })
+    }
+
+    /// The configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// `.par_iter()` entry point, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The borrowed item type.
+    type Item: Sync + 'data;
+    /// Borrowing parallel iterator over the collection.
+    fn par_iter(&'data self) -> SliceParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> SliceParIter<'data, T> {
+        SliceParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> SliceParIter<'data, T> {
+        SliceParIter { items: self }
+    }
+}
+
+/// Core abstraction of the shim: an indexable source of independent
+/// per-index work items. `collect` fans indices out across threads.
+pub trait ParallelIterator: Sized + Sync {
+    /// Item produced for one index.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the iterator is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produce the item at `index` (called at most once per index).
+    fn item_at(&self, index: usize) -> Self::Item;
+
+    /// Pair every item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Apply `f` to every item.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Execute the pipeline across threads and gather results in index
+    /// order. `C` is in practice `Vec<Self::Item>` (via the reflexive
+    /// `From` impl), matching how the engine calls rayon's `collect`.
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        let n = self.len();
+        let threads = current_num_threads().clamp(1, n.max(1));
+        if threads <= 1 || n <= 1 {
+            return (0..n).map(|i| self.item_at(i)).collect::<Vec<_>>().into();
+        }
+        // One contiguous chunk per thread, reassembled in order.
+        let chunk = n.div_ceil(threads);
+        let mut out: Vec<Self::Item> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let this = &self;
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    scope.spawn(move || (lo..hi).map(|i| this.item_at(i)).collect::<Vec<_>>())
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        out.into()
+    }
+}
+
+/// Marker trait for exact-length iterators (all shim iterators are).
+pub trait IndexedParallelIterator: ParallelIterator {}
+impl<T: ParallelIterator> IndexedParallelIterator for T {}
+
+/// Borrowing parallel iterator over a slice.
+pub struct SliceParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for SliceParIter<'data, T> {
+    type Item = &'data T;
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+    fn item_at(&self, index: usize) -> &'data T {
+        &self.items[index]
+    }
+}
+
+/// Adapter produced by [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn item_at(&self, index: usize) -> (usize, I::Item) {
+        (index, self.base.item_at(index))
+    }
+}
+
+/// Adapter produced by [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn item_at(&self, index: usize) -> R {
+        (self.f)(self.base.item_at(index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_indices_match() {
+        let xs = vec![10u32, 20, 30, 40, 50];
+        let pairs: Vec<(usize, u32)> = xs.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(pairs, vec![(0, 10), (1, 20), (2, 30), (3, 40), (4, 50)]);
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            let xs: Vec<u64> = (0..100).collect();
+            let sum: Vec<u64> = xs.par_iter().map(|&x| x + 1).collect();
+            // sum(0..100) = 4950, plus 1 for each of the 100 items.
+            assert_eq!(sum.iter().sum::<u64>(), 4950 + 100);
+        });
+    }
+}

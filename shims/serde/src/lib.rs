@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes `Serialize`/`Deserialize` as both marker traits and no-op
+//! derive macros, which is exactly the surface this workspace touches:
+//! the domain types carry `#[derive(Serialize, Deserialize)]` so that
+//! builds against the real serde produce wire formats, but no code here
+//! calls serialization methods at runtime. See `shims/serde_derive` and
+//! the workspace manifest for how the real crate is substituted.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker counterpart of `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

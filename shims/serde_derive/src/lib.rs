@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Nothing in this workspace serializes at runtime — the derives on the
+//! domain types exist so downstream users of the real `serde` get wire
+//! formats for free. In the offline build the derive macros therefore
+//! expand to nothing: the types still compile with their
+//! `#[derive(Serialize, Deserialize)]` attributes intact, and swapping
+//! in the real serde (see the workspace manifest) turns them back into
+//! full implementations with no source change.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

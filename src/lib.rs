@@ -1,4 +1,48 @@
-//! Lumen facade crate: re-exports the full public API.
+//! # lumen — layered-tissue Monte Carlo photon transport on a master/worker cluster
+//!
+//! This facade crate re-exports the full public API of the workspace.
+//! The two pillars (after the reproduced paper) are:
+//!
+//! * a variance-reduced Monte Carlo **photon-transport engine** for
+//!   layered tissue — [`mcrng`] (deterministic splittable RNG streams),
+//!   [`photon`] (hop/drop/spin/boundary/roulette physics), [`tissue`]
+//!   (layered geometry and head-model presets), [`core`] (the simulation
+//!   loop, tallies, and the shared-memory parallel driver), and
+//!   [`analysis`] (figures, profiles, statistics); and
+//! * a **non-dedicated master/worker platform** — [`cluster`] — that runs
+//!   the same physics through a real threaded executor, over TCP, or under
+//!   a discrete-event simulator that regenerates the paper's speedup
+//!   curves for machine pools you don't own.
+//!
+//! ## Quickstart
+//!
+//! Simulate near-infrared photons through a semi-infinite phantom and read
+//! off reflectance, deterministically for a fixed seed:
+//!
+//! ```rust
+//! use lumen::core::{run_parallel, Detector, ParallelConfig, Simulation, Source};
+//! use lumen::tissue::presets::semi_infinite_phantom;
+//!
+//! // mu_a = 0.1/mm, mu_s = 10/mm, isotropic scattering, matched index.
+//! let tissue = semi_infinite_phantom(0.1, 10.0, 0.0, 1.0);
+//! let sim = Simulation::new(tissue, Source::Delta, Detector::new(2.0, 0.5));
+//!
+//! let config = ParallelConfig { seed: 42, tasks: 8 };
+//! let result = run_parallel(&sim, 5_000, config);
+//!
+//! assert_eq!(result.launched(), 5_000);
+//! // Same (seed, tasks) => bit-identical tallies, on any thread count.
+//! assert_eq!(run_parallel(&sim, 5_000, config).tally, result.tally);
+//! // Something must come back out of a scattering half-space.
+//! assert!(result.diffuse_reflectance() > 0.0);
+//! ```
+//!
+//! The same experiment distributed over the threaded master/worker engine
+//! (failure injection and all) is
+//! [`cluster::executor::run_distributed`]; `examples/` in the repository
+//! walks through every paper scenario, starting with
+//! `cargo run --release --example quickstart`.
+
 pub use lumen_analysis as analysis;
 pub use lumen_cluster as cluster;
 pub use lumen_core as core;

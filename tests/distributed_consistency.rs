@@ -25,11 +25,8 @@ fn three_execution_paths_agree_exactly() {
     let seed = 77;
 
     let rayon_res = lumen::core::run_parallel(&s, n, ParallelConfig { seed, tasks });
-    let dist = run_distributed(
-        &s,
-        n,
-        DistributedConfig { seed, tasks, workers: 3, failure_rate: 0.0 },
-    );
+    let dist =
+        run_distributed(&s, n, DistributedConfig { seed, tasks, workers: 3, failure_rate: 0.0 });
     assert_eq!(rayon_res.tally, dist.result.tally, "rayon vs master/worker");
 
     // Sequential equals a single-task parallel run.
@@ -43,13 +40,9 @@ fn worker_count_does_not_change_results() {
     let s = sim();
     let n = 5_000;
     let mk = |workers| {
-        run_distributed(
-            &s,
-            n,
-            DistributedConfig { seed: 9, tasks: 10, workers, failure_rate: 0.0 },
-        )
-        .result
-        .tally
+        run_distributed(&s, n, DistributedConfig { seed: 9, tasks: 10, workers, failure_rate: 0.0 })
+            .result
+            .tally
     };
     let one = mk(1);
     let four = mk(4);
@@ -114,11 +107,7 @@ fn des_reproduces_table2_two_hour_runtime() {
 #[test]
 fn executor_handles_white_matter_workload() {
     // End-to-end: real physics + real protocol + failures.
-    let s = Simulation::new(
-        homogeneous_white_matter(),
-        Source::Delta,
-        Detector::new(5.0, 1.0),
-    );
+    let s = Simulation::new(homogeneous_white_matter(), Source::Delta, Detector::new(5.0, 1.0));
     let report = run_distributed(
         &s,
         20_000,

@@ -14,24 +14,12 @@ fn arbitrary_phantom() -> impl Strategy<Value = LayeredTissue> {
 }
 
 fn arbitrary_two_layer() -> impl Strategy<Value = LayeredTissue> {
-    (
-        0.01f64..1.0,
-        1.0f64..30.0,
-        0.0f64..0.95,
-        1.0f64..1.6,
-        0.5f64..5.0,
-        0.01f64..1.0,
-        1.0f64..30.0,
-    )
+    (0.01f64..1.0, 1.0f64..30.0, 0.0f64..0.95, 1.0f64..1.6, 0.5f64..5.0, 0.01f64..1.0, 1.0f64..30.0)
         .prop_map(|(a1, s1, g, n, thick, a2, s2)| {
             LayeredTissue::stack(
                 vec![
                     ("top".into(), thick, OpticalProperties::new(a1, s1, g, n)),
-                    (
-                        "bottom".into(),
-                        f64::INFINITY,
-                        OpticalProperties::new(a2, s2, g, n),
-                    ),
+                    ("bottom".into(), f64::INFINITY, OpticalProperties::new(a2, s2, g, n)),
                 ],
                 1.0,
             )

@@ -1,0 +1,55 @@
+//! Smoke test of the `lumen` facade: every re-export resolves, and a tiny
+//! end-to-end simulation runs deterministically through each execution
+//! path (sequential, rayon-parallel, threaded master/worker).
+
+use lumen::core::{run_parallel, Detector, ParallelConfig, Simulation, Source};
+use lumen::tissue::presets::semi_infinite_phantom;
+
+/// One place that names something from every re-exported crate, so a
+/// facade regression is a compile error here.
+#[test]
+fn facade_reexports_resolve() {
+    let _rng: lumen::mcrng::Xoshiro256PlusPlus = lumen::mcrng::StreamFactory::new(1).stream(0);
+    let _v = lumen::photon::Vec3::new(0.0, 0.0, 1.0);
+    let _props = lumen::photon::OpticalProperties::new(0.1, 10.0, 0.9, 1.4);
+    let _tissue: lumen::tissue::LayeredTissue = semi_infinite_phantom(0.1, 10.0, 0.0, 1.0);
+    let _cfg: lumen::core::ParallelConfig = ParallelConfig::new(7);
+    let _hist = lumen::analysis::Histogram::new(0.0, 1.0, 10);
+    let _dcfg = lumen::cluster::executor::DistributedConfig::new(7, 2);
+}
+
+fn tiny_sim() -> Simulation {
+    Simulation::new(
+        semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
+        Source::Delta,
+        Detector::new(2.0, 0.5),
+    )
+}
+
+#[test]
+fn fixed_seed_is_deterministic() {
+    let sim = tiny_sim();
+    let a = sim.run(2_000, 42);
+    let b = sim.run(2_000, 42);
+    assert_eq!(a.tally, b.tally);
+    assert_eq!(a.launched(), 2_000);
+    assert!(a.diffuse_reflectance() > 0.0, "scattering half-space must reflect");
+}
+
+#[test]
+fn execution_paths_agree_bit_for_bit() {
+    let sim = tiny_sim();
+    let n = 4_000;
+    let par = run_parallel(&sim, n, ParallelConfig { seed: 11, tasks: 8 });
+    let dist = lumen::cluster::executor::run_distributed(
+        &sim,
+        n,
+        lumen::cluster::executor::DistributedConfig {
+            seed: 11,
+            tasks: 8,
+            workers: 3,
+            failure_rate: 0.0,
+        },
+    );
+    assert_eq!(par.tally, dist.result.tally);
+}

@@ -25,17 +25,10 @@ fn with_absorption_grid(sim: Simulation, spec: GridSpec) -> Simulation {
 #[test]
 fn fig3_banana_emerges_in_white_matter() {
     let separation = 6.0;
-    let spec = GridSpec::cubic(
-        50,
-        Vec3::new(-3.0, -3.0, 0.0),
-        Vec3::new(separation + 3.0, 3.0, 9.0),
-    );
+    let spec =
+        GridSpec::cubic(50, Vec3::new(-3.0, -3.0, 0.0), Vec3::new(separation + 3.0, 3.0, 9.0));
     let sim = with_grid(
-        Simulation::new(
-            homogeneous_white_matter(),
-            Source::Delta,
-            Detector::new(separation, 1.0),
-        ),
+        Simulation::new(homogeneous_white_matter(), Source::Delta, Detector::new(separation, 1.0)),
         spec,
     );
     let res = lumen::core::run_parallel(&sim, 600_000, ParallelConfig { seed: 3, tasks: 32 });
@@ -64,8 +57,7 @@ fn fig4_head_model_layer_behaviour() {
 
     // All detected photons traverse the scalp; monotonically fewer reach
     // each deeper layer.
-    let fractions: Vec<f64> =
-        (0..5).map(|i| res.detected_reached_layer_fraction(i)).collect();
+    let fractions: Vec<f64> = (0..5).map(|i| res.detected_reached_layer_fraction(i)).collect();
     assert!((fractions[0] - 1.0).abs() < 1e-9);
     for w in fractions.windows(2) {
         assert!(w[0] >= w[1], "layer reach must be monotone: {fractions:?}");
@@ -96,20 +88,12 @@ fn source_footprint_shapes_surface_distribution() {
     // The paper: footprint affects the distribution; the laser stays a
     // narrow beam. The injected beam is visible in the absorption grid of
     // *all* photons (detected-only paths are biased toward the detector).
-    let spec = GridSpec::cubic(
-        40,
-        Vec3::new(-5.0, -5.0, 0.0),
-        Vec3::new(5.0, 5.0, 10.0),
-    );
+    let spec = GridSpec::cubic(40, Vec3::new(-5.0, -5.0, 0.0), Vec3::new(5.0, 5.0, 10.0));
     let widths: Vec<f64> = [Source::Delta, Source::Uniform { radius: 3.0 }]
         .into_iter()
         .map(|source| {
             let sim = with_absorption_grid(
-                Simulation::new(
-                    homogeneous_white_matter(),
-                    source,
-                    Detector::new(6.0, 1.0),
-                ),
+                Simulation::new(homogeneous_white_matter(), source, Detector::new(6.0, 1.0)),
                 spec,
             );
             let res =
@@ -131,11 +115,7 @@ fn gating_selects_path_lengths() {
     use lumen::core::GateWindow;
     // Calibrate the gate around the ungated mean pathlength so both
     // windows are populated regardless of the medium's DPF.
-    let open = Simulation::new(
-        homogeneous_white_matter(),
-        Source::Delta,
-        Detector::new(5.0, 1.0),
-    );
+    let open = Simulation::new(homogeneous_white_matter(), Source::Delta, Detector::new(5.0, 1.0));
     let ref_run = lumen::core::run_parallel(&open, 200_000, ParallelConfig { seed: 70, tasks: 32 });
     assert!(ref_run.tally.detected > 50, "reference run needs detections");
     let mean = ref_run.mean_detected_pathlength();
@@ -150,7 +130,8 @@ fn gating_selects_path_lengths() {
         Source::Delta,
         Detector::new(5.0, 1.0).with_gate(GateWindow::new(mean, mean * 20.0).unwrap()),
     );
-    let early = lumen::core::run_parallel(&sim_early, 400_000, ParallelConfig { seed: 7, tasks: 32 });
+    let early =
+        lumen::core::run_parallel(&sim_early, 400_000, ParallelConfig { seed: 7, tasks: 32 });
     let late = lumen::core::run_parallel(&sim_late, 400_000, ParallelConfig { seed: 7, tasks: 32 });
     if early.tally.detected > 20 && late.tally.detected > 20 {
         assert!(

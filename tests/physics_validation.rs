@@ -21,10 +21,7 @@ fn energy_conservation_across_media() {
         let sim = Simulation::new(tissue, Source::Delta, Detector::new(5.0, 1.0));
         let res = run(&sim, 30_000, 1);
         let frac = res.tally.accounted_weight_fraction();
-        assert!(
-            (frac - 1.0).abs() < 0.02,
-            "{label}: accounted weight fraction {frac}"
-        );
+        assert!((frac - 1.0).abs() < 0.02, "{label}: accounted weight fraction {frac}");
     }
 }
 
@@ -43,10 +40,9 @@ fn higher_albedo_means_more_reflectance() {
     let bright = semi_infinite_phantom(0.01, 10.0, 0.0, 1.0);
     let dark = semi_infinite_phantom(1.0, 10.0, 0.0, 1.0);
     let det = Detector::new(2.0, 0.5);
-    let r_bright = run(&Simulation::new(bright, Source::Delta, det), 30_000, 3)
-        .diffuse_reflectance();
-    let r_dark =
-        run(&Simulation::new(dark, Source::Delta, det), 30_000, 3).diffuse_reflectance();
+    let r_bright =
+        run(&Simulation::new(bright, Source::Delta, det), 30_000, 3).diffuse_reflectance();
+    let r_dark = run(&Simulation::new(dark, Source::Delta, det), 30_000, 3).diffuse_reflectance();
     assert!(
         r_bright > 2.0 * r_dark,
         "low absorption should reflect much more: {r_bright} vs {r_dark}"
@@ -75,11 +71,7 @@ fn detected_pathlength_exceeds_separation_substantially() {
     // "The highly scattering nature of biological tissue means that photons
     // travel a considerably greater distance than the direct source-
     // detector path."
-    let sim = Simulation::new(
-        homogeneous_white_matter(),
-        Source::Delta,
-        Detector::new(6.0, 1.0),
-    );
+    let sim = Simulation::new(homogeneous_white_matter(), Source::Delta, Detector::new(6.0, 1.0));
     let res = run(&sim, 300_000, 5);
     assert!(res.tally.detected > 50, "need detections for statistics");
     let dpf = res.differential_pathlength_factor(6.0);
@@ -120,10 +112,7 @@ fn most_photons_reflect_before_csf() {
     let by_layer = res.absorbed_fraction_by_layer();
     let superficial = by_layer[0] + by_layer[1];
     let deep = by_layer[3] + by_layer[4];
-    assert!(
-        superficial > deep,
-        "superficial {superficial} vs deep {deep}"
-    );
+    assert!(superficial > deep, "superficial {superficial} vs deep {deep}");
     // But some white-matter absorption exists — light does reach it.
     assert!(by_layer[4] > 0.0);
 }
@@ -131,11 +120,8 @@ fn most_photons_reflect_before_csf() {
 #[test]
 fn larger_separation_means_longer_paths() {
     let mk = |sep: f64| {
-        let sim = Simulation::new(
-            homogeneous_white_matter(),
-            Source::Delta,
-            Detector::new(sep, 1.0),
-        );
+        let sim =
+            Simulation::new(homogeneous_white_matter(), Source::Delta, Detector::new(sep, 1.0));
         run(&sim, 400_000, 8)
     };
     let near = mk(3.0);
@@ -308,19 +294,12 @@ fn partial_pathlengths_sum_to_total_pathlength() {
     assert!(res.tally.detected > 30);
     let partial_sum: f64 = res.tally.detected_partial_path.iter().sum();
     let total = res.tally.detected_path_sum;
-    assert!(
-        (partial_sum - total).abs() < 1e-6 * total,
-        "partials {partial_sum} vs total {total}"
-    );
+    assert!((partial_sum - total).abs() < 1e-6 * total, "partials {partial_sum} vs total {total}");
 }
 
 #[test]
 fn homogeneous_medium_has_all_path_in_layer_zero() {
-    let sim = Simulation::new(
-        homogeneous_white_matter(),
-        Source::Delta,
-        Detector::new(3.0, 1.0),
-    );
+    let sim = Simulation::new(homogeneous_white_matter(), Source::Delta, Detector::new(3.0, 1.0));
     let res = run(&sim, 100_000, 41);
     assert!(res.tally.detected > 20);
     assert!(
@@ -342,10 +321,6 @@ fn superficial_layers_dominate_partial_pathlength() {
     let res = run(&sim, 200_000, 42);
     assert!(res.tally.detected > 50);
     let ppl = res.mean_partial_pathlengths();
-    assert!(
-        ppl[0] + ppl[1] > ppl[3] + ppl[4],
-        "superficial {:?} should dominate deep layers",
-        ppl
-    );
+    assert!(ppl[0] + ppl[1] > ppl[3] + ppl[4], "superficial {:?} should dominate deep layers", ppl);
     assert!(ppl[4] < ppl[3], "white matter sees less path than grey: {ppl:?}");
 }
