@@ -89,7 +89,7 @@ mod tests {
         let nz = rows.len();
         let mut values = Vec::with_capacity(nx * nz);
         for &r in rows {
-            values.extend(std::iter::repeat(r).take(nx));
+            values.extend(std::iter::repeat_n(r, nx));
         }
         Projection2D { nx, nz, x_min: 0.0, x_max: nx as f64, z_min: 0.0, z_max: nz as f64, values }
     }

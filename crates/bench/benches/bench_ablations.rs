@@ -5,7 +5,8 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use lumen_bench::fig3_scenario;
 use lumen_cluster::scheduler::RateProportional;
 use lumen_cluster::{GaScheduler, Scheduler, StaticChunking};
-use lumen_core::{BoundaryMode, ParallelConfig};
+use lumen_core::engine::{Backend, Rayon, Scenario};
+use lumen_core::BoundaryMode;
 use std::hint::black_box;
 
 fn bench_boundary_modes(c: &mut Criterion) {
@@ -18,14 +19,9 @@ fn bench_boundary_modes(c: &mut Criterion) {
     {
         let mut sim = fig3_scenario(6.0, 20);
         sim.options.boundary_mode = mode;
+        let scenario = Scenario::from_simulation(&sim, photons, 9).with_tasks(32);
         group.bench_function(label, |b| {
-            b.iter(|| {
-                lumen_core::run_parallel(
-                    black_box(&sim),
-                    photons,
-                    ParallelConfig { seed: 9, tasks: 32 },
-                )
-            })
+            b.iter(|| Rayon::default().run(black_box(&scenario)).expect("valid scenario"))
         });
     }
     group.finish();

@@ -5,12 +5,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lumen_bench::fig3_scenario;
 use lumen_cluster::{speedup_curve, AvailabilityModel, JobSpec, NetworkModel};
-use lumen_core::ParallelConfig;
+use lumen_core::engine::{Backend, Rayon, Scenario};
 use std::hint::black_box;
 
 fn bench_thread_scaling(c: &mut Criterion) {
     let sim = fig3_scenario(6.0, 20);
     let photons: u64 = 20_000;
+    let scenario = Scenario::from_simulation(&sim, photons, 7).with_tasks(64);
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
 
     let mut group = c.benchmark_group("fig2_thread_scaling");
@@ -19,15 +20,10 @@ fn bench_thread_scaling(c: &mut Criterion) {
     let mut k = 1;
     while k <= cores {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            // Build the pool once; the backend then runs on it via install.
             let pool = rayon::ThreadPoolBuilder::new().num_threads(k).build().unwrap();
             b.iter(|| {
-                pool.install(|| {
-                    lumen_core::run_parallel(
-                        black_box(&sim),
-                        photons,
-                        ParallelConfig { seed: 7, tasks: 64 },
-                    )
-                })
+                pool.install(|| Rayon::default().run(black_box(&scenario)).expect("valid scenario"))
             });
         });
         k *= 2;

@@ -6,7 +6,8 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use lumen_analysis::{banana_metrics, threshold_fraction, Projection2D};
 use lumen_bench::{fig3_scenario, run_scenario};
-use lumen_core::{ParallelConfig, Simulation};
+use lumen_core::engine::{Backend, Rayon, Scenario};
+use lumen_core::Simulation;
 use std::hint::black_box;
 
 fn bench_transport(c: &mut Criterion) {
@@ -15,27 +16,16 @@ fn bench_transport(c: &mut Criterion) {
     group.throughput(Throughput::Elements(photons));
     group.sample_size(10);
 
-    let with_grid = fig3_scenario(6.0, 50);
+    let with_grid = Scenario::from_simulation(&fig3_scenario(6.0, 50), photons, 1).with_tasks(32);
     group.bench_function("with_50cubed_grid", |b| {
-        b.iter(|| {
-            lumen_core::run_parallel(
-                black_box(&with_grid),
-                photons,
-                ParallelConfig { seed: 1, tasks: 32 },
-            )
-        })
+        b.iter(|| Rayon::default().run(black_box(&with_grid)).expect("valid scenario"))
     });
 
-    let mut without_grid: Simulation = fig3_scenario(6.0, 50);
-    without_grid.options.path_grid = None;
+    let mut plain: Simulation = fig3_scenario(6.0, 50);
+    plain.options.path_grid = None;
+    let without_grid = Scenario::from_simulation(&plain, photons, 1).with_tasks(32);
     group.bench_function("without_grid", |b| {
-        b.iter(|| {
-            lumen_core::run_parallel(
-                black_box(&without_grid),
-                photons,
-                ParallelConfig { seed: 1, tasks: 32 },
-            )
-        })
+        b.iter(|| Rayon::default().run(black_box(&without_grid)).expect("valid scenario"))
     });
     group.finish();
 }

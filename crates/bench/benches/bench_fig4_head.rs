@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use lumen_bench::{fig3_scenario, fig4_scenario};
-use lumen_core::ParallelConfig;
+use lumen_core::engine::{Backend, Rayon, Scenario};
 use std::hint::black_box;
 
 fn bench_head_model(c: &mut Criterion) {
@@ -13,26 +13,15 @@ fn bench_head_model(c: &mut Criterion) {
     group.throughput(Throughput::Elements(photons));
     group.sample_size(10);
 
-    let head = fig4_scenario(30.0, 50);
+    let head = Scenario::from_simulation(&fig4_scenario(30.0, 50), photons, 2).with_tasks(32);
     group.bench_function("five_layer_head", |b| {
-        b.iter(|| {
-            lumen_core::run_parallel(
-                black_box(&head),
-                photons,
-                ParallelConfig { seed: 2, tasks: 32 },
-            )
-        })
+        b.iter(|| Rayon::default().run(black_box(&head)).expect("valid scenario"))
     });
 
-    let homogeneous = fig3_scenario(30.0, 50);
+    let homogeneous =
+        Scenario::from_simulation(&fig3_scenario(30.0, 50), photons, 2).with_tasks(32);
     group.bench_function("homogeneous_baseline", |b| {
-        b.iter(|| {
-            lumen_core::run_parallel(
-                black_box(&homogeneous),
-                photons,
-                ParallelConfig { seed: 2, tasks: 32 },
-            )
-        })
+        b.iter(|| Rayon::default().run(black_box(&homogeneous)).expect("valid scenario"))
     });
     group.finish();
 }

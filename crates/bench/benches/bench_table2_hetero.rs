@@ -4,9 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lumen_cluster::{
-    run_distributed, AvailabilityModel, ClusterSim, DistributedConfig, JobSpec, NetworkModel,
+    AvailabilityModel, ClusterSim, FailurePlan, JobSpec, NetworkModel, ThreadedCluster,
 };
-use lumen_core::{Detector, Simulation, Source};
+use lumen_core::engine::{Backend, Scenario};
+use lumen_core::{Detector, Source};
 use lumen_tissue::presets::semi_infinite_phantom;
 use std::hint::black_box;
 
@@ -22,30 +23,23 @@ fn bench_des_table2(c: &mut Criterion) {
 }
 
 fn bench_threaded_executor(c: &mut Criterion) {
-    let sim = Simulation::new(
+    let scenario = Scenario::new(
         semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
         Source::Delta,
         Detector::new(1.0, 0.5),
-    );
+    )
+    .with_photons(20_000)
+    .with_tasks(16)
+    .with_seed(5);
     let mut group = c.benchmark_group("threaded_executor");
     group.sample_size(10);
     group.bench_function("4workers_16tasks_20k_photons", |b| {
-        b.iter(|| {
-            run_distributed(
-                black_box(&sim),
-                20_000,
-                DistributedConfig { seed: 5, tasks: 16, workers: 4, failure_rate: 0.0 },
-            )
-        })
+        let backend = ThreadedCluster::new(4);
+        b.iter(|| backend.run(black_box(&scenario)).expect("valid scenario"))
     });
     group.bench_function("4workers_with_10pct_failures", |b| {
-        b.iter(|| {
-            run_distributed(
-                black_box(&sim),
-                20_000,
-                DistributedConfig { seed: 5, tasks: 16, workers: 4, failure_rate: 0.1 },
-            )
-        })
+        let backend = ThreadedCluster::new(4).with_failure_plan(FailurePlan::Random { rate: 0.1 });
+        b.iter(|| backend.run(black_box(&scenario)).expect("valid scenario"))
     });
     group.finish();
 }

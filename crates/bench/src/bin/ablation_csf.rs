@@ -10,7 +10,8 @@
 //!
 //! Run: `cargo run --release -p lumen-bench --bin ablation_csf [photons]`
 
-use lumen_core::{Detector, ParallelConfig, Simulation, Source};
+use lumen_bench::run_scenario;
+use lumen_core::{Detector, Simulation, Source};
 use lumen_tissue::presets::{adult_head, grey_matter_optics, AdultHeadConfig};
 use lumen_tissue::{Layer, LayeredTissue};
 
@@ -32,7 +33,7 @@ fn main() {
     let mut depths = Vec::new();
     for (label, tissue) in [("with CSF (paper)", with_csf), ("CSF -> scatterer", without_csf)] {
         let sim = Simulation::new(tissue, Source::Delta, Detector::ring(separation, 2.0));
-        let res = lumen_core::run_parallel(&sim, photons, ParallelConfig::new(33));
+        let res = run_scenario(&sim, photons, 33);
         println!(
             "{:<22} | {:>9} | {:>9.0} mm | {:>9.1} mm | {:>9.2}% | {:>9.2}%",
             label,

@@ -8,8 +8,8 @@
 //!
 //! Run: `cargo run --release -p lumen-bench --bin ablation_fresnel [photons]`
 
-use lumen_bench::fig3_scenario;
-use lumen_core::{run_parallel, BoundaryMode, ParallelConfig};
+use lumen_bench::{fig3_scenario, run_scenario_tasks};
+use lumen_core::BoundaryMode;
 
 fn main() {
     let photons: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(500_000);
@@ -30,11 +30,7 @@ fn main() {
         let mut signals = Vec::with_capacity(replicates);
         let mut last = None;
         for r in 0..replicates {
-            let res = run_parallel(
-                &sim,
-                photons / replicates as u64,
-                ParallelConfig { seed: 100 + r as u64, tasks: 16 },
-            );
+            let res = run_scenario_tasks(&sim, photons / replicates as u64, 100 + r as u64, 16);
             signals.push(res.detected_weight_per_photon());
             last = Some(res);
         }

@@ -9,7 +9,8 @@
 //! Run: `cargo run --release -p lumen-bench --bin convergence_study`
 
 use lumen_analysis::convergence::{batch_means, photons_for_relative_error};
-use lumen_core::{Detector, ParallelConfig, Simulation, Source};
+use lumen_bench::run_scenario_tasks;
+use lumen_core::{Detector, Simulation, Source};
 use lumen_tissue::presets::{adult_head, AdultHeadConfig};
 use mcrng::StreamFactory;
 
@@ -38,10 +39,7 @@ fn main() {
             })
             .collect();
         let est = batch_means(&per_batch).expect("batches >= 2");
-        let detected_total =
-            lumen_core::run_parallel(&sim, photons, ParallelConfig { seed: 99, tasks: batches })
-                .tally
-                .detected;
+        let detected_total = run_scenario_tasks(&sim, photons, 99, batches).tally.detected;
         println!(
             "{:>12} | {:>12} | {:>12.3e} | {:>9.2}%",
             photons,

@@ -15,7 +15,7 @@
 
 use lumen_bench::fig3_scenario;
 use lumen_cluster::{speedup_curve, AvailabilityModel, JobSpec, NetworkModel};
-use lumen_core::ParallelConfig;
+use lumen_core::engine::{Backend, Rayon, Scenario};
 use std::time::Instant;
 
 fn main() {
@@ -50,18 +50,15 @@ fn main() {
     let photons: u64 = 200_000;
     println!("-- real rayon threads on this machine ({cores} cores, {photons} photons) --");
     println!("{:>8} | {:>10} | {:>8} | {:>10}", "threads", "time (s)", "speedup", "efficiency");
+    let scenario = Scenario::from_simulation(&sim, photons, 7).with_tasks((cores as u64) * 8);
     let mut t1 = None;
     let mut k = 1usize;
     while k <= cores {
+        // Build the pool before starting the clock so thread-spawn cost
+        // is not charged to the measurement.
         let pool = rayon::ThreadPoolBuilder::new().num_threads(k).build().expect("thread pool");
         let started = Instant::now();
-        let res = pool.install(|| {
-            lumen_core::run_parallel(
-                &sim,
-                photons,
-                ParallelConfig { seed: 7, tasks: (cores as u64) * 8 },
-            )
-        });
+        let res = pool.install(|| Rayon::default().run(&scenario)).expect("valid scenario");
         let secs = started.elapsed().as_secs_f64();
         assert_eq!(res.launched(), photons);
         let base = *t1.get_or_insert(secs);

@@ -8,7 +8,8 @@
 //!
 //! Run: `cargo run --release -p lumen-bench --bin partial_pathlengths [photons]`
 
-use lumen_core::{Detector, ParallelConfig, Simulation, Source};
+use lumen_bench::run_scenario;
+use lumen_core::{Detector, Simulation, Source};
 use lumen_tissue::presets::{adult_head, AdultHeadConfig};
 
 fn main() {
@@ -23,7 +24,7 @@ fn main() {
     );
     for separation in [20.0, 30.0, 40.0] {
         let sim = Simulation::new(head.clone(), Source::Delta, Detector::ring(separation, 2.0));
-        let res = lumen_core::run_parallel(&sim, photons, ParallelConfig::new(88));
+        let res = run_scenario(&sim, photons, 88);
         let ppl = res.mean_partial_pathlengths();
         println!(
             "{:>10.0} | {:>9} | {:>7.0} mm | {:>7.1} mm | {:>7.1} mm | {:>7.1} mm | {:>7.1} mm | {:>7.1} mm",

@@ -7,7 +7,8 @@
 //!
 //! Run: `cargo run --release -p lumen-bench --bin penetration_vs_separation [photons]`
 
-use lumen_core::{Detector, ParallelConfig, Simulation, Source};
+use lumen_bench::run_scenario;
+use lumen_core::{Detector, Simulation, Source};
 use lumen_tissue::presets::{adult_head, AdultHeadConfig};
 
 fn main() {
@@ -32,7 +33,7 @@ fn main() {
     let mut wm_reach = Vec::new();
     for separation in [10.0, 20.0, 30.0, 40.0, 50.0, 60.0] {
         let sim = Simulation::new(head.clone(), Source::Delta, Detector::ring(separation, 2.0));
-        let res = lumen_core::run_parallel(&sim, photons, ParallelConfig::new(77));
+        let res = run_scenario(&sim, photons, 77);
         // p90 of max depth approximated via mean + 1.28 sigma is wrong for
         // skewed data; report max as the optimistic bound instead.
         println!(

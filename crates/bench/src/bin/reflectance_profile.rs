@@ -10,7 +10,8 @@
 //! Run: `cargo run --release -p lumen-bench --bin reflectance_profile [photons]`
 
 use lumen_analysis::diffusion::{fit_log_slope, DiffusionModel};
-use lumen_core::{Detector, ParallelConfig, RadialSpec, Simulation, Source};
+use lumen_bench::run_scenario;
+use lumen_core::{Detector, RadialSpec, Simulation, Source};
 use lumen_tissue::presets::semi_infinite_phantom;
 
 fn main() {
@@ -32,7 +33,7 @@ fn main() {
     let spec = RadialSpec { nr: 30, r_max: 15.0 };
     sim.options.reflectance_profile = Some(spec);
 
-    let res = lumen_core::run_parallel(&sim, photons, ParallelConfig::new(9));
+    let res = run_scenario(&sim, photons, 9);
     let profile = res.tally.reflectance_r.as_ref().expect("profile attached");
     let mc = profile.per_area(res.launched());
 

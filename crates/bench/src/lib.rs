@@ -5,9 +5,9 @@
 //! benches (`benches/*`). Keeping the scenario definitions here guarantees
 //! the binaries and the benches measure the same configurations.
 
+use lumen_core::engine::{Backend, Rayon, Scenario};
 use lumen_core::{
-    Detector, GridSpec, ParallelConfig, Simulation, SimulationOptions, SimulationResult, Source,
-    Vec3,
+    Detector, GridSpec, Simulation, SimulationOptions, SimulationResult, Source, Vec3,
 };
 use lumen_tissue::presets::{adult_head, homogeneous_white_matter, AdultHeadConfig};
 
@@ -51,9 +51,27 @@ pub fn footprint_scenario(source: Source, separation: f64, granularity: usize) -
     sim
 }
 
-/// Run a scenario with the library's production parallel driver.
+/// Run a simulation with the library's production backend (`engine::Rayon`
+/// over a `Scenario` with the default 64-task split).
 pub fn run_scenario(sim: &Simulation, photons: u64, seed: u64) -> SimulationResult {
-    lumen_core::run_parallel(sim, photons, ParallelConfig::new(seed))
+    Rayon::default()
+        .run(&Scenario::from_simulation(sim, photons, seed))
+        .expect("valid scenario")
+        .result
+}
+
+/// The same run as [`run_scenario`] but with an explicit task count —
+/// what the experiment binaries use when they need the split itself.
+pub fn run_scenario_tasks(
+    sim: &Simulation,
+    photons: u64,
+    seed: u64,
+    tasks: u64,
+) -> SimulationResult {
+    Rayon::default()
+        .run(&Scenario::from_simulation(sim, photons, seed).with_tasks(tasks))
+        .expect("valid scenario")
+        .result
 }
 
 /// Format a separator-joined table row (the binaries print paper-style

@@ -15,13 +15,36 @@
 //! seed      = 42
 //! tasks     = 64
 //! path_grid = 50 40
+//! backend   = rayon
 //! ```
+//!
+//! The file maps 1:1 onto a `lumen_core::engine::Scenario` plus a backend
+//! spec; unknown keys are named errors, not silent no-ops.
 
-use lumen_core::{Detector, GateWindow, GridSpec, Simulation, SimulationOptions, Source, Vec3};
+use lumen_core::{
+    Detector, GateWindow, GridSpec, Scenario, Simulation, SimulationOptions, Source, Vec3,
+};
 use lumen_tissue::presets::{
     adult_head, homogeneous_white_matter, neonatal_head, semi_infinite_phantom, AdultHeadConfig,
 };
 use std::collections::BTreeMap;
+
+/// Every key the format understands; anything else is a named error
+/// rather than a silent no-op (a typo like `photon = 1e6` used to be
+/// ignored and run the default budget).
+pub const KNOWN_KEYS: &[&str] = &[
+    "tissue",
+    "source",
+    "detector",
+    "gate",
+    "na",
+    "path_grid",
+    "path_histogram",
+    "photons",
+    "seed",
+    "tasks",
+    "backend",
+];
 
 /// A parsed configuration file: ordered key → value map.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -36,6 +59,8 @@ pub enum ConfigError {
     BadLine { line_no: usize, text: String },
     /// Same key twice.
     DuplicateKey { line_no: usize, key: String },
+    /// A key the format does not know.
+    UnknownKey { line_no: usize, key: String },
     /// Key required but absent.
     Missing(&'static str),
     /// Value failed to parse.
@@ -50,6 +75,13 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::DuplicateKey { line_no, key } => {
                 write!(f, "line {line_no}: duplicate key `{key}`")
+            }
+            ConfigError::UnknownKey { line_no, key } => {
+                write!(
+                    f,
+                    "line {line_no}: unknown key `{key}` (known keys: {})",
+                    KNOWN_KEYS.join(", ")
+                )
             }
             ConfigError::Missing(key) => write!(f, "missing required key `{key}`"),
             ConfigError::BadValue { key, value, expected } => {
@@ -76,6 +108,9 @@ impl Config {
             };
             let key = key.trim().to_string();
             let value = value.trim().to_string();
+            if !KNOWN_KEYS.contains(&key.as_str()) {
+                return Err(ConfigError::UnknownKey { line_no, key });
+            }
             if entries.contains_key(&key) {
                 return Err(ConfigError::DuplicateKey { line_no, key });
             }
@@ -117,6 +152,18 @@ impl Config {
     /// Task count for the parallel driver (default 64).
     pub fn tasks(&self) -> Result<u64, ConfigError> {
         Ok(self.parse_num::<u64>("tasks", "positive integer")?.unwrap_or(64))
+    }
+
+    /// Backend spec (default `rayon`); resolved by
+    /// `lumen_cluster::backend::from_spec`.
+    pub fn backend(&self) -> &str {
+        self.get("backend").unwrap_or("rayon")
+    }
+
+    /// Build the full [`Scenario`] — the config format maps onto it 1:1.
+    pub fn scenario(&self) -> Result<Scenario, ConfigError> {
+        let sim = self.build_simulation()?;
+        Ok(Scenario::from_simulation(&sim, self.photons()?, self.seed()?).with_tasks(self.tasks()?))
     }
 
     /// Build the full simulation this config describes.
@@ -324,7 +371,7 @@ path_histogram = 500 25
             Err(ConfigError::BadLine { line_no: 1, .. })
         ));
         assert!(matches!(
-            Config::parse("a = 1\na = 2"),
+            Config::parse("seed = 1\nseed = 2"),
             Err(ConfigError::DuplicateKey { line_no: 2, .. })
         ));
         let cfg = Config::parse("tissue = white_matter\ndetector = disc 6 1").unwrap();
@@ -344,5 +391,46 @@ path_histogram = 500 25
     fn bad_numeric_value() {
         let cfg = Config::parse("photons = many").unwrap();
         assert!(matches!(cfg.photons(), Err(ConfigError::BadValue { .. })));
+    }
+
+    #[test]
+    fn unknown_keys_are_named_errors() {
+        // A typo used to be silently ignored; now it names the line.
+        match Config::parse("tissue = white_matter\nphoton = 100\n") {
+            Err(ConfigError::UnknownKey { line_no, key }) => {
+                assert_eq!(line_no, 2);
+                assert_eq!(key, "photon");
+            }
+            other => panic!("expected UnknownKey, got {other:?}"),
+        }
+        let msg = ConfigError::UnknownKey { line_no: 2, key: "photon".into() }.to_string();
+        assert!(msg.contains("known keys"), "{msg}");
+    }
+
+    #[test]
+    fn backend_key_defaults_to_rayon() {
+        let cfg =
+            Config::parse("tissue = white_matter\ndetector = disc 6 1\nphotons = 10").unwrap();
+        assert_eq!(cfg.backend(), "rayon");
+        let cfg = Config::parse(
+            "tissue = white_matter\ndetector = disc 6 1\nphotons = 10\nbackend = cluster 4",
+        )
+        .unwrap();
+        assert_eq!(cfg.backend(), "cluster 4");
+    }
+
+    #[test]
+    fn scenario_maps_one_to_one() {
+        let cfg = Config::parse(FULL).unwrap();
+        let scenario = cfg.scenario().unwrap();
+        assert_eq!(scenario.photons, 1000);
+        assert_eq!(scenario.seed, 7);
+        assert_eq!(scenario.tasks, 8);
+        assert_eq!(scenario.tissue.len(), 5);
+        assert!(scenario.options.path_grid.is_some());
+        assert!(scenario.validate().is_ok());
+        // The scenario and the legacy simulation agree field-for-field.
+        let sim = cfg.build_simulation().unwrap();
+        assert_eq!(scenario.simulation(), sim);
     }
 }

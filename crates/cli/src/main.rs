@@ -51,27 +51,32 @@ fn cmd_run(path: &str) -> i32 {
             return 1;
         }
     };
-    let (sim, photons, seed, tasks) = match (|| {
-        Ok::<_, config::ConfigError>((
-            cfg.build_simulation()?,
-            cfg.photons()?,
-            cfg.seed()?,
-            cfg.tasks()?,
-        ))
-    })() {
-        Ok(v) => v,
+    let scenario = match cfg.scenario() {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("{path}: {e}");
             return 1;
         }
     };
-
-    let started = std::time::Instant::now();
-    let result =
-        lumen_core::run_parallel(&sim, photons, lumen_core::ParallelConfig { seed, tasks });
-    let elapsed = started.elapsed().as_secs_f64();
-    report::print_report(&sim, &result, elapsed);
-    0
+    // One entry point for every execution substrate: the config's
+    // `backend` key picks the `Backend` impl, nothing else changes.
+    let backend = match lumen_cluster::backend::from_spec(cfg.backend()) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return 1;
+        }
+    };
+    match backend.run(&scenario) {
+        Ok(run) => {
+            report::print_report(&scenario, &run);
+            0
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            1
+        }
+    }
 }
 
 fn cmd_presets() -> i32 {
@@ -121,4 +126,9 @@ detector  = ring 30 2
 photons   = 200000
 seed      = 42
 tasks     = 64
+
+# execution backend: sequential | rayon [threads] | cluster [workers] [failure_rate]
+#                  | tcp <addr> [clients] | sim [machines]
+# all real backends give bit-identical tallies for the same (seed, tasks)
+backend   = rayon
 "#;

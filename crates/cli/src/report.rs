@@ -1,25 +1,35 @@
 //! Human-readable report printing for CLI runs.
 
-use lumen_core::{Simulation, SimulationResult};
+use lumen_core::{RunReport, Scenario};
 
 /// Print the standard post-run report to stdout.
-pub fn print_report(sim: &Simulation, result: &SimulationResult, elapsed_s: f64) {
+pub fn print_report(scenario: &Scenario, run: &RunReport) {
+    if run.is_virtual() {
+        print_virtual_report(scenario, run);
+        return;
+    }
+    let result = &run.result;
     let t = &result.tally;
     println!("== lumen run ==");
     println!(
         "tissue: {} layer(s); source: {}; detector at {} mm ({}){}",
-        sim.tissue.len(),
-        sim.source.name(),
-        sim.detector.separation,
-        if sim.detector.ring { "ring" } else { "disc" },
-        if sim.detector.gate.is_open() { "" } else { ", gated" },
+        scenario.tissue.len(),
+        scenario.source.name(),
+        scenario.detector.separation,
+        if scenario.detector.ring { "ring" } else { "disc" },
+        if scenario.detector.gate.is_open() { "" } else { ", gated" },
     );
     println!(
-        "photons: {} in {:.2} s ({:.0} photons/s)\n",
+        "backend: {}; photons: {} in {:.2} s ({:.0} photons/s)",
+        run.backend,
         t.launched,
-        elapsed_s,
-        t.launched as f64 / elapsed_s.max(1e-9)
+        run.wall_seconds,
+        run.photons_per_second()
     );
+    if run.workers.len() > 1 || run.requeues > 0 {
+        println!("workers: {}; requeues after failures: {}", run.workers.len(), run.requeues);
+    }
+    println!();
 
     println!("outcomes:");
     println!(
@@ -47,7 +57,7 @@ pub fn print_report(sim: &Simulation, result: &SimulationResult, elapsed_s: f64)
         );
         println!(
             "  DPF             {:>10.2}",
-            result.differential_pathlength_factor(sim.detector.separation)
+            result.differential_pathlength_factor(scenario.detector.separation)
         );
         println!(
             "  penetration     {:>10.1} mm mean, {:.1} mm max",
@@ -58,7 +68,7 @@ pub fn print_report(sim: &Simulation, result: &SimulationResult, elapsed_s: f64)
     }
 
     println!("\nabsorbed weight per layer (per launched photon):");
-    for (layer, frac) in sim.tissue.layers().iter().zip(result.absorbed_fraction_by_layer()) {
+    for (layer, frac) in scenario.tissue.layers().iter().zip(result.absorbed_fraction_by_layer()) {
         println!("  {:<16} {:.5}", layer.name, frac);
     }
 
@@ -82,5 +92,31 @@ pub fn print_report(sim: &Simulation, result: &SimulationResult, elapsed_s: f64)
     println!(
         "\nenergy accounted: {:.4} (specular + exits + absorbed per photon)",
         t.accounted_weight_fraction()
+    );
+}
+
+/// Report for simulated (DES) backends: no photons were traced; the value
+/// is the predicted timing of the scenario on the modelled machine pool.
+fn print_virtual_report(scenario: &Scenario, run: &RunReport) {
+    let makespan = run.virtual_seconds.unwrap_or(0.0);
+    println!("== lumen run (simulated cluster) ==");
+    println!(
+        "predicted makespan for {} photons on {} simulated machine(s): {:.1} s ({:.2} h)",
+        scenario.photons,
+        run.workers.len(),
+        makespan,
+        makespan / 3600.0
+    );
+    let total: u64 = run.workers.iter().map(|w| w.photons).sum();
+    let busiest = run.workers.iter().map(|w| w.photons).max().unwrap_or(0);
+    println!(
+        "work distribution: {} tasks over the pool; busiest machine simulated {} of {} photons",
+        run.workers.iter().map(|w| w.tasks_completed).sum::<u64>(),
+        busiest,
+        total
+    );
+    println!(
+        "(timing model only — no photon transport was executed; DES ran in {:.3} s)",
+        run.wall_seconds
     );
 }

@@ -66,6 +66,90 @@ fn run_reports_config_errors_with_location() {
 }
 
 #[test]
+fn unknown_key_is_a_named_error() {
+    let dir = std::env::temp_dir().join("lumen_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg_path = dir.join("typo.cfg");
+    std::fs::write(
+        &cfg_path,
+        "tissue = white_matter\ndetector = disc 3 1\nphoton = 100\nphotons = 100\n",
+    )
+    .unwrap();
+    let out = lumen().arg("run").arg(&cfg_path).output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown key `photon`"), "{err}");
+    assert!(err.contains("line 3"), "{err}");
+    std::fs::remove_file(&cfg_path).ok();
+}
+
+#[test]
+fn backends_give_identical_physics_reports() {
+    // The acceptance criterion end-to-end: the same config through
+    // `backend = sequential`, `rayon`, and `cluster` prints identical
+    // physics (only the timing line may differ).
+    let dir = std::env::temp_dir().join("lumen_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = "tissue = white_matter\ndetector = disc 3 1\nphotons = 4000\nseed = 9\ntasks = 8\n";
+    let run_with = |backend: &str| {
+        let cfg_path = dir.join(format!("be_{}.cfg", backend.split_whitespace().next().unwrap()));
+        std::fs::write(&cfg_path, format!("{base}backend = {backend}\n")).unwrap();
+        let out = lumen().arg("run").arg(&cfg_path).output().expect("run");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        std::fs::remove_file(&cfg_path).ok();
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| !l.contains("photons/s") && !l.contains("workers:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    // The timing line (which also names the backend) and worker line are
+    // filtered, so everything left is pure physics and must be identical.
+    let seq = run_with("sequential");
+    let rayon = run_with("rayon");
+    let cluster = run_with("cluster 3");
+    assert!(seq.contains("detected"), "{seq}");
+    assert_eq!(seq, rayon);
+    assert_eq!(seq, cluster);
+}
+
+#[test]
+fn sim_backend_prints_virtual_timing() {
+    let dir = std::env::temp_dir().join("lumen_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg_path = dir.join("sim.cfg");
+    std::fs::write(
+        &cfg_path,
+        "tissue = white_matter\ndetector = disc 3 1\nphotons = 1000000\nbackend = sim 60\n",
+    )
+    .unwrap();
+    let out = lumen().arg("run").arg(&cfg_path).output().expect("run");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("simulated cluster"), "{text}");
+    assert!(text.contains("predicted makespan"), "{text}");
+    assert!(text.contains("60 simulated machine(s)"), "{text}");
+    std::fs::remove_file(&cfg_path).ok();
+}
+
+#[test]
+fn bad_backend_spec_is_rejected() {
+    let dir = std::env::temp_dir().join("lumen_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg_path = dir.join("badbe.cfg");
+    std::fs::write(
+        &cfg_path,
+        "tissue = white_matter\ndetector = disc 3 1\nphotons = 100\nbackend = warp\n",
+    )
+    .unwrap();
+    let out = lumen().arg("run").arg(&cfg_path).output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown backend"), "{err}");
+    std::fs::remove_file(&cfg_path).ok();
+}
+
+#[test]
 fn deterministic_across_invocations() {
     let dir = std::env::temp_dir().join("lumen_cli_test");
     std::fs::create_dir_all(&dir).unwrap();

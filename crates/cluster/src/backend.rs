@@ -1,0 +1,493 @@
+//! The cluster-side [`Backend`] implementations — the registration that
+//! extends `lumen_core::engine`'s backend vocabulary without making
+//! `lumen-core` depend on this crate.
+//!
+//! Three execution substrates join [`Sequential`](lumen_core::Sequential)
+//! and [`Rayon`](lumen_core::Rayon) here:
+//!
+//! * [`ThreadedCluster`] — the real master/worker protocol on OS threads
+//!   (demand-driven scheduling, leases, failure re-queueing), with optional
+//!   fault injection via [`FailurePlan`];
+//! * [`Tcp`] — the paper's actual deployment: the DataManager on a TCP
+//!   listener, serving however many `net::run_client` processes connect;
+//! * [`SimulatedCluster`] — the discrete-event simulator. It models
+//!   *time*, not photons: the returned report carries per-machine
+//!   accounting and a virtual makespan ([`RunReport::virtual_seconds`])
+//!   over an empty tally, so paper-scale pools can be explored instantly.
+//!
+//! All of them honour the scenario's `(seed, tasks)` contract, so the
+//! physics-executing backends return tallies bit-identical to the core
+//! ones. [`from_spec`] resolves the full five-backend vocabulary
+//! (`sequential | rayon | cluster | tcp | sim`), falling back to
+//! `lumen_core::engine::from_spec` for the core names, and [`BackendExt`]
+//! hangs convenience runners off [`Scenario`] itself.
+
+use crate::executor::{run_master_worker, DistributedConfig, DistributedReport};
+use crate::machine::{homogeneous_pool, MachinePool};
+use crate::net::serve_with_progress;
+use crate::protocol::WorkerStats;
+use crate::{AvailabilityModel, ClusterSim, DesReport, JobSpec, NetworkModel};
+use lumen_core::engine::{Backend, EngineError, Progress, RunReport, Scenario, WorkerAccount};
+use lumen_core::SimulationResult;
+use serde::{Deserialize, Serialize};
+use std::net::TcpListener;
+use std::time::Instant;
+
+/// How a [`ThreadedCluster`] injects worker failures (a non-dedicated PC
+/// being reclaimed by its owner mid-task).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum FailurePlan {
+    /// No injected failures.
+    #[default]
+    Reliable,
+    /// Each assigned task is lost with this probability; lost tasks are
+    /// re-queued and retried elsewhere with identical physics.
+    Random {
+        /// Per-task failure probability in `[0, 1)`.
+        rate: f64,
+    },
+}
+
+impl FailurePlan {
+    /// The per-task failure probability this plan encodes.
+    pub fn rate(&self) -> f64 {
+        match *self {
+            FailurePlan::Reliable => 0.0,
+            FailurePlan::Random { rate } => rate,
+        }
+    }
+}
+
+fn account(stats: &[WorkerStats]) -> Vec<WorkerAccount> {
+    stats
+        .iter()
+        .map(|s| WorkerAccount {
+            tasks_completed: s.tasks_completed,
+            tasks_failed: s.tasks_failed,
+            photons: s.photons,
+        })
+        .collect()
+}
+
+/// The real master/worker engine as a backend: OS threads play the client
+/// PCs, channels play the LAN, the DataManager runs the full protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThreadedCluster {
+    /// Number of worker threads ("client PCs"); must be >= 1.
+    pub workers: usize,
+    /// Fault-injection plan.
+    pub failure_plan: FailurePlan,
+}
+
+impl ThreadedCluster {
+    /// A reliable cluster of `workers` threads.
+    pub fn new(workers: usize) -> Self {
+        Self { workers, failure_plan: FailurePlan::Reliable }
+    }
+
+    /// Builder-style fault injection.
+    pub fn with_failure_plan(mut self, plan: FailurePlan) -> Self {
+        self.failure_plan = plan;
+        self
+    }
+}
+
+impl Backend for ThreadedCluster {
+    fn name(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn run_with_progress(
+        &self,
+        scenario: &Scenario,
+        progress: &dyn Progress,
+    ) -> Result<RunReport, EngineError> {
+        scenario.validate()?;
+        let config = DistributedConfig {
+            seed: scenario.seed,
+            tasks: scenario.tasks,
+            workers: self.workers,
+            failure_rate: self.failure_plan.rate(),
+        };
+        let sim = scenario.simulation();
+        let DistributedReport { result, worker_stats, requeues, wall_seconds } =
+            run_master_worker(&sim, scenario.photons, config, progress)?;
+        Ok(RunReport {
+            result,
+            workers: account(&worker_stats),
+            requeues,
+            wall_seconds,
+            virtual_seconds: None,
+            backend: self.name().to_string(),
+        })
+    }
+}
+
+/// The paper's deployment: the DataManager bound to a TCP address, serving
+/// `clients` connecting `net::run_client` processes. Clients must be
+/// started separately with the same scenario definition and seed (the
+/// out-of-band experiment contract; `wire::encode_scenario` ships it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tcp {
+    /// Address to bind, e.g. `"127.0.0.1:7878"`.
+    pub addr: String,
+    /// Number of client connections to accept before starting.
+    pub clients: usize,
+}
+
+impl Tcp {
+    /// A server for `addr` expecting one client.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self { addr: addr.into(), clients: 1 }
+    }
+
+    /// Builder-style expected-client count.
+    pub fn with_clients(mut self, clients: usize) -> Self {
+        self.clients = clients;
+        self
+    }
+}
+
+impl Backend for Tcp {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn run_with_progress(
+        &self,
+        scenario: &Scenario,
+        progress: &dyn Progress,
+    ) -> Result<RunReport, EngineError> {
+        scenario.validate()?;
+        if self.clients == 0 {
+            return Err(EngineError::InvalidConfig("tcp backend needs at least one client".into()));
+        }
+        let started = Instant::now();
+        let listener = TcpListener::bind(&self.addr)
+            .map_err(|e| EngineError::backend(self.name(), format!("bind {}: {e}", self.addr)))?;
+        let sim = scenario.simulation();
+        let report = serve_with_progress(
+            listener,
+            &sim,
+            scenario.photons,
+            scenario.tasks,
+            self.clients,
+            progress,
+        )
+        .map_err(|e| EngineError::backend(self.name(), e.to_string()))?;
+        Ok(RunReport {
+            result: report.result,
+            workers: account(&report.worker_stats),
+            requeues: report.requeues,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            virtual_seconds: None,
+            backend: self.name().to_string(),
+        })
+    }
+}
+
+/// The discrete-event simulator as a backend: predicts how long the
+/// scenario's photon budget would take on an arbitrary machine pool,
+/// without executing any photon transport.
+///
+/// The returned report is *virtual*: its tally is empty,
+/// [`RunReport::virtual_seconds`] carries the simulated makespan, and the
+/// per-worker accounts describe the simulated machines. Use it to answer
+/// "how long would 10⁹ photons take on the Table 2 pool?" in milliseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulatedCluster {
+    /// The machines being simulated.
+    pub machine_pool: MachinePool,
+    /// Network latency/bandwidth model.
+    pub network: NetworkModel,
+    /// Non-dedicated availability model.
+    pub availability: AvailabilityModel,
+    /// Calibrated cost of one photon (flops); see [`JobSpec::paper_job`].
+    pub flops_per_photon: f64,
+}
+
+impl SimulatedCluster {
+    /// Simulate `machines` dedicated paper-class PCs on a 2006 LAN.
+    pub fn new(machines: usize) -> Self {
+        Self::with_pool(homogeneous_pool(machines))
+    }
+
+    /// Simulate an arbitrary pool with the paper's network/cost defaults.
+    pub fn with_pool(machine_pool: MachinePool) -> Self {
+        Self {
+            machine_pool,
+            network: NetworkModel::lan_2006(),
+            availability: AvailabilityModel::DEDICATED,
+            flops_per_photon: JobSpec::paper_job().flops_per_photon,
+        }
+    }
+
+    /// The [`JobSpec`] a scenario maps onto.
+    fn job_for(&self, scenario: &Scenario) -> JobSpec {
+        let paper = JobSpec::paper_job();
+        JobSpec {
+            total_photons: scenario.photons,
+            flops_per_photon: self.flops_per_photon,
+            batch_photons: scenario.photons.div_ceil(scenario.tasks).max(1),
+            task_bytes: paper.task_bytes,
+            result_bytes: paper.result_bytes,
+        }
+    }
+
+    /// Run the DES and also return the raw [`DesReport`] for callers that
+    /// want the simulator-specific quantities (speedup, utilisation, ...).
+    pub fn run_des(&self, scenario: &Scenario) -> Result<DesReport, EngineError> {
+        scenario.validate()?;
+        if scenario.photons == 0 {
+            return Err(EngineError::InvalidConfig("simulated run needs photons >= 1".into()));
+        }
+        if self.machine_pool.is_empty() {
+            return Err(EngineError::InvalidConfig("machine pool is empty".into()));
+        }
+        let job = self.job_for(scenario);
+        job.validate().map_err(EngineError::InvalidConfig)?;
+        self.network.validate().map_err(EngineError::InvalidConfig)?;
+        self.availability.validate().map_err(EngineError::InvalidConfig)?;
+        let sim = ClusterSim {
+            pool: self.machine_pool.clone(),
+            network: self.network,
+            availability: self.availability,
+            seed: scenario.seed,
+        };
+        Ok(sim.run(&job))
+    }
+}
+
+impl Backend for SimulatedCluster {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run_with_progress(
+        &self,
+        scenario: &Scenario,
+        progress: &dyn Progress,
+    ) -> Result<RunReport, EngineError> {
+        let started = Instant::now();
+        let des = self.run_des(scenario)?;
+        progress.on_photons(scenario.photons, scenario.photons);
+        let workers = des
+            .machine_tasks
+            .iter()
+            .zip(&des.machine_photons)
+            .map(|(&tasks_completed, &photons)| WorkerAccount {
+                tasks_completed,
+                tasks_failed: 0,
+                photons,
+            })
+            .collect();
+        // The DES models time, not transport: the tally stays empty.
+        let empty = scenario.simulation().new_tally();
+        Ok(RunReport {
+            result: SimulationResult::new(empty, Vec::new()),
+            workers,
+            requeues: 0,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            virtual_seconds: Some(des.makespan_s),
+            backend: self.name().to_string(),
+        })
+    }
+}
+
+/// Convenience runners registered on [`Scenario`] by this crate.
+pub trait BackendExt {
+    /// Run on a reliable [`ThreadedCluster`] of `workers` threads.
+    fn run_threaded(&self, workers: usize) -> Result<RunReport, EngineError>;
+
+    /// Predict the run on a simulated `machine_pool` (virtual report).
+    fn run_simulated(&self, machine_pool: MachinePool) -> Result<RunReport, EngineError>;
+}
+
+impl BackendExt for Scenario {
+    fn run_threaded(&self, workers: usize) -> Result<RunReport, EngineError> {
+        ThreadedCluster::new(workers).run(self)
+    }
+
+    fn run_simulated(&self, machine_pool: MachinePool) -> Result<RunReport, EngineError> {
+        SimulatedCluster::with_pool(machine_pool).run(self)
+    }
+}
+
+/// Resolve a backend-spec string over the **full** vocabulary:
+///
+/// * `sequential`, `rayon [threads]` — delegated to
+///   `lumen_core::engine::from_spec`;
+/// * `cluster [workers] [failure_rate]` — [`ThreadedCluster`] (defaults:
+///   one worker per logical CPU, no failures);
+/// * `tcp <addr> [clients]` — [`Tcp`] (default: 1 client);
+/// * `sim [machines]` — [`SimulatedCluster`] (default: the paper's 60
+///   dedicated homogeneous machines).
+pub fn from_spec(spec: &str) -> Result<Box<dyn Backend>, EngineError> {
+    let mut parts = spec.split_whitespace();
+    let kind = parts.next().unwrap_or("");
+    let args: Vec<&str> = parts.collect();
+
+    fn parse<T: std::str::FromStr>(what: &str, v: &str) -> Result<T, EngineError> {
+        v.parse::<T>()
+            .map_err(|_| EngineError::InvalidConfig(format!("{what} `{v}` cannot be parsed")))
+    }
+
+    match (kind, args.as_slice()) {
+        ("cluster", rest) => {
+            let workers = match rest.first() {
+                Some(v) => parse::<usize>("cluster worker count", v)?,
+                None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            };
+            let plan = match rest.get(1) {
+                Some(v) => FailurePlan::Random { rate: parse::<f64>("cluster failure rate", v)? },
+                None => FailurePlan::Reliable,
+            };
+            if rest.len() > 2 {
+                return Err(EngineError::InvalidConfig(format!(
+                    "cluster spec takes at most `[workers] [failure_rate]`, got `{spec}`"
+                )));
+            }
+            Ok(Box::new(ThreadedCluster { workers, failure_plan: plan }))
+        }
+        ("tcp", [addr]) => Ok(Box::new(Tcp::new(*addr))),
+        ("tcp", [addr, clients]) => {
+            Ok(Box::new(Tcp::new(*addr).with_clients(parse::<usize>("tcp client count", clients)?)))
+        }
+        ("tcp", _) => {
+            Err(EngineError::InvalidConfig("tcp backend needs `tcp <addr> [clients]`".into()))
+        }
+        ("sim", []) => Ok(Box::new(SimulatedCluster::new(60))),
+        ("sim", [machines]) => {
+            Ok(Box::new(SimulatedCluster::new(parse::<usize>("sim machine count", machines)?)))
+        }
+        ("sim", _) => Err(EngineError::InvalidConfig("sim backend needs `sim [machines]`".into())),
+        // Known core backends keep the core resolver's precise errors
+        // (e.g. "rayon thread count must be >= 1"); only genuinely
+        // unknown names get the full-vocabulary message.
+        ("sequential", _) | ("rayon", _) => lumen_core::engine::from_spec(spec),
+        _ => Err(EngineError::InvalidConfig(format!(
+            "unknown backend `{spec}` (expected sequential | rayon [threads] | \
+             cluster [workers] [failure_rate] | tcp <addr> [clients] | sim [machines])"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_core::{Detector, Rayon, Sequential, Source};
+    use lumen_tissue::presets::semi_infinite_phantom;
+
+    fn scenario() -> Scenario {
+        Scenario::new(
+            semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
+            Source::Delta,
+            Detector::new(1.0, 0.5),
+        )
+        .with_photons(4_000)
+        .with_tasks(8)
+        .with_seed(11)
+    }
+
+    #[test]
+    fn threaded_cluster_matches_core_backends() {
+        let s = scenario();
+        let seq = Sequential.run(&s).unwrap();
+        let clu = ThreadedCluster::new(3).run(&s).unwrap();
+        assert_eq!(seq.result.tally, clu.result.tally);
+        assert_eq!(clu.backend, "cluster");
+        let photons: u64 = clu.workers.iter().map(|w| w.photons).sum();
+        assert_eq!(photons, 4_000);
+    }
+
+    #[test]
+    fn failure_plan_changes_accounting_not_physics() {
+        // 32 tasks at 50%: P(zero failures) ~ 2e-10, so the requeue
+        // assertions cannot flake on an unlucky schedule.
+        let s = scenario().with_tasks(32);
+        let clean = ThreadedCluster::new(3).run(&s).unwrap();
+        let faulty = ThreadedCluster::new(3)
+            .with_failure_plan(FailurePlan::Random { rate: 0.5 })
+            .run(&s)
+            .unwrap();
+        assert_eq!(clean.result.tally, faulty.result.tally);
+        assert!(faulty.requeues > 0);
+        assert!(faulty.workers.iter().any(|w| w.tasks_failed > 0));
+    }
+
+    #[test]
+    fn zero_workers_is_invalid_config() {
+        let s = scenario();
+        let err = ThreadedCluster::new(0).run(&s).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn simulated_cluster_reports_virtual_time() {
+        let s = scenario().with_photons(1_000_000).with_tasks(100);
+        let report = SimulatedCluster::new(10).run(&s).unwrap();
+        assert!(report.is_virtual());
+        assert!(report.virtual_seconds.unwrap() > 0.0);
+        assert_eq!(report.workers.len(), 10);
+        let photons: u64 = report.workers.iter().map(|w| w.photons).sum();
+        assert_eq!(photons, 1_000_000);
+        // Virtual report: no photons were actually traced.
+        assert_eq!(report.result.launched(), 0);
+    }
+
+    #[test]
+    fn scenario_extension_trait_runs() {
+        let s = scenario();
+        let a = s.run_threaded(2).unwrap();
+        let b = Rayon::default().run(&s).unwrap();
+        assert_eq!(a.result.tally, b.result.tally);
+    }
+
+    #[test]
+    fn tcp_backend_runs_against_clients() {
+        use std::thread;
+        // Bind on port 0 first to find a free port, then hand the address
+        // to the backend (which binds its own listener).
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap().to_string();
+        drop(probe);
+
+        let s = scenario().with_photons(2_000).with_tasks(4);
+        let sim = s.simulation();
+        let addr_c = addr.clone();
+        let seed = s.seed;
+        let client = thread::spawn(move || {
+            // Retry until the server's listener is up.
+            for _ in 0..200 {
+                match crate::net::run_client(&addr_c, &sim, seed) {
+                    Ok(n) => return n,
+                    Err(_) => thread::sleep(std::time::Duration::from_millis(10)),
+                }
+            }
+            panic!("client never connected");
+        });
+
+        let report = Tcp::new(addr).run(&s).unwrap();
+        let completed = client.join().unwrap();
+        assert_eq!(completed, 4);
+        let reference = Sequential.run(&s).unwrap();
+        assert_eq!(report.result.tally, reference.result.tally);
+        assert_eq!(report.backend, "tcp");
+    }
+
+    #[test]
+    fn spec_resolution_covers_all_five() {
+        assert_eq!(from_spec("sequential").unwrap().name(), "sequential");
+        assert_eq!(from_spec("rayon 2").unwrap().name(), "rayon");
+        assert_eq!(from_spec("cluster").unwrap().name(), "cluster");
+        assert_eq!(from_spec("cluster 4").unwrap().name(), "cluster");
+        assert_eq!(from_spec("cluster 4 0.1").unwrap().name(), "cluster");
+        assert_eq!(from_spec("tcp 127.0.0.1:7878").unwrap().name(), "tcp");
+        assert_eq!(from_spec("tcp 127.0.0.1:7878 3").unwrap().name(), "tcp");
+        assert_eq!(from_spec("sim").unwrap().name(), "sim");
+        assert_eq!(from_spec("sim 150").unwrap().name(), "sim");
+        assert!(from_spec("tcp").is_err());
+        assert!(from_spec("cluster four").is_err());
+        assert!(from_spec("warp-drive").is_err());
+    }
+}

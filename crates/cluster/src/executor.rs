@@ -12,6 +12,7 @@
 use crate::datamanager::DataManager;
 use crate::protocol::{ClientMessage, ServerMessage, WorkerStats};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use lumen_core::engine::{EngineError, NoProgress, Progress};
 use lumen_core::{Simulation, SimulationResult};
 use mcrng::{McRng, SplitMix64, StreamFactory};
 use serde::{Deserialize, Serialize};
@@ -38,6 +39,26 @@ impl DistributedConfig {
     pub fn new(seed: u64, workers: usize) -> Self {
         Self { seed, tasks: (workers as u64) * 4, workers, failure_rate: 0.0 }
     }
+
+    /// Validate the execution parameters. `workers: 0` used to hang the
+    /// task queue forever; it is now rejected up front.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if self.workers == 0 {
+            return Err(EngineError::InvalidConfig(
+                "distributed run needs at least one worker".into(),
+            ));
+        }
+        if self.tasks == 0 {
+            return Err(EngineError::InvalidConfig("tasks must be >= 1".into()));
+        }
+        if !(0.0..1.0).contains(&self.failure_rate) {
+            return Err(EngineError::InvalidConfig(format!(
+                "failure rate must be in [0, 1), got {}",
+                self.failure_rate
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// Outcome of a distributed run.
@@ -55,15 +76,32 @@ pub struct DistributedReport {
 
 /// Run `n` photons of `sim` on the threaded master/worker engine.
 ///
+/// Deprecated shim over the [`crate::backend::ThreadedCluster`] backend —
+/// build a `lumen_core::engine::Scenario` and run it there instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "build an `engine::Scenario` and run it on the `backend::ThreadedCluster` backend"
+)]
+pub fn run_distributed(sim: &Simulation, n: u64, config: DistributedConfig) -> DistributedReport {
+    run_master_worker(sim, n, config, &NoProgress).expect("invalid distributed configuration")
+}
+
+/// The real master/worker engine: validate, then run `n` photons of `sim`
+/// through the full protocol, streaming status to `progress`.
+///
 /// Deterministic in its *physics* for a given `(seed, tasks)`: the same
 /// batches with the same streams are executed regardless of worker count,
 /// scheduling order, or injected failures (a re-executed task re-runs the
 /// identical photons, exactly as the original platform re-assigns a lost
 /// simulation).
-pub fn run_distributed(sim: &Simulation, n: u64, config: DistributedConfig) -> DistributedReport {
-    assert!(config.workers > 0, "need at least one worker");
-    assert!((0.0..1.0).contains(&config.failure_rate), "failure rate must be in [0, 1)");
-    sim.validate().expect("invalid simulation configuration");
+pub fn run_master_worker(
+    sim: &Simulation,
+    n: u64,
+    config: DistributedConfig,
+    progress: &dyn Progress,
+) -> Result<DistributedReport, EngineError> {
+    config.validate()?;
+    sim.validate().map_err(EngineError::InvalidConfig)?;
 
     let started = Instant::now();
     let factory = StreamFactory::new(config.seed);
@@ -121,6 +159,7 @@ pub fn run_distributed(sim: &Simulation, n: u64, config: DistributedConfig) -> D
         // --- the DataManager loop ---
         let mut shut_down = vec![false; config.workers];
         let mut pending_requests: Vec<usize> = Vec::new();
+        let mut photons_done = 0u64;
         while !dm.finished() {
             match from_clients.recv().expect("workers alive while unfinished") {
                 ClientMessage::RequestTask { worker } => match dm.assign() {
@@ -131,9 +170,12 @@ pub fn run_distributed(sim: &Simulation, n: u64, config: DistributedConfig) -> D
                 },
                 ClientMessage::TaskComplete { worker, task, tally } => {
                     dm.complete(worker, task, &tally);
+                    photons_done += task.photons;
+                    progress.on_photons(photons_done, n);
                 }
                 ClientMessage::TaskFailed { worker, task } => {
                     dm.fail(worker, task);
+                    progress.on_task_retry(task.task_id);
                     // A re-queued task can immediately satisfy a starved
                     // worker that asked while the queue was empty.
                     while let Some(w) = pending_requests.pop() {
@@ -161,17 +203,18 @@ pub fn run_distributed(sim: &Simulation, n: u64, config: DistributedConfig) -> D
     });
 
     let (tally, worker_stats, requeues) = dm.into_results();
-    DistributedReport {
+    Ok(DistributedReport {
         result: SimulationResult::new(tally, Vec::new()),
         worker_stats,
         requeues,
         wall_seconds: started.elapsed().as_secs_f64(),
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lumen_core::engine::{Backend, Rayon, Scenario};
     use lumen_core::{Detector, Source};
     use lumen_tissue::presets::semi_infinite_phantom;
 
@@ -183,15 +226,19 @@ mod tests {
         )
     }
 
+    fn run(sim: &Simulation, n: u64, cfg: DistributedConfig) -> DistributedReport {
+        run_master_worker(sim, n, cfg, &NoProgress).expect("valid config")
+    }
+
     #[test]
     fn distributed_matches_rayon_driver() {
         let s = sim();
         let n = 8_000;
         let cfg = DistributedConfig { seed: 5, tasks: 16, workers: 4, failure_rate: 0.0 };
-        let dist = run_distributed(&s, n, cfg);
-        let rayon =
-            lumen_core::run_parallel(&s, n, lumen_core::ParallelConfig { seed: 5, tasks: 16 });
-        assert_eq!(dist.result.tally, rayon.tally);
+        let dist = run(&s, n, cfg);
+        let scenario = Scenario::from_simulation(&s, n, 5).with_tasks(16);
+        let rayon = Rayon::default().run(&scenario).expect("valid scenario");
+        assert_eq!(dist.result.tally, rayon.result.tally);
     }
 
     #[test]
@@ -199,7 +246,7 @@ mod tests {
         let s = sim();
         let n = 10_000;
         let cfg = DistributedConfig { seed: 1, tasks: 20, workers: 3, failure_rate: 0.0 };
-        let rep = run_distributed(&s, n, cfg);
+        let rep = run(&s, n, cfg);
         let total: u64 = rep.worker_stats.iter().map(|w| w.photons).sum();
         assert_eq!(total, n);
         let tasks: u64 = rep.worker_stats.iter().map(|w| w.tasks_completed).sum();
@@ -212,29 +259,21 @@ mod tests {
     fn failure_injection_preserves_results_exactly() {
         let s = sim();
         let n = 6_000;
-        let clean = run_distributed(
-            &s,
-            n,
-            DistributedConfig { seed: 9, tasks: 12, workers: 3, failure_rate: 0.0 },
-        );
-        let faulty = run_distributed(
-            &s,
-            n,
-            DistributedConfig { seed: 9, tasks: 12, workers: 3, failure_rate: 0.3 },
-        );
+        // 32 tasks at 50%: P(zero failures) ~ 2e-10 — cannot flake.
+        let clean =
+            run(&s, n, DistributedConfig { seed: 9, tasks: 32, workers: 3, failure_rate: 0.0 });
+        let faulty =
+            run(&s, n, DistributedConfig { seed: 9, tasks: 32, workers: 3, failure_rate: 0.5 });
         // Physics identical: re-executed tasks rerun the same streams.
         assert_eq!(clean.result.tally, faulty.result.tally);
-        assert!(faulty.requeues > 0, "30% failure rate should cause requeues");
+        assert!(faulty.requeues > 0, "50% failure rate should cause requeues");
     }
 
     #[test]
     fn single_worker_works() {
         let s = sim();
-        let rep = run_distributed(
-            &s,
-            2_000,
-            DistributedConfig { seed: 2, tasks: 4, workers: 1, failure_rate: 0.0 },
-        );
+        let rep =
+            run(&s, 2_000, DistributedConfig { seed: 2, tasks: 4, workers: 1, failure_rate: 0.0 });
         assert_eq!(rep.result.launched(), 2_000);
         assert_eq!(rep.worker_stats[0].tasks_completed, 4);
     }
@@ -243,11 +282,26 @@ mod tests {
     fn more_tasks_than_needed_is_fine() {
         let s = sim();
         // 100 tasks for 50 photons: many zero batches are filtered out.
-        let rep = run_distributed(
-            &s,
-            50,
-            DistributedConfig { seed: 3, tasks: 100, workers: 4, failure_rate: 0.0 },
-        );
+        let rep =
+            run(&s, 50, DistributedConfig { seed: 3, tasks: 100, workers: 4, failure_rate: 0.0 });
         assert_eq!(rep.result.launched(), 50);
+    }
+
+    #[test]
+    fn zero_workers_is_a_typed_error_not_a_hang() {
+        let s = sim();
+        let cfg = DistributedConfig { seed: 1, tasks: 4, workers: 0, failure_rate: 0.0 };
+        match run_master_worker(&s, 1_000, cfg, &NoProgress) {
+            Err(EngineError::InvalidConfig(msg)) => assert!(msg.contains("worker"), "{msg}"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_failure_rate_is_rejected() {
+        let cfg = DistributedConfig { seed: 1, tasks: 4, workers: 2, failure_rate: 1.5 };
+        assert!(matches!(cfg.validate(), Err(EngineError::InvalidConfig(_))));
+        let cfg = DistributedConfig { seed: 1, tasks: 0, workers: 2, failure_rate: 0.0 };
+        assert!(matches!(cfg.validate(), Err(EngineError::InvalidConfig(_))));
     }
 }

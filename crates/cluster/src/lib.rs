@@ -25,9 +25,20 @@
 //! (what the original platform does), static pre-partitioning, and a
 //! genetic-algorithm scheduler in the spirit of the paper's reference \[4\].
 //! For multi-machine deployments, [`wire`] provides the binary message
-//! format (the role Java serialization played in the original).
+//! format (the role Java serialization played in the original), including
+//! a full encoding of experiment definitions
+//! ([`wire::encode_scenario`]).
+//!
+//! All of it is reachable through one front door: the [`backend`] module
+//! implements `lumen_core::engine::Backend` for [`ThreadedCluster`],
+//! [`Tcp`], and [`SimulatedCluster`], so the same
+//! `lumen_core::engine::Scenario` runs unchanged on a single core, the
+//! rayon pool, the threaded master/worker engine, a TCP deployment, or
+//! the simulated machine pool — with bit-identical tallies wherever real
+//! photons are traced.
 
 pub mod availability;
+pub mod backend;
 pub mod datamanager;
 pub mod des;
 pub mod executor;
@@ -40,11 +51,14 @@ pub mod speedup;
 pub mod wire;
 
 pub use availability::AvailabilityModel;
+pub use backend::{BackendExt, FailurePlan, SimulatedCluster, Tcp, ThreadedCluster};
 pub use datamanager::DataManager;
 pub use des::{ClusterSim, DesReport, JobSpec};
-pub use executor::{run_distributed, DistributedConfig, DistributedReport};
+#[allow(deprecated)]
+pub use executor::run_distributed;
+pub use executor::{run_master_worker, DistributedConfig, DistributedReport};
 pub use machine::{homogeneous_pool, table2_pool, MachineClass, MachinePool};
-pub use net::{run_client, serve, NetReport};
+pub use net::{run_client, serve, serve_with_progress, NetReport};
 pub use network::NetworkModel;
 pub use scheduler::{GaScheduler, Scheduler, SelfScheduling, StaticChunking};
 pub use speedup::{efficiency, speedup_curve, SpeedupPoint};

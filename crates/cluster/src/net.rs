@@ -16,6 +16,7 @@
 use crate::datamanager::DataManager;
 use crate::protocol::{SimTask, WorkerStats};
 use crate::wire::{self, WireError};
+use lumen_core::engine::{NoProgress, Progress};
 use lumen_core::tally::Tally;
 use lumen_core::{Simulation, SimulationResult};
 use mcrng::StreamFactory;
@@ -122,6 +123,19 @@ pub fn serve(
     tasks: u64,
     expected_clients: usize,
 ) -> Result<NetReport, NetError> {
+    serve_with_progress(listener, sim, n, tasks, expected_clients, &NoProgress)
+}
+
+/// [`serve`], streaming completion and retry events to `progress` (the
+/// hook the `Tcp` backend in [`crate::backend`] wires through).
+pub fn serve_with_progress(
+    listener: TcpListener,
+    sim: &Simulation,
+    n: u64,
+    tasks: u64,
+    expected_clients: usize,
+    progress: &dyn Progress,
+) -> Result<NetReport, NetError> {
     assert!(expected_clients > 0, "need at least one client");
     sim.validate().expect("invalid simulation configuration");
     let mut dm = DataManager::new(n, tasks, sim.new_tally(), expected_clients);
@@ -191,6 +205,7 @@ pub fn serve(
     let mut waiting: Vec<usize> = Vec::new();
     // Server-side lease tracking: at most one task outstanding per client.
     let mut leases: Vec<Option<SimTask>> = vec![None; expected_clients];
+    let mut photons_done = 0u64;
     while !dm.finished() {
         match rx.recv() {
             Ok(Event::Request { worker }) => match dm.assign() {
@@ -203,6 +218,8 @@ pub fn serve(
             Ok(Event::Complete { worker, task, tally }) => {
                 leases[worker] = None;
                 dm.complete(worker, task, &tally);
+                photons_done += task.photons;
+                progress.on_photons(photons_done, n);
             }
             Ok(Event::Disconnected { worker }) => {
                 // A reclaimed/crashed client surrenders its lease; the
@@ -210,6 +227,7 @@ pub fn serve(
                 // identical photons (same stream index).
                 if let Some(task) = leases[worker].take() {
                     dm.fail(worker, task);
+                    progress.on_task_retry(task.task_id);
                     while let Some(w) = waiting.pop() {
                         match dm.assign() {
                             Some(t) => {
@@ -279,7 +297,8 @@ pub fn run_client(addr: &str, sim: &Simulation, seed: u64) -> Result<u64, NetErr
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lumen_core::{Detector, ParallelConfig, Source};
+    use lumen_core::engine::{Backend, Rayon, Scenario};
+    use lumen_core::{Detector, Source};
     use lumen_tissue::presets::semi_infinite_phantom;
 
     fn sim() -> Simulation {
@@ -288,6 +307,11 @@ mod tests {
             Source::Delta,
             Detector::new(1.0, 0.5),
         )
+    }
+
+    fn rayon_reference(sim: &Simulation, n: u64, seed: u64, tasks: u64) -> SimulationResult {
+        let scenario = Scenario::from_simulation(sim, n, seed).with_tasks(tasks);
+        Rayon::default().run(&scenario).expect("valid scenario").result
     }
 
     #[test]
@@ -312,7 +336,7 @@ mod tests {
         let completed: u64 = clients.into_iter().map(|c| c.join().expect("join")).sum();
 
         assert_eq!(completed, tasks);
-        let rayon_res = lumen_core::run_parallel(&s, n, ParallelConfig { seed, tasks });
+        let rayon_res = rayon_reference(&s, n, seed, tasks);
         assert_eq!(report.result.tally, rayon_res.tally);
     }
 
@@ -336,7 +360,7 @@ mod tests {
         let report = serve(listener, &s, n, 4, 1).expect("serve");
         client.join().expect("join");
 
-        let rayon_res = lumen_core::run_parallel(&s, n, ParallelConfig { seed, tasks: 4 });
+        let rayon_res = rayon_reference(&s, n, seed, 4);
         assert_eq!(report.result.tally, rayon_res.tally);
         assert!(report.result.tally.path_grid.is_some());
     }

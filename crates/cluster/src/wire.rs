@@ -13,9 +13,14 @@
 //! bit patterns.
 
 use crate::protocol::{SimTask, WorkerStats};
+use lumen_core::engine::Scenario;
 use lumen_core::radial::{CylinderGrid, RadialProfile, RadialSpec};
 use lumen_core::tally::{GridSpec, PathHistogram, Tally, VisitGrid};
-use lumen_core::Vec3;
+use lumen_core::{
+    BoundaryMode, Detector, GateWindow, OpticalProperties, RouletteConfig, SimulationOptions,
+    Source, Vec3,
+};
+use lumen_tissue::{Layer, LayeredTissue};
 
 /// Magic bytes identifying a lumen wire message.
 pub const MAGIC: [u8; 4] = *b"LMN1";
@@ -72,6 +77,12 @@ impl Encoder {
             self.put_u64(v);
         }
     }
+
+    /// UTF-8 string: byte-length prefix then the bytes.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
 }
 
 /// Decoding cursor.
@@ -92,6 +103,9 @@ pub enum WireError {
     BadLength(u64),
     /// Trailing bytes after a complete message.
     TrailingBytes(usize),
+    /// Bytes decoded but described an impossible value (bad enum tag,
+    /// non-UTF-8 string, geometry that fails validation).
+    Invalid(String),
 }
 
 impl std::fmt::Display for WireError {
@@ -101,6 +115,7 @@ impl std::fmt::Display for WireError {
             WireError::Truncated => write!(f, "message truncated"),
             WireError::BadLength(n) => write!(f, "implausible length prefix {n}"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+            WireError::Invalid(reason) => write!(f, "invalid payload: {reason}"),
         }
     }
 }
@@ -155,6 +170,15 @@ impl<'a> Decoder<'a> {
         let n = self.get_u64()?;
         let n = self.checked_len(n, 8)?;
         (0..n).map(|_| self.get_u64()).collect()
+    }
+
+    /// UTF-8 string (see [`Encoder::put_str`]).
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        let n = self.get_u64()?;
+        let n = self.checked_len(n, 1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Invalid("string is not UTF-8".into()))
     }
 
     /// Assert the message is fully consumed.
@@ -480,6 +504,215 @@ pub fn decode_tally(bytes: &[u8]) -> Result<Tally, WireError> {
     Ok(t)
 }
 
+// --- Scenario encoding ---------------------------------------------------
+//
+// The experiment definition itself. The original platform shipped Java
+// bytecode to the clients; encoding the full `Scenario` is our equivalent:
+// a server can hand a connecting client everything it needs instead of
+// relying on the out-of-band "same scenario, same seed" contract.
+
+fn put_optics(e: &mut Encoder, o: &OpticalProperties) {
+    e.put_f64(o.mu_a);
+    e.put_f64(o.mu_s);
+    e.put_f64(o.g);
+    e.put_f64(o.n);
+}
+
+fn get_optics(d: &mut Decoder) -> Result<OpticalProperties, WireError> {
+    Ok(OpticalProperties {
+        mu_a: d.get_f64()?,
+        mu_s: d.get_f64()?,
+        g: d.get_f64()?,
+        n: d.get_f64()?,
+    })
+}
+
+fn put_tissue(e: &mut Encoder, t: &LayeredTissue) {
+    e.put_f64(t.ambient_n);
+    e.put_u64(t.layers().len() as u64);
+    for layer in t.layers() {
+        e.put_str(&layer.name);
+        e.put_f64(layer.z_top);
+        e.put_f64(layer.z_bottom);
+        put_optics(e, &layer.optics);
+    }
+}
+
+fn get_tissue(d: &mut Decoder) -> Result<LayeredTissue, WireError> {
+    let ambient_n = d.get_f64()?;
+    let n_layers = d.get_u64()?;
+    // A layer costs at least its fixed-size fields on the wire.
+    let n_layers = d.checked_len(n_layers, 8 * 6)?;
+    let mut layers = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        let name = d.get_str()?;
+        let z_top = d.get_f64()?;
+        let z_bottom = d.get_f64()?;
+        let optics = get_optics(d)?;
+        layers.push(Layer { name, z_top, z_bottom, optics });
+    }
+    LayeredTissue::new(layers, ambient_n).map_err(WireError::Invalid)
+}
+
+fn put_source(e: &mut Encoder, s: &Source) {
+    match *s {
+        Source::Delta => e.put_u8(0),
+        Source::Gaussian { radius } => {
+            e.put_u8(1);
+            e.put_f64(radius);
+        }
+        Source::Uniform { radius } => {
+            e.put_u8(2);
+            e.put_f64(radius);
+        }
+    }
+}
+
+fn get_source(d: &mut Decoder) -> Result<Source, WireError> {
+    match d.get_u8()? {
+        0 => Ok(Source::Delta),
+        1 => Ok(Source::Gaussian { radius: d.get_f64()? }),
+        2 => Ok(Source::Uniform { radius: d.get_f64()? }),
+        tag => Err(WireError::Invalid(format!("unknown source tag {tag}"))),
+    }
+}
+
+fn put_detector(e: &mut Encoder, det: &Detector) {
+    e.put_f64(det.separation);
+    e.put_f64(det.radius);
+    e.put_u8(det.ring as u8);
+    put_option(e, det.min_exit_cos.as_ref(), |e, &c| e.put_f64(c));
+    e.put_f64(det.gate.min_mm);
+    e.put_f64(det.gate.max_mm);
+}
+
+fn get_detector(d: &mut Decoder) -> Result<Detector, WireError> {
+    Ok(Detector {
+        separation: d.get_f64()?,
+        radius: d.get_f64()?,
+        ring: d.get_u8()? != 0,
+        min_exit_cos: get_option(d, |d| d.get_f64())?,
+        gate: GateWindow { min_mm: d.get_f64()?, max_mm: d.get_f64()? },
+    })
+}
+
+/// Upper bound on cells in any decoded *scenario* tally spec (grid voxels,
+/// histogram bins, radial bins). Tally payloads are implicitly bounded by
+/// their data arrays (`checked_len` against the remaining bytes), but a
+/// scenario carries bare specs with no data behind them — without a cap, a
+/// ~300-byte hostile message could request a 2M³-voxel grid and abort the
+/// process on allocation when the scenario is run. 2²⁴ cells (128 MiB of
+/// f64) is ~134× the paper's 50³ granularity.
+pub const MAX_SPEC_CELLS: u64 = 1 << 24;
+
+fn checked_cells(cells: Option<usize>) -> Result<usize, WireError> {
+    match cells {
+        Some(n) if (n as u64) <= MAX_SPEC_CELLS => Ok(n),
+        Some(n) => Err(WireError::BadLength(n as u64)),
+        None => Err(WireError::BadLength(u64::MAX)),
+    }
+}
+
+fn get_bounded_grid_spec(d: &mut Decoder) -> Result<GridSpec, WireError> {
+    let spec = get_grid_spec(d)?;
+    checked_cells(spec.nx.checked_mul(spec.ny).and_then(|v| v.checked_mul(spec.nz)))?;
+    Ok(spec)
+}
+
+fn put_options(e: &mut Encoder, o: &SimulationOptions) {
+    e.put_u8(match o.boundary_mode {
+        BoundaryMode::Probabilistic => 0,
+        BoundaryMode::Classical => 1,
+    });
+    e.put_f64(o.roulette.threshold);
+    e.put_f64(o.roulette.survival);
+    e.put_u64(o.max_interactions as u64);
+    put_option(e, o.path_grid.as_ref(), put_grid_spec);
+    put_option(e, o.absorption_grid.as_ref(), put_grid_spec);
+    put_option(e, o.path_histogram.as_ref(), |e, &(max_mm, bins)| {
+        e.put_f64(max_mm);
+        e.put_u64(bins as u64);
+    });
+    put_option(e, o.reflectance_profile.as_ref(), |e, spec| {
+        e.put_u64(spec.nr as u64);
+        e.put_f64(spec.r_max);
+    });
+    put_option(e, o.absorption_rz.as_ref(), |e, &(radial, nz, z_max)| {
+        e.put_u64(radial.nr as u64);
+        e.put_f64(radial.r_max);
+        e.put_u64(nz as u64);
+        e.put_f64(z_max);
+    });
+    e.put_u64(o.record_paths as u64);
+}
+
+fn get_options(d: &mut Decoder) -> Result<SimulationOptions, WireError> {
+    let boundary_mode = match d.get_u8()? {
+        0 => BoundaryMode::Probabilistic,
+        1 => BoundaryMode::Classical,
+        tag => return Err(WireError::Invalid(format!("unknown boundary mode tag {tag}"))),
+    };
+    let roulette = RouletteConfig { threshold: d.get_f64()?, survival: d.get_f64()? };
+    let max_interactions = u32::try_from(d.get_u64()?)
+        .map_err(|_| WireError::Invalid("max_interactions exceeds u32".into()))?;
+    let path_grid = get_option(d, get_bounded_grid_spec)?;
+    let absorption_grid = get_option(d, get_bounded_grid_spec)?;
+    let path_histogram =
+        get_option(d, |d| Ok((d.get_f64()?, checked_cells(Some(d.get_u64()? as usize))?)))?;
+    let reflectance_profile = get_option(d, |d| {
+        Ok(RadialSpec { nr: checked_cells(Some(d.get_u64()? as usize))?, r_max: d.get_f64()? })
+    })?;
+    let absorption_rz = get_option(d, |d| {
+        let radial = RadialSpec { nr: d.get_u64()? as usize, r_max: d.get_f64()? };
+        let nz = d.get_u64()? as usize;
+        checked_cells(radial.nr.checked_mul(nz))?;
+        Ok((radial, nz, d.get_f64()?))
+    })?;
+    let record_paths = d.get_u64()? as usize;
+    Ok(SimulationOptions {
+        boundary_mode,
+        roulette,
+        max_interactions,
+        path_grid,
+        absorption_grid,
+        path_histogram,
+        reflectance_profile,
+        absorption_rz,
+        record_paths,
+    })
+}
+
+/// Encode a full experiment definition — geometry, source, detector,
+/// options, photon budget, task split, and seed.
+pub fn encode_scenario(s: &Scenario) -> Vec<u8> {
+    let mut e = Encoder::new();
+    put_tissue(&mut e, &s.tissue);
+    put_source(&mut e, &s.source);
+    put_detector(&mut e, &s.detector);
+    put_options(&mut e, &s.options);
+    e.put_u64(s.photons);
+    e.put_u64(s.tasks);
+    e.put_u64(s.seed);
+    e.finish()
+}
+
+/// Decode a [`Scenario`]. Geometry is re-validated on decode, so a hostile
+/// peer cannot smuggle an inconsistent layer stack past the type system.
+pub fn decode_scenario(bytes: &[u8]) -> Result<Scenario, WireError> {
+    let mut d = Decoder::new(bytes)?;
+    let tissue = get_tissue(&mut d)?;
+    let source = get_source(&mut d)?;
+    let detector = get_detector(&mut d)?;
+    let options = get_options(&mut d)?;
+    let photons = d.get_u64()?;
+    let tasks = d.get_u64()?;
+    let seed = d.get_u64()?;
+    d.finish()?;
+    let scenario = Scenario { tissue, source, detector, options, photons, tasks, seed };
+    scenario.validate().map_err(|e| WireError::Invalid(e.to_string()))?;
+    Ok(scenario)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -598,6 +831,168 @@ mod tests {
         t.launched = 10;
         let bytes = encode_tally(&t);
         assert!(decode_tally(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn scenario_round_trip_minimal() {
+        use lumen_tissue::presets::semi_infinite_phantom;
+        let s = Scenario::new(
+            semi_infinite_phantom(0.1, 10.0, 0.5, 1.4),
+            Source::Delta,
+            Detector::new(3.0, 1.0),
+        )
+        .with_photons(123_456)
+        .with_tasks(17)
+        .with_seed(99);
+        let decoded = decode_scenario(&encode_scenario(&s)).unwrap();
+        assert_eq!(decoded, s);
+    }
+
+    #[test]
+    fn scenario_round_trip_with_every_option() {
+        use lumen_core::radial::RadialSpec;
+        use lumen_tissue::presets::{adult_head, AdultHeadConfig};
+        let mut options = SimulationOptions {
+            boundary_mode: BoundaryMode::Classical,
+            roulette: RouletteConfig { threshold: 0.005, survival: 0.2 },
+            max_interactions: 500_000,
+            ..Default::default()
+        };
+        options.path_grid =
+            Some(GridSpec::cubic(20, Vec3::new(-3.0, -3.0, 0.0), Vec3::new(9.0, 3.0, 9.0)));
+        options.absorption_grid =
+            Some(GridSpec::cubic(10, Vec3::new(-5.0, -5.0, 0.0), Vec3::new(5.0, 5.0, 10.0)));
+        options.path_histogram = Some((600.0, 30));
+        options.reflectance_profile = Some(RadialSpec { nr: 25, r_max: 12.5 });
+        options.absorption_rz = Some((RadialSpec { nr: 8, r_max: 4.0 }, 16, 32.0));
+        options.record_paths = 7;
+        let s = Scenario::new(
+            adult_head(AdultHeadConfig::default()),
+            Source::Gaussian { radius: 1.5 },
+            Detector::ring(30.0, 2.0)
+                .with_gate(GateWindow::new(10.0, 900.0).unwrap())
+                .with_numerical_aperture(0.5, 1.0),
+        )
+        .with_options(options)
+        .with_photons(1_000_000)
+        .with_tasks(64)
+        .with_seed(2006);
+        let bytes = encode_scenario(&s);
+        let decoded = decode_scenario(&bytes).unwrap();
+        assert_eq!(decoded, s);
+        // The round-tripped scenario is immediately runnable.
+        assert!(decoded.validate().is_ok());
+    }
+
+    #[test]
+    fn scenario_rejects_truncation_and_trailing_bytes() {
+        use lumen_tissue::presets::semi_infinite_phantom;
+        let s = Scenario::new(
+            semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
+            Source::Delta,
+            Detector::new(2.0, 0.5),
+        );
+        let mut bytes = encode_scenario(&s);
+        assert!(decode_scenario(&bytes[..bytes.len() - 1]).is_err());
+        bytes.push(0);
+        assert_eq!(decode_scenario(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn scenario_decode_revalidates_geometry() {
+        use lumen_tissue::presets::semi_infinite_phantom;
+        let mut s = Scenario::new(
+            semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
+            Source::Delta,
+            Detector::new(2.0, 0.5),
+        );
+        s.detector.radius = -1.0; // encodes fine, must not decode
+        match decode_scenario(&encode_scenario(&s)) {
+            Err(WireError::Invalid(reason)) => assert!(reason.contains("radius"), "{reason}"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scenario_rejects_oversized_tally_specs() {
+        use lumen_core::radial::RadialSpec;
+        use lumen_tissue::presets::semi_infinite_phantom;
+        // A tiny message must not be able to request a gigantic tally: a
+        // 2_000_000^3-voxel grid or a u64::MAX-bin histogram would abort
+        // the process on allocation when the scenario is run.
+        let base = Scenario::new(
+            semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
+            Source::Delta,
+            Detector::new(2.0, 0.5),
+        );
+        let mut huge_grid = base.clone();
+        huge_grid.options.path_grid = Some(GridSpec {
+            nx: 2_000_000,
+            ny: 2_000_000,
+            nz: 2_000_000,
+            min: Vec3::new(-1.0, -1.0, 0.0),
+            max: Vec3::new(1.0, 1.0, 2.0),
+        });
+        assert!(matches!(
+            decode_scenario(&encode_scenario(&huge_grid)),
+            Err(WireError::BadLength(_))
+        ));
+        let mut huge_hist = base.clone();
+        huge_hist.options.path_histogram = Some((100.0, u32::MAX as usize));
+        assert!(matches!(
+            decode_scenario(&encode_scenario(&huge_hist)),
+            Err(WireError::BadLength(_))
+        ));
+        let mut huge_rz = base;
+        huge_rz.options.absorption_rz =
+            Some((RadialSpec { nr: 1 << 20, r_max: 4.0 }, 1 << 20, 32.0));
+        assert!(matches!(
+            decode_scenario(&encode_scenario(&huge_rz)),
+            Err(WireError::BadLength(_))
+        ));
+    }
+
+    #[test]
+    fn scenario_rejects_bad_enum_tags() {
+        use lumen_tissue::presets::semi_infinite_phantom;
+        let s = Scenario::new(
+            semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
+            Source::Uniform { radius: 1.0 },
+            Detector::new(2.0, 0.5),
+        );
+        let bytes = encode_scenario(&s);
+        // The source tag sits right after the tissue block; find it by
+        // re-encoding with a poisoned tag instead of hunting offsets.
+        let mut e = Encoder::new();
+        put_tissue(&mut e, &s.tissue);
+        let tag_pos = e.finish().len();
+        let mut poisoned = bytes.clone();
+        poisoned[tag_pos] = 0xEE;
+        assert!(matches!(decode_scenario(&poisoned), Err(WireError::Invalid(_))));
+    }
+
+    proptest! {
+        #[test]
+        fn scenario_round_trips_across_phantoms(
+            mu_a in 0.001f64..2.0,
+            mu_s in 0.5f64..50.0,
+            g in -0.9f64..0.95,
+            n in 1.0f64..1.6,
+            photons in 1u64..10_000_000,
+            tasks in 1u64..256,
+            seed in any::<u64>(),
+        ) {
+            use lumen_tissue::presets::semi_infinite_phantom;
+            let s = Scenario::new(
+                semi_infinite_phantom(mu_a, mu_s, g, n),
+                Source::Delta,
+                Detector::new(3.0, 1.0),
+            )
+            .with_photons(photons)
+            .with_tasks(tasks)
+            .with_seed(seed);
+            prop_assert_eq!(decode_scenario(&encode_scenario(&s)).unwrap(), s);
+        }
     }
 
     proptest! {

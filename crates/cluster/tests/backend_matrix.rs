@@ -1,0 +1,122 @@
+//! The backend-equivalence matrix, kept in the fast test loop
+//! (`cargo test --workspace --exclude lumen`): one fixed-seed scenario
+//! executed by every physics-running backend must produce bit-identical
+//! tallies — the paper's "same results on one core or a cluster" claim,
+//! asserted at the bit level, small enough to run in seconds.
+
+use lumen_cluster::{BackendExt, FailurePlan, SimulatedCluster, Tcp, ThreadedCluster};
+use lumen_core::engine::{Backend, Progress, Rayon, Scenario, Sequential};
+use lumen_core::{Detector, Source};
+use lumen_tissue::presets::semi_infinite_phantom;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+
+fn scenario() -> Scenario {
+    Scenario::new(
+        semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
+        Source::Delta,
+        Detector::new(1.0, 0.5),
+    )
+    .with_photons(4_000)
+    .with_tasks(8)
+    .with_seed(2006)
+}
+
+#[test]
+fn matrix_sequential_rayon_threaded_bit_identical() {
+    let s = scenario();
+    let matrix: Vec<Box<dyn Backend>> = vec![
+        Box::new(Sequential),
+        Box::new(Rayon::default()),
+        Box::new(Rayon::with_threads(1)),
+        Box::new(Rayon::with_threads(3)),
+        Box::new(ThreadedCluster::new(1)),
+        Box::new(ThreadedCluster::new(4)),
+        Box::new(ThreadedCluster::new(4).with_failure_plan(FailurePlan::Random { rate: 0.25 })),
+    ];
+    let reference = matrix[0].run(&s).expect("valid scenario");
+    assert_eq!(reference.launched(), 4_000);
+    for backend in &matrix[1..] {
+        let report = backend.run(&s).expect("valid scenario");
+        assert_eq!(
+            reference.result.tally,
+            report.result.tally,
+            "`{}` must match `sequential` bit-for-bit",
+            backend.name()
+        );
+    }
+}
+
+#[test]
+fn matrix_includes_tcp() {
+    // The TCP deployment runs the same batches over real sockets.
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = probe.local_addr().unwrap().to_string();
+    drop(probe);
+
+    let s = scenario();
+    let sim = s.simulation();
+    let (addr_c, seed) = (addr.clone(), s.seed);
+    let clients: Vec<_> = (0..2)
+        .map(|_| {
+            let sim = sim.clone();
+            let addr = addr_c.clone();
+            thread::spawn(move || {
+                for _ in 0..200 {
+                    match lumen_cluster::run_client(&addr, &sim, seed) {
+                        Ok(n) => return n,
+                        Err(_) => thread::sleep(std::time::Duration::from_millis(10)),
+                    }
+                }
+                panic!("client never connected")
+            })
+        })
+        .collect();
+
+    let tcp = Tcp::new(addr).with_clients(2).run(&s).expect("valid scenario");
+    let completed: u64 = clients.into_iter().map(|c| c.join().expect("join")).sum();
+    assert_eq!(completed, 8);
+
+    let reference = Sequential.run(&s).expect("valid scenario");
+    assert_eq!(tcp.result.tally, reference.result.tally, "tcp must match sequential");
+}
+
+#[test]
+fn progress_hook_reports_photons_and_retries() {
+    struct Observer {
+        photons: AtomicU64,
+        retries: AtomicU64,
+    }
+    impl Progress for Observer {
+        fn on_photons(&self, completed: u64, total: u64) {
+            assert!(completed <= total);
+            self.photons.fetch_max(completed, Ordering::Relaxed);
+        }
+        fn on_task_retry(&self, _task_id: u64) {
+            self.retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let obs = Observer { photons: AtomicU64::new(0), retries: AtomicU64::new(0) };
+    // 32 tasks at a 50% failure rate: P(zero requeues) = 0.5^32 ≈ 2e-10,
+    // so the requeues > 0 assertion cannot flake on an unlucky schedule.
+    let report = ThreadedCluster::new(3)
+        .with_failure_plan(FailurePlan::Random { rate: 0.5 })
+        .run_with_progress(&scenario().with_tasks(32), &obs)
+        .expect("valid scenario");
+    assert_eq!(obs.photons.load(Ordering::Relaxed), 4_000, "all completions observed");
+    assert_eq!(obs.retries.load(Ordering::Relaxed), report.requeues, "retries observed live");
+    assert!(report.requeues > 0, "50% failure rate over 32 tasks must requeue");
+}
+
+#[test]
+fn simulated_backend_predicts_without_transport() {
+    // `sim` deliberately sits outside the bit-identical matrix: it models
+    // time. Same scenario, zero photons traced, a virtual makespan out.
+    let report = scenario().run_simulated(lumen_cluster::homogeneous_pool(10)).expect("valid");
+    assert!(report.is_virtual());
+    assert_eq!(report.result.launched(), 0);
+    assert!(report.virtual_seconds.unwrap() > 0.0);
+    let accounted: u64 = report.workers.iter().map(|w| w.photons).sum();
+    assert_eq!(accounted, 4_000, "the DES still accounts for every photon");
+    let _ = SimulatedCluster::new(1); // constructor stays in the public API
+}

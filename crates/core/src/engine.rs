@@ -1,0 +1,632 @@
+//! The unified execution API: one [`Scenario`] description, many
+//! interchangeable [`Backend`]s.
+//!
+//! The reproduced paper's central claim is that the *same* photon-transport
+//! workload runs on one core, a shared-memory machine, or a non-dedicated
+//! master/worker cluster with identical results. This module makes that a
+//! type: a [`Scenario`] fully describes an experiment — geometry, source,
+//! detector, engine options, photon budget, task decomposition, and seed —
+//! and a [`Backend`] is any way of executing it. Because the task split and
+//! the RNG stream family are part of the scenario (not the backend), every
+//! backend produces **bit-identical tallies** for the same scenario:
+//!
+//! ```
+//! use lumen_core::engine::{Backend, Rayon, Scenario, Sequential};
+//! use lumen_core::{Detector, Source};
+//! use lumen_tissue::presets::semi_infinite_phantom;
+//!
+//! let scenario = Scenario::new(
+//!     semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
+//!     Source::Delta,
+//!     Detector::new(2.0, 0.5),
+//! )
+//! .with_photons(4_000)
+//! .with_tasks(8)
+//! .with_seed(42);
+//!
+//! let seq = Sequential.run(&scenario).unwrap();
+//! let par = Rayon::default().run(&scenario).unwrap();
+//! assert_eq!(seq.result.tally, par.result.tally); // bit-identical
+//! ```
+//!
+//! `lumen-core` ships the in-process backends ([`Sequential`], [`Rayon`]);
+//! the distributed ones (`ThreadedCluster`, `Tcp`, `SimulatedCluster`) live
+//! in `lumen-cluster`, which registers them on the same trait — see
+//! `lumen_cluster::backend`. Long runs can observe completion through the
+//! [`Progress`] hook, and all failure paths report a typed [`EngineError`]
+//! instead of panicking on ad-hoc strings.
+
+use crate::detector::Detector;
+use crate::parallel::batch_sizes;
+use crate::results::SimulationResult;
+use crate::sim::{PathRecord, Simulation, SimulationOptions};
+use crate::source::Source;
+use crate::tally::Tally;
+use lumen_tissue::LayeredTissue;
+use mcrng::StreamFactory;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Typed errors from scenario validation and backend execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The scenario or backend parameters are inconsistent (bad geometry,
+    /// zero tasks, zero workers, a failure rate outside `[0, 1)`, ...).
+    InvalidConfig(String),
+    /// A backend failed while executing a valid scenario (I/O, protocol
+    /// violation, thread-pool construction, lost workers).
+    Backend {
+        /// Name of the backend that failed (see [`Backend::name`]).
+        backend: String,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl EngineError {
+    /// Convenience constructor for backend-side failures.
+    pub fn backend(name: impl Into<String>, reason: impl Into<String>) -> Self {
+        EngineError::Backend { backend: name.into(), reason: reason.into() }
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
+            EngineError::Backend { backend, reason } => {
+                write!(f, "backend `{backend}` failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A fully specified experiment: what to simulate and how the work is
+/// decomposed, independent of where it executes.
+///
+/// The `(seed, tasks)` pair fixes every random draw: task `i` simulates its
+/// batch from RNG stream `i` of the seed's stream family, so *any* backend
+/// — sequential, rayon, threaded cluster, TCP — produces bit-identical
+/// tallies for the same scenario. This is the paper's reproducibility
+/// contract, promoted from a convention to the type itself.
+///
+/// The CLI's `key = value` config format maps onto this struct 1:1, and
+/// `lumen_cluster::wire` gives it a binary encoding for multi-machine
+/// deployments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The layered medium.
+    pub tissue: LayeredTissue,
+    /// Source footprint.
+    pub source: Source,
+    /// Detector geometry and gating.
+    pub detector: Detector,
+    /// Engine knobs (boundary mode, roulette, attached tallies, ...).
+    pub options: SimulationOptions,
+    /// Photon budget.
+    pub photons: u64,
+    /// Number of batches the budget splits into. Part of the scenario —
+    /// not the backend — so results never depend on the execution
+    /// substrate. More tasks load-balance better; batches may be empty
+    /// when `tasks > photons`.
+    pub tasks: u64,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Default photon budget (override with [`Scenario::with_photons`]).
+    pub const DEFAULT_PHOTONS: u64 = 100_000;
+    /// Default task count, matching the old `ParallelConfig::new`.
+    pub const DEFAULT_TASKS: u64 = 64;
+    /// Default seed, matching the CLI default.
+    pub const DEFAULT_SEED: u64 = 42;
+
+    /// A scenario with default options, budget, task count, and seed.
+    pub fn new(tissue: LayeredTissue, source: Source, detector: Detector) -> Self {
+        Self {
+            tissue,
+            source,
+            detector,
+            options: SimulationOptions::default(),
+            photons: Self::DEFAULT_PHOTONS,
+            tasks: Self::DEFAULT_TASKS,
+            seed: Self::DEFAULT_SEED,
+        }
+    }
+
+    /// Wrap an existing [`Simulation`] (geometry + options) as a scenario.
+    pub fn from_simulation(sim: &Simulation, photons: u64, seed: u64) -> Self {
+        Self {
+            tissue: sim.tissue.clone(),
+            source: sim.source,
+            detector: sim.detector,
+            options: sim.options.clone(),
+            photons,
+            tasks: Self::DEFAULT_TASKS,
+            seed,
+        }
+    }
+
+    /// Override the photon budget (builder style).
+    pub fn with_photons(mut self, photons: u64) -> Self {
+        self.photons = photons;
+        self
+    }
+
+    /// Override the task decomposition (builder style).
+    pub fn with_tasks(mut self, tasks: u64) -> Self {
+        self.tasks = tasks;
+        self
+    }
+
+    /// Override the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the engine options (builder style).
+    pub fn with_options(mut self, options: SimulationOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The geometry/options part of the scenario as a [`Simulation`].
+    pub fn simulation(&self) -> Simulation {
+        Simulation {
+            tissue: self.tissue.clone(),
+            source: self.source,
+            detector: self.detector,
+            options: self.options.clone(),
+        }
+    }
+
+    /// Validate the complete scenario.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if self.tasks == 0 {
+            return Err(EngineError::InvalidConfig("tasks must be >= 1".into()));
+        }
+        self.simulation().validate().map_err(EngineError::InvalidConfig)
+    }
+
+    /// The per-task batch sizes this scenario decomposes into.
+    pub fn batches(&self) -> Vec<u64> {
+        batch_sizes(self.photons, self.tasks)
+    }
+
+    /// Run on the given backend — sugar for `backend.run(self)`.
+    pub fn run_on(&self, backend: &dyn Backend) -> Result<RunReport, EngineError> {
+        backend.run(self)
+    }
+}
+
+/// Observer for long-running executions.
+///
+/// Backends call these hooks from worker/aggregator threads, so
+/// implementations must be `Sync`. All methods default to no-ops —
+/// implement only what you need.
+pub trait Progress: Sync {
+    /// Photons completed so far (cumulative) out of the scenario budget.
+    /// Called after each completed batch, in completion order.
+    fn on_photons(&self, completed: u64, total: u64) {
+        let _ = (completed, total);
+    }
+
+    /// A task failed (e.g. a worker was reclaimed) and was re-queued.
+    fn on_task_retry(&self, task_id: u64) {
+        let _ = task_id;
+    }
+}
+
+/// The no-op observer used by [`Backend::run`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProgress;
+
+impl Progress for NoProgress {}
+
+/// Per-worker accounting carried by every [`RunReport`] — the paper's
+/// "which machine did how much" table, normalised across backends.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerAccount {
+    /// Tasks completed by this worker.
+    pub tasks_completed: u64,
+    /// Tasks this worker failed (failure injection / lost connections).
+    pub tasks_failed: u64,
+    /// Photons simulated by this worker.
+    pub photons: u64,
+}
+
+/// The unified outcome of running a [`Scenario`] on any [`Backend`] —
+/// one report type where the seed API had `SimulationResult`,
+/// `DistributedReport`, and `NetReport`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// The merged physics: tally plus recorded sample paths.
+    pub result: SimulationResult,
+    /// Per-worker accounting, indexed by worker id. In-process backends
+    /// report a single aggregate entry.
+    pub workers: Vec<WorkerAccount>,
+    /// How many tasks were re-queued after failures.
+    pub requeues: u64,
+    /// Wall-clock duration of the run (s).
+    pub wall_seconds: f64,
+    /// Virtual makespan for simulated backends (the DES); `None` for
+    /// backends that executed real photon transport.
+    pub virtual_seconds: Option<f64>,
+    /// Name of the backend that produced this report.
+    pub backend: String,
+}
+
+impl RunReport {
+    /// Measured throughput (photons per wall-clock second).
+    pub fn photons_per_second(&self) -> f64 {
+        self.result.launched() as f64 / self.wall_seconds.max(1e-9)
+    }
+
+    /// True when the report's timing is simulated rather than measured
+    /// (its tally is then empty — the DES models time, not photons).
+    pub fn is_virtual(&self) -> bool {
+        self.virtual_seconds.is_some()
+    }
+}
+
+impl std::ops::Deref for RunReport {
+    type Target = SimulationResult;
+
+    /// A report answers all the derived-physics questions its result does
+    /// (`report.diffuse_reflectance()`, `report.tally`, ...).
+    fn deref(&self) -> &SimulationResult {
+        &self.result
+    }
+}
+
+/// An execution substrate for scenarios.
+///
+/// Implementations must honour the scenario's `(seed, tasks)` contract:
+/// task `i` runs `scenario.batches()[i]` photons from RNG stream `i`, and
+/// tallies merge in task order, so every backend returns bit-identical
+/// tallies for the same scenario. (Sample-path recording is best-effort:
+/// distributed backends may return fewer recorded paths than in-process
+/// ones, but the tally never differs.)
+pub trait Backend {
+    /// Short stable name ("sequential", "rayon", "cluster", "tcp", "sim").
+    fn name(&self) -> &'static str;
+
+    /// Execute the scenario, streaming status to `progress`.
+    fn run_with_progress(
+        &self,
+        scenario: &Scenario,
+        progress: &dyn Progress,
+    ) -> Result<RunReport, EngineError>;
+
+    /// Execute the scenario without observation.
+    fn run(&self, scenario: &Scenario) -> Result<RunReport, EngineError> {
+        self.run_with_progress(scenario, &NoProgress)
+    }
+}
+
+/// Merge per-task tallies in task order. Fixing the float accumulation
+/// order is what makes results identical across thread counts, schedules,
+/// and backends (a tree reduction would not be).
+fn merge_in_task_order(
+    sim: &Simulation,
+    per_task: Vec<(Tally, Vec<PathRecord>)>,
+) -> SimulationResult {
+    let cap = sim.options.record_paths;
+    let mut tally = sim.new_tally();
+    let mut paths = Vec::new();
+    for (t, p) in per_task {
+        tally.merge(&t);
+        if paths.len() < cap {
+            paths.extend(p.into_iter().take(cap - paths.len()));
+        }
+    }
+    SimulationResult::new(tally, paths)
+}
+
+/// Run one task's batch into a fresh tally.
+fn run_one_task(
+    sim: &Simulation,
+    factory: &StreamFactory,
+    task_idx: u64,
+    batch: u64,
+) -> (Tally, Vec<PathRecord>) {
+    let mut rng = factory.stream(task_idx);
+    let mut tally = sim.new_tally();
+    let mut paths: Vec<PathRecord> = Vec::new();
+    let want_paths = sim.options.record_paths > 0;
+    sim.run_stream(batch, &mut rng, &mut tally, if want_paths { Some(&mut paths) } else { None });
+    (tally, paths)
+}
+
+/// Single-threaded in-process backend: the scenario's tasks run one after
+/// another on the calling thread. The paper's "one core" configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sequential;
+
+impl Backend for Sequential {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn run_with_progress(
+        &self,
+        scenario: &Scenario,
+        progress: &dyn Progress,
+    ) -> Result<RunReport, EngineError> {
+        scenario.validate()?;
+        let started = Instant::now();
+        let sim = scenario.simulation();
+        let factory = StreamFactory::new(scenario.seed);
+        let sizes = scenario.batches();
+
+        let mut done = 0u64;
+        let per_task: Vec<(Tally, Vec<PathRecord>)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(task_idx, &batch)| {
+                let out = run_one_task(&sim, &factory, task_idx as u64, batch);
+                done += batch;
+                progress.on_photons(done, scenario.photons);
+                out
+            })
+            .collect();
+
+        let tasks_completed = per_task.len() as u64;
+        let result = merge_in_task_order(&sim, per_task);
+        Ok(RunReport {
+            workers: vec![WorkerAccount {
+                tasks_completed,
+                tasks_failed: 0,
+                photons: result.launched(),
+            }],
+            result,
+            requeues: 0,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            virtual_seconds: None,
+            backend: self.name().to_string(),
+        })
+    }
+}
+
+/// Shared-memory parallel backend on the rayon thread pool — the
+/// DataManager/client decomposition collapsed into one address space.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Rayon {
+    /// Pin the pool size; `None` uses the global pool (one thread per
+    /// logical CPU). Results do not depend on this — only speed does.
+    pub threads: Option<usize>,
+}
+
+impl Rayon {
+    /// A backend pinned to `threads` worker threads.
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads: Some(threads) }
+    }
+
+    fn run_on_current_pool(
+        &self,
+        scenario: &Scenario,
+        progress: &dyn Progress,
+    ) -> Result<RunReport, EngineError> {
+        let started = Instant::now();
+        let sim = scenario.simulation();
+        let factory = StreamFactory::new(scenario.seed);
+        let sizes = scenario.batches();
+
+        // The counter and the callback share one lock so observers see a
+        // strictly monotonic photon count in call order, as the Progress
+        // contract promises. Batch completions are coarse-grained, so the
+        // critical section is negligible next to the transport work.
+        let done = Mutex::new(0u64);
+        let per_task: Vec<(Tally, Vec<PathRecord>)> = sizes
+            .par_iter()
+            .enumerate()
+            .map(|(task_idx, &batch)| {
+                let out = run_one_task(&sim, &factory, task_idx as u64, batch);
+                {
+                    let mut done = done.lock().expect("progress lock");
+                    *done += batch;
+                    progress.on_photons(*done, scenario.photons);
+                }
+                out
+            })
+            .collect();
+
+        let tasks_completed = per_task.len() as u64;
+        let result = merge_in_task_order(&sim, per_task);
+        Ok(RunReport {
+            workers: vec![WorkerAccount {
+                tasks_completed,
+                tasks_failed: 0,
+                photons: result.launched(),
+            }],
+            result,
+            requeues: 0,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            virtual_seconds: None,
+            backend: self.name().to_string(),
+        })
+    }
+}
+
+impl Backend for Rayon {
+    fn name(&self) -> &'static str {
+        "rayon"
+    }
+
+    fn run_with_progress(
+        &self,
+        scenario: &Scenario,
+        progress: &dyn Progress,
+    ) -> Result<RunReport, EngineError> {
+        scenario.validate()?;
+        match self.threads {
+            None => self.run_on_current_pool(scenario, progress),
+            Some(k) => {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(k)
+                    .build()
+                    .map_err(|e| EngineError::backend(self.name(), e.to_string()))?;
+                pool.install(|| self.run_on_current_pool(scenario, progress))
+            }
+        }
+    }
+}
+
+/// Resolve a backend-spec string to one of the **core** backends:
+/// `sequential`, `rayon`, or `rayon <threads>`.
+///
+/// The cluster backends (`cluster`, `tcp`, `sim`) are registered on top of
+/// this vocabulary by `lumen_cluster::backend::from_spec`, which falls back
+/// here — that one-way registration is what keeps `lumen-core` free of any
+/// cluster dependency.
+pub fn from_spec(spec: &str) -> Result<Box<dyn Backend>, EngineError> {
+    let mut parts = spec.split_whitespace();
+    let kind = parts.next().unwrap_or("");
+    let args: Vec<&str> = parts.collect();
+    match (kind, args.as_slice()) {
+        ("sequential", []) => Ok(Box::new(Sequential)),
+        ("rayon", []) => Ok(Box::new(Rayon::default())),
+        ("rayon", [threads]) => {
+            let threads: usize = threads.parse().map_err(|_| {
+                EngineError::InvalidConfig(format!(
+                    "rayon thread count `{threads}` is not a number"
+                ))
+            })?;
+            if threads == 0 {
+                return Err(EngineError::InvalidConfig("rayon thread count must be >= 1".into()));
+            }
+            Ok(Box::new(Rayon::with_threads(threads)))
+        }
+        _ => Err(EngineError::InvalidConfig(format!(
+            "unknown backend `{spec}` (core backends: sequential | rayon [threads])"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::Detector;
+    use crate::source::Source;
+    use lumen_tissue::presets::semi_infinite_phantom;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    fn scenario() -> Scenario {
+        Scenario::new(
+            semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
+            Source::Delta,
+            Detector::new(1.0, 0.5),
+        )
+        .with_photons(4_000)
+        .with_tasks(8)
+        .with_seed(5)
+    }
+
+    #[test]
+    fn sequential_and_rayon_are_bit_identical() {
+        let s = scenario();
+        let seq = Sequential.run(&s).unwrap();
+        let par = Rayon::default().run(&s).unwrap();
+        assert_eq!(seq.result.tally, par.result.tally);
+        assert_eq!(seq.result.sample_paths, par.result.sample_paths);
+    }
+
+    #[test]
+    fn pinned_thread_count_does_not_change_results() {
+        let s = scenario();
+        let a = Rayon::with_threads(1).run(&s).unwrap();
+        let b = Rayon::with_threads(2).run(&s).unwrap();
+        assert_eq!(a.result.tally, b.result.tally);
+    }
+
+    #[test]
+    fn single_task_scenario_matches_legacy_sequential_run() {
+        let s = scenario().with_tasks(1).with_photons(3_000).with_seed(9);
+        let legacy = s.simulation().run(3_000, 9);
+        let report = Sequential.run(&s).unwrap();
+        assert_eq!(legacy.tally, report.result.tally);
+    }
+
+    #[test]
+    fn report_carries_accounting_and_throughput() {
+        let s = scenario();
+        let report = Rayon::default().run(&s).unwrap();
+        assert_eq!(report.backend, "rayon");
+        assert_eq!(report.launched(), 4_000); // via Deref
+        assert_eq!(report.workers.len(), 1);
+        assert_eq!(report.workers[0].photons, 4_000);
+        assert_eq!(report.workers[0].tasks_completed, 8);
+        assert_eq!(report.requeues, 0);
+        assert!(report.wall_seconds >= 0.0);
+        assert!(report.photons_per_second() > 0.0);
+        assert!(!report.is_virtual());
+    }
+
+    #[test]
+    fn progress_observer_sees_every_batch() {
+        struct Counter {
+            calls: AtomicUsize,
+            last: AtomicU64,
+        }
+        impl Progress for Counter {
+            fn on_photons(&self, completed: u64, total: u64) {
+                self.calls.fetch_add(1, Ordering::Relaxed);
+                self.last.fetch_max(completed, Ordering::Relaxed);
+                assert_eq!(total, 4_000);
+            }
+        }
+        let counter = Counter { calls: AtomicUsize::new(0), last: AtomicU64::new(0) };
+        let s = scenario();
+        Sequential.run_with_progress(&s, &counter).unwrap();
+        assert_eq!(counter.calls.load(Ordering::Relaxed), 8);
+        assert_eq!(counter.last.load(Ordering::Relaxed), 4_000);
+    }
+
+    #[test]
+    fn zero_tasks_is_invalid() {
+        let s = scenario().with_tasks(0);
+        assert!(matches!(Sequential.run(&s), Err(EngineError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn invalid_geometry_is_a_typed_error() {
+        let mut s = scenario();
+        s.detector.radius = -1.0;
+        let err = Rayon::default().run(&s).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidConfig(_)));
+        assert!(err.to_string().contains("invalid configuration"));
+    }
+
+    #[test]
+    fn spec_resolution() {
+        assert_eq!(from_spec("sequential").unwrap().name(), "sequential");
+        assert_eq!(from_spec("rayon").unwrap().name(), "rayon");
+        assert_eq!(from_spec("rayon 2").unwrap().name(), "rayon");
+        assert!(from_spec("rayon zero").is_err());
+        assert!(from_spec("rayon 0").is_err());
+        assert!(from_spec("quantum").is_err());
+        assert!(from_spec("").is_err());
+    }
+
+    #[test]
+    fn run_on_sugar_matches_backend_run() {
+        let s = scenario();
+        let a = s.run_on(&Sequential).unwrap();
+        let b = Sequential.run(&s).unwrap();
+        assert_eq!(a.result.tally, b.result.tally);
+    }
+
+    #[test]
+    fn scenario_batches_cover_budget() {
+        let s = scenario().with_photons(1001).with_tasks(10);
+        let batches = s.batches();
+        assert_eq!(batches.iter().sum::<u64>(), 1001);
+    }
+}

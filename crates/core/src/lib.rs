@@ -30,12 +30,19 @@
 //! * unlimited number of simulations (batching is the cluster's job —
 //!   see `lumen-cluster`).
 //!
-//! The sequential driver is [`Simulation::run`]; the shared-memory parallel
-//! driver ([`parallel::run_parallel`]) splits the photon budget into tasks
-//! with independent RNG substreams and merges per-worker tallies, which is
-//! exactly the DataManager/client decomposition in miniature.
+//! The front door is the [`engine`] module: describe an experiment as an
+//! [`engine::Scenario`] (tissue + source + detector + options + photon
+//! budget + task split + seed) and execute it on any [`engine::Backend`] —
+//! [`engine::Sequential`] or [`engine::Rayon`] here, the threaded
+//! master/worker cluster, TCP deployment, and discrete-event simulator in
+//! `lumen-cluster`. Every backend returns the same [`engine::RunReport`]
+//! with bit-identical tallies for the same scenario, which is the paper's
+//! reproducibility claim expressed as a type. The old free functions
+//! ([`Simulation::run`], the deprecated [`parallel::run_parallel`]) remain
+//! as thin shims.
 
 pub mod detector;
+pub mod engine;
 pub mod parallel;
 pub mod radial;
 pub mod results;
@@ -44,9 +51,15 @@ pub mod source;
 pub mod tally;
 
 pub use detector::{Detector, GateWindow};
-pub use lumen_photon::{BoundaryMode, OpticalProperties, Photon, Vec3};
+pub use engine::{
+    Backend, EngineError, NoProgress, Progress, Rayon, RunReport, Scenario, Sequential,
+    WorkerAccount,
+};
+pub use lumen_photon::{BoundaryMode, OpticalProperties, Photon, RouletteConfig, Vec3};
 pub use lumen_tissue::{LayeredTissue, OpticalProperties as TissueOptics};
-pub use parallel::{run_parallel, ParallelConfig};
+#[allow(deprecated)]
+pub use parallel::run_parallel;
+pub use parallel::ParallelConfig;
 pub use radial::{CylinderGrid, RadialProfile, RadialSpec};
 pub use results::SimulationResult;
 pub use sim::{Simulation, SimulationOptions};

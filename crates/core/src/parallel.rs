@@ -1,18 +1,16 @@
-//! Shared-memory parallel driver built on rayon.
+//! Legacy shared-memory parallel driver (superseded by [`crate::engine`]).
 //!
-//! This is the DataManager/client decomposition collapsed into one address
-//! space: the photon budget is split into `tasks` batches, each batch gets
-//! its own RNG substream (so results are bit-identical regardless of thread
-//! count or scheduling order), workers fill private tallies, and the
-//! tallies are merged at the end. The full multi-process protocol — with
-//! task queues, heterogeneous workers, and failure handling — lives in
-//! `lumen-cluster`; this module is the fast path for a single machine.
+//! This module now holds the batch-splitting arithmetic shared by every
+//! backend ([`batch_sizes`]) plus thin deprecated shims over the unified
+//! engine API: [`run_parallel`] is exactly `engine::Rayon` run on an
+//! `engine::Scenario`. New code should build a [`crate::engine::Scenario`]
+//! and pick a [`crate::engine::Backend`]; the full multi-process protocol —
+//! task queues, heterogeneous workers, failure handling — lives in
+//! `lumen-cluster`.
 
+use crate::engine::{Backend, Rayon, Scenario};
 use crate::results::SimulationResult;
-use crate::sim::{PathRecord, Simulation};
-use crate::tally::Tally;
-use mcrng::StreamFactory;
-use rayon::prelude::*;
+use crate::sim::Simulation;
 use serde::{Deserialize, Serialize};
 
 /// Parallel execution parameters.
@@ -52,57 +50,40 @@ pub fn batch_sizes(total: u64, tasks: u64) -> Vec<u64> {
 /// Deterministic: identical `(sim, n, config)` give identical results on
 /// any machine and any thread count.
 ///
+/// Deprecated shim: equivalent to running an [`engine::Scenario`] with the
+/// same `(seed, tasks)` on the [`engine::Rayon`] backend —
+///
 /// ```
-/// use lumen_core::{run_parallel, Detector, ParallelConfig, Simulation, Source};
+/// use lumen_core::engine::{Backend, Rayon, Scenario};
+/// use lumen_core::{Detector, Source};
 /// use lumen_tissue::presets::semi_infinite_phantom;
 ///
-/// let sim = Simulation::new(
+/// let scenario = Scenario::new(
 ///     semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
 ///     Source::Delta,
 ///     Detector::new(2.0, 0.5),
-/// );
-/// let cfg = ParallelConfig { seed: 7, tasks: 8 };
-/// let a = run_parallel(&sim, 4_000, cfg);
-/// let b = run_parallel(&sim, 4_000, cfg);
-/// assert_eq!(a.tally, b.tally); // bit-identical regardless of threads
+/// )
+/// .with_photons(4_000)
+/// .with_tasks(8)
+/// .with_seed(7);
+/// let a = Rayon::default().run(&scenario).unwrap();
+/// let b = Rayon::default().run(&scenario).unwrap();
+/// assert_eq!(a.result.tally, b.result.tally); // bit-identical
 /// ```
+///
+/// [`engine::Scenario`]: crate::engine::Scenario
+/// [`engine::Rayon`]: crate::engine::Rayon
+#[deprecated(
+    since = "0.1.0",
+    note = "build an `engine::Scenario` and run it on the `engine::Rayon` backend"
+)]
 pub fn run_parallel(sim: &Simulation, n: u64, config: ParallelConfig) -> SimulationResult {
-    sim.validate().expect("invalid simulation configuration");
-    let factory = StreamFactory::new(config.seed);
-    let sizes = batch_sizes(n, config.tasks);
-
-    // Collect per-task tallies, then merge sequentially in task order:
-    // float accumulation order is fixed, so results are bit-identical
-    // across thread counts and runs (a tree reduction would not be).
-    let per_task: Vec<(Tally, Vec<PathRecord>)> = sizes
-        .par_iter()
-        .enumerate()
-        .map(|(task_idx, &batch)| {
-            let mut rng = factory.stream(task_idx as u64);
-            let mut tally = sim.new_tally();
-            let mut paths: Vec<PathRecord> = Vec::new();
-            let want_paths = sim.options.record_paths > 0;
-            sim.run_stream(
-                batch,
-                &mut rng,
-                &mut tally,
-                if want_paths { Some(&mut paths) } else { None },
-            );
-            (tally, paths)
-        })
-        .collect();
-
-    let mut tally = sim.new_tally();
-    let mut paths = Vec::new();
-    for (t, p) in &per_task {
-        tally.merge(t);
-        paths.extend(p.iter().cloned());
-    }
-    paths.truncate(sim.options.record_paths);
-    SimulationResult::new(tally, paths)
+    let scenario = Scenario::from_simulation(sim, n, config.seed).with_tasks(config.tasks);
+    Rayon::default().run(&scenario).expect("invalid simulation configuration").result
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims must keep working until they are removed
 mod tests {
     use super::*;
     use crate::detector::Detector;

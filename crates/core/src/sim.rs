@@ -621,8 +621,7 @@ mod tests {
     fn path_grid_populates_on_detection() {
         let tissue = homogeneous_white_matter();
         let spec = GridSpec::cubic(20, Vec3::new(-2.0, -2.0, 0.0), Vec3::new(4.0, 2.0, 4.0));
-        let mut opts = SimulationOptions::default();
-        opts.path_grid = Some(spec);
+        let opts = SimulationOptions { path_grid: Some(spec), ..Default::default() };
         let sim =
             Simulation::new(tissue, Source::Delta, Detector::new(2.0, 1.0)).with_options(opts);
         let res = sim.run(20_000, 21);
@@ -634,8 +633,7 @@ mod tests {
     #[test]
     fn recorded_paths_start_at_surface_and_respect_cap() {
         let tissue = homogeneous_white_matter();
-        let mut opts = SimulationOptions::default();
-        opts.record_paths = 5;
+        let opts = SimulationOptions { record_paths: 5, ..Default::default() };
         let sim =
             Simulation::new(tissue, Source::Delta, Detector::new(2.0, 1.0)).with_options(opts);
         let res = sim.run(50_000, 31);
@@ -652,8 +650,7 @@ mod tests {
     fn classical_and_probabilistic_agree_in_distribution() {
         let tissue = semi_infinite_phantom(0.05, 5.0, 0.8, 1.4);
         let mk = |mode| {
-            let mut opts = SimulationOptions::default();
-            opts.boundary_mode = mode;
+            let opts = SimulationOptions { boundary_mode: mode, ..Default::default() };
             Simulation::new(tissue.clone(), Source::Delta, Detector::new(2.0, 1.0))
                 .with_options(opts)
         };

@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --release --example adult_head`
 
-use lumen::core::{Detector, ParallelConfig, Simulation, Source};
+use lumen::core::{Backend, Detector, Rayon, Scenario, Source};
 use lumen::tissue::presets::{adult_head, AdultHeadConfig};
 
 fn main() {
@@ -37,8 +37,10 @@ fn main() {
     for separation in [20.0, 30.0, 40.0, 50.0, 60.0] {
         // Annular detector: same physics as a disc by symmetry, ~30x the
         // statistical efficiency at these separations.
-        let sim = Simulation::new(head.clone(), Source::Delta, Detector::ring(separation, 2.0));
-        let res = lumen::core::run_parallel(&sim, 400_000, ParallelConfig::new(11));
+        let scenario = Scenario::new(head.clone(), Source::Delta, Detector::ring(separation, 2.0))
+            .with_photons(400_000)
+            .with_seed(11);
+        let res = Rayon::default().run(&scenario).expect("valid scenario");
         println!(
             "{:>10.0} | {:>9} | {:>9.0} mm | {:>12.2} | {:>11.1} mm | {:>11.2}%",
             separation,

@@ -4,9 +4,7 @@
 //! Run: `cargo run --release --example banana`
 
 use lumen::analysis::{banana_metrics, render_ascii, threshold_fraction, Projection2D};
-use lumen::core::{
-    Detector, GridSpec, ParallelConfig, Simulation, SimulationOptions, Source, Vec3,
-};
+use lumen::core::{Backend, Detector, GridSpec, Rayon, Scenario, SimulationOptions, Source, Vec3};
 use lumen::tissue::presets::homogeneous_white_matter;
 
 fn main() {
@@ -18,15 +16,16 @@ fn main() {
         Vec3::new(-3.0, -3.0, 0.0),
         Vec3::new(separation + 3.0, 3.0, 9.0),
     );
-    let mut options = SimulationOptions::default();
-    options.path_grid = Some(spec);
-    options.record_paths = 3;
+    let options =
+        SimulationOptions { path_grid: Some(spec), record_paths: 3, ..Default::default() };
 
-    let sim =
-        Simulation::new(homogeneous_white_matter(), Source::Delta, Detector::new(separation, 1.0))
-            .with_options(options);
+    let scenario =
+        Scenario::new(homogeneous_white_matter(), Source::Delta, Detector::new(separation, 1.0))
+            .with_options(options)
+            .with_photons(1_000_000)
+            .with_seed(7);
 
-    let result = lumen::core::run_parallel(&sim, 1_000_000, ParallelConfig::new(7));
+    let result = Rayon::default().run(&scenario).expect("valid scenario");
     println!(
         "detected {} of {} photons (mean path {:.1} mm over a {separation} mm gap)",
         result.tally.detected,

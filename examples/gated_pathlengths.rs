@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --release --example gated_pathlengths`
 
-use lumen::core::{Detector, GateWindow, ParallelConfig, Simulation, Source};
+use lumen::core::{Backend, Detector, GateWindow, Rayon, Scenario, Source};
 use lumen::tissue::presets::homogeneous_white_matter;
 
 fn main() {
@@ -18,8 +18,10 @@ fn main() {
 
     // Ungated reference.
     let open =
-        Simulation::new(homogeneous_white_matter(), Source::Delta, Detector::new(separation, 1.0));
-    let reference = lumen::core::run_parallel(&open, photons, ParallelConfig::new(13));
+        Scenario::new(homogeneous_white_matter(), Source::Delta, Detector::new(separation, 1.0))
+            .with_photons(photons)
+            .with_seed(13);
+    let reference = Rayon::default().run(&open).expect("valid scenario");
     println!(
         "ungated: {} detected, pathlengths {:.1} ± {:.1} mm",
         reference.tally.detected,
@@ -32,13 +34,15 @@ fn main() {
         "gate (mm)", "detected", "gate-reject", "mean path", "mean depth"
     );
     for (lo, hi) in [(0.0, 10.0), (10.0, 20.0), (20.0, 40.0), (40.0, 80.0), (80.0, 160.0)] {
-        let gated = Simulation::new(
+        let gated = Scenario::new(
             homogeneous_white_matter(),
             Source::Delta,
             Detector::new(separation, 1.0)
                 .with_gate(GateWindow::new(lo, hi).expect("valid window")),
-        );
-        let res = lumen::core::run_parallel(&gated, photons, ParallelConfig::new(13));
+        )
+        .with_photons(photons)
+        .with_seed(13);
+        let res = Rayon::default().run(&gated).expect("valid scenario");
         println!(
             "{:>6.0}-{:<7.0} | {:>9} | {:>12} | {:>9.1} mm | {:>7.2} mm",
             lo,

@@ -39,5 +39,26 @@ fn main() {
             report.mean_utilisation() * 100.0
         );
     }
+    // The same pool through the unified Backend API: a Scenario routed to
+    // the `sim` backend predicts the run without executing any transport.
+    use lumen::cluster::SimulatedCluster;
+    use lumen::core::{Backend, Detector, Scenario, Source};
+    let scenario = Scenario::new(
+        lumen::tissue::presets::homogeneous_white_matter(),
+        Source::Delta,
+        Detector::new(6.0, 1.0),
+    )
+    .with_photons(job.total_photons)
+    .with_tasks(job.n_tasks())
+    .with_seed(150);
+    let mut backend = SimulatedCluster::with_pool(lumen::cluster::table2_pool());
+    backend.availability = AvailabilityModel::semi_idle();
+    let predicted = backend.run(&scenario).expect("valid scenario");
+    println!(
+        "\nvia Backend::run (`sim` backend): predicted makespan {:.2} h over {} machines",
+        predicted.virtual_seconds.unwrap_or(0.0) / 3600.0,
+        predicted.workers.len()
+    );
+
     println!("\n(the paper reports ~2 h per billion-photon simulation on this pool)");
 }

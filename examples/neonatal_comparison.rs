@@ -6,7 +6,7 @@
 //!
 //! Run: `cargo run --release --example neonatal_comparison`
 
-use lumen::core::{Detector, ParallelConfig, Simulation, Source};
+use lumen::core::{Backend, Detector, Rayon, Scenario, Source};
 use lumen::tissue::presets::{adult_head, neonatal_head, AdultHeadConfig};
 
 fn main() {
@@ -23,8 +23,10 @@ fn main() {
         [("adult", adult_head(AdultHeadConfig::default())), ("neonatal", neonatal_head())]
     {
         let superficial = tissue.layers()[0].thickness() + tissue.layers()[1].thickness();
-        let sim = Simulation::new(tissue, Source::Delta, Detector::ring(separation, 2.0));
-        let res = lumen::core::run_parallel(&sim, photons, ParallelConfig::new(19));
+        let scenario = Scenario::new(tissue, Source::Delta, Detector::ring(separation, 2.0))
+            .with_photons(photons)
+            .with_seed(19);
+        let res = Rayon::default().run(&scenario).expect("valid scenario");
         println!(
             "{:<10} | {:>9} | {:>9.0} mm | {:>9.1} mm | {:>9.2}% | {:>9.2}%   (scalp+skull: {superficial:.1} mm)",
             label,

@@ -3,24 +3,34 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use lumen::core::{Detector, ParallelConfig, Simulation, Source};
+use lumen::core::{Backend, Detector, Rayon, Scenario, Sequential, Source};
 use lumen::tissue::presets::{adult_head, AdultHeadConfig};
 
 fn main() {
-    // 1. Pick a tissue model — here the paper's Table 1 adult head.
-    let tissue = adult_head(AdultHeadConfig::default());
+    // 1. Describe the experiment as a Scenario: the paper's Table 1 adult
+    //    head, a laser at the origin, a 3 mm-radius detector 30 mm away (a
+    //    typical NIRS optode spacing), a photon budget, and a seed. The
+    //    (seed, tasks) pair fixes every random draw.
+    let scenario = Scenario::new(
+        adult_head(AdultHeadConfig::default()),
+        Source::Delta,
+        Detector::new(30.0, 3.0),
+    )
+    .with_photons(500_000)
+    .with_seed(42);
 
-    // 2. Pick a source and a detector: a laser at the origin, a 3 mm-radius
-    //    detector 30 mm away (a typical NIRS optode spacing).
-    let source = Source::Delta;
-    let detector = Detector::new(30.0, 3.0);
+    // 2. Pick a backend and run. Any backend — Sequential, Rayon, the
+    //    threaded cluster, TCP — returns bit-identical tallies for the
+    //    same scenario; Rayon is the single-machine production choice.
+    let result = Rayon::default().run(&scenario).expect("valid scenario");
 
-    // 3. Build and run the simulation in parallel (deterministic per seed).
-    let sim = Simulation::new(tissue, source, detector);
-    let photons = 500_000;
-    let result = lumen::core::run_parallel(&sim, photons, ParallelConfig::new(42));
-
-    // 4. Read off the physics.
+    // 3. Read off the physics.
+    println!(
+        "backend: {} ({:.2} s, {:.0} photons/s)",
+        result.backend,
+        result.wall_seconds,
+        result.photons_per_second()
+    );
     println!("photons launched:        {}", result.launched());
     println!("detected:                {}", result.tally.detected);
     println!("detected fraction:       {:.2e}", result.detected_fraction());
@@ -37,7 +47,15 @@ fn main() {
     println!("max penetration depth:    {:.1} mm", result.max_penetration_depth());
     println!();
     println!("absorbed weight per layer (per launched photon):");
-    for (layer, frac) in sim.tissue.layers().iter().zip(result.absorbed_fraction_by_layer()) {
+    for (layer, frac) in scenario.tissue.layers().iter().zip(result.absorbed_fraction_by_layer()) {
         println!("  {:<14} {:.5}", layer.name, frac);
     }
+
+    // 4. The reproducibility contract: a completely different execution
+    //    path gives the same physics, bit for bit.
+    let small = scenario.with_photons(20_000);
+    let check = Sequential.run(&small).expect("valid scenario");
+    let again = Rayon::default().run(&small).expect("valid scenario");
+    assert_eq!(check.result.tally, again.result.tally);
+    println!("\n(sequential and rayon backends agree bit-for-bit on a 20k-photon check)");
 }

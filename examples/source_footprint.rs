@@ -7,9 +7,7 @@
 
 use lumen::analysis::profile::surface_beam_width;
 use lumen::analysis::Projection2D;
-use lumen::core::{
-    Detector, GridSpec, ParallelConfig, Simulation, SimulationOptions, Source, Vec3,
-};
+use lumen::core::{Backend, Detector, GridSpec, Rayon, Scenario, SimulationOptions, Source, Vec3};
 use lumen::tissue::presets::homogeneous_white_matter;
 
 fn main() {
@@ -28,14 +26,15 @@ fn main() {
         Source::Uniform { radius: 1.0 },
         Source::Uniform { radius: 3.0 },
     ] {
-        let mut options = SimulationOptions::default();
         // The injected beam is measured on the absorption grid of ALL
         // photons; detected-only paths are biased toward the detector.
-        options.absorption_grid = Some(spec);
-        let sim =
-            Simulation::new(homogeneous_white_matter(), source, Detector::new(separation, 1.0))
-                .with_options(options);
-        let res = lumen::core::run_parallel(&sim, 400_000, ParallelConfig::new(5));
+        let options = SimulationOptions { absorption_grid: Some(spec), ..Default::default() };
+        let scenario =
+            Scenario::new(homogeneous_white_matter(), source, Detector::new(separation, 1.0))
+                .with_options(options)
+                .with_photons(400_000)
+                .with_seed(5);
+        let res = Rayon::default().run(&scenario).expect("valid scenario");
         let proj = Projection2D::from_grid(res.tally.absorption_grid.as_ref().unwrap());
         let label = match source {
             Source::Delta => "delta (laser)".to_string(),

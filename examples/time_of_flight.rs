@@ -6,16 +6,18 @@
 //! Run: `cargo run --release --example time_of_flight`
 
 use lumen::analysis::tof::{mean_time_of_flight_ps, pathlength_to_time_ps};
-use lumen::core::{Detector, ParallelConfig, Simulation, Source};
+use lumen::core::{Backend, Detector, Rayon, Scenario, Source};
 use lumen::tissue::presets::homogeneous_white_matter;
 
 fn main() {
     let separation = 6.0;
-    let mut sim =
-        Simulation::new(homogeneous_white_matter(), Source::Delta, Detector::new(separation, 1.0));
-    sim.options.path_histogram = Some((600.0, 30));
+    let mut scenario =
+        Scenario::new(homogeneous_white_matter(), Source::Delta, Detector::new(separation, 1.0))
+            .with_photons(1_500_000)
+            .with_seed(23);
+    scenario.options.path_histogram = Some((600.0, 30));
 
-    let res = lumen::core::run_parallel(&sim, 1_500_000, ParallelConfig::new(23));
+    let res = Rayon::default().run(&scenario).expect("valid scenario");
     let n = 1.4; // tissue refractive index
 
     println!(

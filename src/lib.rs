@@ -16,31 +16,38 @@
 //!
 //! ## Quickstart
 //!
-//! Simulate near-infrared photons through a semi-infinite phantom and read
-//! off reflectance, deterministically for a fixed seed:
+//! Describe the experiment once as a [`core::Scenario`], then run it on
+//! any [`core::Backend`] — every backend returns bit-identical tallies
+//! for the same scenario:
 //!
 //! ```rust
-//! use lumen::core::{run_parallel, Detector, ParallelConfig, Simulation, Source};
+//! use lumen::core::{Backend, Detector, Rayon, Scenario, Sequential, Source};
 //! use lumen::tissue::presets::semi_infinite_phantom;
 //!
 //! // mu_a = 0.1/mm, mu_s = 10/mm, isotropic scattering, matched index.
-//! let tissue = semi_infinite_phantom(0.1, 10.0, 0.0, 1.0);
-//! let sim = Simulation::new(tissue, Source::Delta, Detector::new(2.0, 0.5));
+//! let scenario = Scenario::new(
+//!     semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
+//!     Source::Delta,
+//!     Detector::new(2.0, 0.5),
+//! )
+//! .with_photons(5_000)
+//! .with_tasks(8)
+//! .with_seed(42);
 //!
-//! let config = ParallelConfig { seed: 42, tasks: 8 };
-//! let result = run_parallel(&sim, 5_000, config);
-//!
-//! assert_eq!(result.launched(), 5_000);
-//! // Same (seed, tasks) => bit-identical tallies, on any thread count.
-//! assert_eq!(run_parallel(&sim, 5_000, config).tally, result.tally);
+//! let report = Rayon::default().run(&scenario).unwrap();
+//! assert_eq!(report.launched(), 5_000);
+//! // Same scenario => bit-identical tallies, on any backend.
+//! let sequential = Sequential.run(&scenario).unwrap();
+//! assert_eq!(sequential.result.tally, report.result.tally);
 //! // Something must come back out of a scattering half-space.
-//! assert!(result.diffuse_reflectance() > 0.0);
+//! assert!(report.diffuse_reflectance() > 0.0);
 //! ```
 //!
-//! The same experiment distributed over the threaded master/worker engine
-//! (failure injection and all) is
-//! [`cluster::executor::run_distributed`]; `examples/` in the repository
-//! walks through every paper scenario, starting with
+//! The same scenario distributed over the threaded master/worker engine
+//! (failure injection and all) is `lumen::cluster::ThreadedCluster`; the
+//! TCP deployment is `lumen::cluster::Tcp`, and the discrete-event
+//! cluster simulator is `lumen::cluster::SimulatedCluster`. `examples/`
+//! in the repository walks through every paper scenario, starting with
 //! `cargo run --release --example quickstart`.
 
 pub use lumen_analysis as analysis;

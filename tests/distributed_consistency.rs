@@ -1,49 +1,54 @@
-//! Cross-crate consistency: the sequential engine, the rayon driver, and
-//! the threaded master/worker platform must all agree; failures must not
-//! change physics; the DES must reproduce the paper's scaling claims.
+//! Cross-crate consistency: every execution backend must agree on the
+//! physics; failures must not change results; the DES must reproduce the
+//! paper's scaling claims.
 
 use lumen::cluster::{
-    run_distributed, speedup_curve, AvailabilityModel, ClusterSim, DistributedConfig, JobSpec,
-    NetworkModel,
+    speedup_curve, AvailabilityModel, ClusterSim, FailurePlan, JobSpec, NetworkModel,
+    ThreadedCluster,
 };
-use lumen::core::{Detector, ParallelConfig, Simulation, Source};
+use lumen::core::{Backend, Detector, EngineError, Rayon, Scenario, Sequential, Source};
 use lumen::tissue::presets::{homogeneous_white_matter, semi_infinite_phantom};
 
-fn sim() -> Simulation {
-    Simulation::new(
+fn scenario() -> Scenario {
+    Scenario::new(
         semi_infinite_phantom(0.1, 10.0, 0.5, 1.4),
         Source::Delta,
         Detector::new(3.0, 1.0),
     )
+    .with_photons(6_000)
+    .with_tasks(12)
+    .with_seed(77)
 }
 
 #[test]
-fn three_execution_paths_agree_exactly() {
-    let s = sim();
-    let n = 6_000;
-    let tasks = 12;
-    let seed = 77;
-
-    let rayon_res = lumen::core::run_parallel(&s, n, ParallelConfig { seed, tasks });
-    let dist =
-        run_distributed(&s, n, DistributedConfig { seed, tasks, workers: 3, failure_rate: 0.0 });
-    assert_eq!(rayon_res.tally, dist.result.tally, "rayon vs master/worker");
-
-    // Sequential equals a single-task parallel run.
-    let seq = s.run(n, seed);
-    let single = lumen::core::run_parallel(&s, n, ParallelConfig { seed, tasks: 1 });
-    assert_eq!(seq.tally, single.tally, "sequential vs 1-task parallel");
+fn backend_matrix_bit_identical() {
+    // The backend-equivalence matrix: one fixed-seed scenario through
+    // every physics-executing backend must give bit-identical tallies.
+    let s = scenario();
+    let backends: Vec<Box<dyn Backend>> = vec![
+        Box::new(Sequential),
+        Box::new(Rayon::default()),
+        Box::new(Rayon::with_threads(2)),
+        Box::new(ThreadedCluster::new(3)),
+        Box::new(ThreadedCluster::new(1)),
+    ];
+    let reference = backends[0].run(&s).expect("valid scenario");
+    for backend in &backends[1..] {
+        let report = backend.run(&s).expect("valid scenario");
+        assert_eq!(
+            reference.result.tally,
+            report.result.tally,
+            "backend `{}` disagrees with `sequential`",
+            backend.name()
+        );
+    }
+    assert_eq!(reference.launched(), 6_000);
 }
 
 #[test]
 fn worker_count_does_not_change_results() {
-    let s = sim();
-    let n = 5_000;
-    let mk = |workers| {
-        run_distributed(&s, n, DistributedConfig { seed: 9, tasks: 10, workers, failure_rate: 0.0 })
-            .result
-            .tally
-    };
+    let s = scenario().with_photons(5_000).with_tasks(10).with_seed(9);
+    let mk = |workers| ThreadedCluster::new(workers).run(&s).expect("valid scenario").result.tally;
     let one = mk(1);
     let four = mk(4);
     let eight = mk(8);
@@ -53,21 +58,27 @@ fn worker_count_does_not_change_results() {
 
 #[test]
 fn failures_change_nothing_but_requeue_counts() {
-    let s = sim();
-    let n = 5_000;
-    let clean = run_distributed(
-        &s,
-        n,
-        DistributedConfig { seed: 4, tasks: 10, workers: 4, failure_rate: 0.0 },
-    );
-    let faulty = run_distributed(
-        &s,
-        n,
-        DistributedConfig { seed: 4, tasks: 10, workers: 4, failure_rate: 0.4 },
-    );
+    // 32 tasks at 50%: P(zero failures) ~ 2e-10 — cannot flake.
+    let s = scenario().with_photons(5_000).with_tasks(32).with_seed(4);
+    let clean = ThreadedCluster::new(4).run(&s).expect("valid scenario");
+    let faulty = ThreadedCluster::new(4)
+        .with_failure_plan(FailurePlan::Random { rate: 0.5 })
+        .run(&s)
+        .expect("valid scenario");
     assert_eq!(clean.result.tally, faulty.result.tally);
     assert!(faulty.requeues > 0);
     assert_eq!(clean.requeues, 0);
+}
+
+#[test]
+fn invalid_backend_configs_are_typed_errors() {
+    let s = scenario();
+    assert!(matches!(ThreadedCluster::new(0).run(&s), Err(EngineError::InvalidConfig(_))));
+    assert!(matches!(
+        ThreadedCluster::new(2).with_failure_plan(FailurePlan::Random { rate: 1.0 }).run(&s),
+        Err(EngineError::InvalidConfig(_))
+    ));
+    assert!(matches!(Sequential.run(&s.with_tasks(0)), Err(EngineError::InvalidConfig(_))));
 }
 
 #[test]
@@ -106,14 +117,20 @@ fn des_reproduces_table2_two_hour_runtime() {
 
 #[test]
 fn executor_handles_white_matter_workload() {
-    // End-to-end: real physics + real protocol + failures.
-    let s = Simulation::new(homogeneous_white_matter(), Source::Delta, Detector::new(5.0, 1.0));
-    let report = run_distributed(
-        &s,
-        20_000,
-        DistributedConfig { seed: 2, tasks: 16, workers: 4, failure_rate: 0.1 },
-    );
+    // End-to-end: real physics + real protocol + failures, via the
+    // unified backend API.
+    let s = Scenario::new(homogeneous_white_matter(), Source::Delta, Detector::new(5.0, 1.0))
+        .with_photons(20_000)
+        .with_tasks(16)
+        .with_seed(2);
+    let report = ThreadedCluster::new(4)
+        .with_failure_plan(FailurePlan::Random { rate: 0.1 })
+        .run(&s)
+        .expect("valid scenario");
     assert_eq!(report.result.launched(), 20_000);
     let frac = report.result.tally.accounted_weight_fraction();
     assert!((frac - 1.0).abs() < 0.03, "energy accounted: {frac}");
+    // Per-worker accounting covers the whole budget.
+    let photons: u64 = report.workers.iter().map(|w| w.photons).sum();
+    assert_eq!(photons, 20_000);
 }

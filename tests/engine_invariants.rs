@@ -65,8 +65,7 @@ proptest! {
     fn detected_paths_are_geometrically_consistent(
         tissue in arbitrary_phantom(), seed in 0u64..100
     ) {
-        let mut options = SimulationOptions::default();
-        options.record_paths = 16;
+        let options = SimulationOptions { record_paths: 16, ..Default::default() };
         let sim = Simulation::new(tissue, Source::Delta, Detector::new(2.0, 1.0))
             .with_options(options);
         let res = sim.run(20_000, seed);

@@ -1,8 +1,8 @@
 //! Smoke test of the `lumen` facade: every re-export resolves, and a tiny
 //! end-to-end simulation runs deterministically through each execution
-//! path (sequential, rayon-parallel, threaded master/worker).
+//! backend (sequential, rayon-parallel, threaded master/worker).
 
-use lumen::core::{run_parallel, Detector, ParallelConfig, Simulation, Source};
+use lumen::core::{Backend, Detector, Rayon, Scenario, Sequential, Source};
 use lumen::tissue::presets::semi_infinite_phantom;
 
 /// One place that names something from every re-exported crate, so a
@@ -13,35 +13,57 @@ fn facade_reexports_resolve() {
     let _v = lumen::photon::Vec3::new(0.0, 0.0, 1.0);
     let _props = lumen::photon::OpticalProperties::new(0.1, 10.0, 0.9, 1.4);
     let _tissue: lumen::tissue::LayeredTissue = semi_infinite_phantom(0.1, 10.0, 0.0, 1.0);
-    let _cfg: lumen::core::ParallelConfig = ParallelConfig::new(7);
     let _hist = lumen::analysis::Histogram::new(0.0, 1.0, 10);
+    let _backend: lumen::core::Rayon = Rayon::default();
+    let _cluster = lumen::cluster::ThreadedCluster::new(2);
+    let _plan = lumen::cluster::FailurePlan::Reliable;
+    let _err: Option<lumen::core::EngineError> = None;
     let _dcfg = lumen::cluster::executor::DistributedConfig::new(7, 2);
 }
 
-fn tiny_sim() -> Simulation {
-    Simulation::new(
+fn tiny_scenario() -> Scenario {
+    Scenario::new(
         semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
         Source::Delta,
         Detector::new(2.0, 0.5),
     )
+    .with_photons(2_000)
+    .with_tasks(8)
+    .with_seed(42)
 }
 
 #[test]
 fn fixed_seed_is_deterministic() {
-    let sim = tiny_sim();
-    let a = sim.run(2_000, 42);
-    let b = sim.run(2_000, 42);
-    assert_eq!(a.tally, b.tally);
+    let s = tiny_scenario();
+    let a = Sequential.run(&s).expect("valid scenario");
+    let b = Sequential.run(&s).expect("valid scenario");
+    assert_eq!(a.result.tally, b.result.tally);
     assert_eq!(a.launched(), 2_000);
     assert!(a.diffuse_reflectance() > 0.0, "scattering half-space must reflect");
 }
 
 #[test]
-fn execution_paths_agree_bit_for_bit() {
-    let sim = tiny_sim();
+fn execution_backends_agree_bit_for_bit() {
+    let s = tiny_scenario().with_photons(4_000).with_seed(11);
+    let par = Rayon::default().run(&s).expect("valid scenario");
+    let dist = lumen::cluster::ThreadedCluster::new(3).run(&s).expect("valid scenario");
+    assert_eq!(par.result.tally, dist.result.tally);
+}
+
+/// The seed-era surface still compiles and agrees with the engine; the
+/// shims stay until a major version removes them.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_still_work() {
+    use lumen::core::{run_parallel, ParallelConfig, Simulation};
+    let sim = Simulation::new(
+        semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
+        Source::Delta,
+        Detector::new(2.0, 0.5),
+    );
     let n = 4_000;
-    let par = run_parallel(&sim, n, ParallelConfig { seed: 11, tasks: 8 });
-    let dist = lumen::cluster::executor::run_distributed(
+    let old = run_parallel(&sim, n, ParallelConfig { seed: 11, tasks: 8 });
+    let old_dist = lumen::cluster::executor::run_distributed(
         &sim,
         n,
         lumen::cluster::executor::DistributedConfig {
@@ -51,5 +73,9 @@ fn execution_paths_agree_bit_for_bit() {
             failure_rate: 0.0,
         },
     );
-    assert_eq!(par.tally, dist.result.tally);
+    assert_eq!(old.tally, old_dist.result.tally);
+
+    let scenario = Scenario::from_simulation(&sim, n, 11).with_tasks(8);
+    let new = Rayon::default().run(&scenario).expect("valid scenario");
+    assert_eq!(old.tally, new.result.tally, "shim and engine must agree");
 }

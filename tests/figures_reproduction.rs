@@ -6,20 +6,21 @@
 use lumen::analysis::profile::surface_beam_width;
 use lumen::analysis::{banana_metrics, threshold_fraction, Projection2D};
 use lumen::core::{
-    Detector, GridSpec, ParallelConfig, Simulation, SimulationOptions, Source, Vec3,
+    Backend, Detector, GridSpec, Rayon, Scenario, Simulation, SimulationOptions, Source, Vec3,
 };
 use lumen::tissue::presets::{adult_head, homogeneous_white_matter, AdultHeadConfig};
 
+fn run(sim: &Simulation, photons: u64, seed: u64) -> lumen::core::RunReport {
+    let scenario = Scenario::from_simulation(sim, photons, seed).with_tasks(32);
+    Rayon::default().run(&scenario).expect("valid scenario")
+}
+
 fn with_grid(sim: Simulation, spec: GridSpec) -> Simulation {
-    let mut options = SimulationOptions::default();
-    options.path_grid = Some(spec);
-    sim.with_options(options)
+    sim.with_options(SimulationOptions { path_grid: Some(spec), ..Default::default() })
 }
 
 fn with_absorption_grid(sim: Simulation, spec: GridSpec) -> Simulation {
-    let mut options = SimulationOptions::default();
-    options.absorption_grid = Some(spec);
-    sim.with_options(options)
+    sim.with_options(SimulationOptions { absorption_grid: Some(spec), ..Default::default() })
 }
 
 #[test]
@@ -31,7 +32,7 @@ fn fig3_banana_emerges_in_white_matter() {
         Simulation::new(homogeneous_white_matter(), Source::Delta, Detector::new(separation, 1.0)),
         spec,
     );
-    let res = lumen::core::run_parallel(&sim, 600_000, ParallelConfig { seed: 3, tasks: 32 });
+    let res = run(&sim, 600_000, 3);
     assert!(res.tally.detected > 100, "need detections: {}", res.tally.detected);
 
     let mut proj = Projection2D::from_grid(res.tally.path_grid.as_ref().unwrap());
@@ -53,7 +54,7 @@ fn fig3_banana_emerges_in_white_matter() {
 fn fig4_head_model_layer_behaviour() {
     let cfg = AdultHeadConfig::default();
     let sim = Simulation::new(adult_head(cfg), Source::Delta, Detector::ring(30.0, 2.0));
-    let res = lumen::core::run_parallel(&sim, 150_000, ParallelConfig { seed: 4, tasks: 32 });
+    let res = run(&sim, 150_000, 4);
 
     // All detected photons traverse the scalp; monotonically fewer reach
     // each deeper layer.
@@ -72,7 +73,7 @@ fn fig4_some_detected_photons_probe_deep_tissue() {
     // statistics a disc would need ~30x the photons for.
     let cfg = AdultHeadConfig::default();
     let sim = Simulation::new(adult_head(cfg), Source::Delta, Detector::ring(30.0, 2.0));
-    let res = lumen::core::run_parallel(&sim, 200_000, ParallelConfig { seed: 5, tasks: 32 });
+    let res = run(&sim, 200_000, 5);
     assert!(res.tally.detected > 30);
     assert!(
         res.max_penetration_depth() > cfg.csf_depth(),
@@ -96,8 +97,7 @@ fn source_footprint_shapes_surface_distribution() {
                 Simulation::new(homogeneous_white_matter(), source, Detector::new(6.0, 1.0)),
                 spec,
             );
-            let res =
-                lumen::core::run_parallel(&sim, 100_000, ParallelConfig { seed: 6, tasks: 32 });
+            let res = run(&sim, 100_000, 6);
             let proj = Projection2D::from_grid(res.tally.absorption_grid.as_ref().unwrap());
             surface_beam_width(&proj, 4)
         })
@@ -116,7 +116,7 @@ fn gating_selects_path_lengths() {
     // Calibrate the gate around the ungated mean pathlength so both
     // windows are populated regardless of the medium's DPF.
     let open = Simulation::new(homogeneous_white_matter(), Source::Delta, Detector::new(5.0, 1.0));
-    let ref_run = lumen::core::run_parallel(&open, 200_000, ParallelConfig { seed: 70, tasks: 32 });
+    let ref_run = run(&open, 200_000, 70);
     assert!(ref_run.tally.detected > 50, "reference run needs detections");
     let mean = ref_run.mean_detected_pathlength();
 
@@ -130,9 +130,8 @@ fn gating_selects_path_lengths() {
         Source::Delta,
         Detector::new(5.0, 1.0).with_gate(GateWindow::new(mean, mean * 20.0).unwrap()),
     );
-    let early =
-        lumen::core::run_parallel(&sim_early, 400_000, ParallelConfig { seed: 7, tasks: 32 });
-    let late = lumen::core::run_parallel(&sim_late, 400_000, ParallelConfig { seed: 7, tasks: 32 });
+    let early = run(&sim_early, 400_000, 7);
+    let late = run(&sim_late, 400_000, 7);
     if early.tally.detected > 20 && late.tally.detected > 20 {
         assert!(
             late.mean_detected_pathlength() > early.mean_detected_pathlength(),

@@ -1,13 +1,14 @@
 //! Cross-crate physics validation: energy conservation, known limits, and
 //! the qualitative NIRS facts the paper's Sect. 2 states.
 
-use lumen::core::{Detector, ParallelConfig, Simulation, Source};
+use lumen::core::{Backend, Detector, Rayon, Scenario, Simulation, Source};
 use lumen::tissue::presets::{
     adult_head, homogeneous_white_matter, semi_infinite_phantom, AdultHeadConfig,
 };
 
 fn run(sim: &Simulation, n: u64, seed: u64) -> lumen::core::SimulationResult {
-    lumen::core::run_parallel(sim, n, ParallelConfig { seed, tasks: 16 })
+    let scenario = Scenario::from_simulation(sim, n, seed).with_tasks(16);
+    Rayon::default().run(&scenario).expect("valid scenario").result
 }
 
 #[test]
@@ -167,11 +168,11 @@ fn radial_reflectance_matches_diffusion_theory_decay() {
     // diffusion theory is valid).
     let spec = profile.spec;
     let (mut rhos, mut vals) = (Vec::new(), Vec::new());
-    for i in 0..spec.nr {
+    for (i, &value) in per_area.iter().enumerate().take(spec.nr) {
         let r = spec.r_of(i);
         if (4.0..12.0).contains(&r) {
             rhos.push(r);
-            vals.push(per_area[i]);
+            vals.push(value);
         }
     }
     let slope = fit_log_slope(&rhos, &vals).expect("enough populated bins");
