@@ -26,7 +26,8 @@ fn main() {
         "layer", "depth (mm)", "mu_s' (1/mm)", "mu_a (1/mm)"
     );
     let sim = fig4_scenario(separation, granularity);
-    for l in sim.tissue.layers() {
+    let layers = sim.tissue.as_layered().expect("fig4 uses the layered head model").layers();
+    for l in layers {
         println!(
             "{:<14} | {:>4.1}-{:<5} | {:>12.2} | {:>10.3}",
             l.name,
@@ -46,12 +47,12 @@ fn main() {
     println!("detected photons:      {}", res.tally.detected);
 
     println!("\n-- absorbed weight by layer (fraction of launched) --");
-    for (layer, frac) in sim.tissue.layers().iter().zip(res.absorbed_fraction_by_layer()) {
+    for (layer, frac) in layers.iter().zip(res.absorbed_fraction_by_layer()) {
         println!("{:<14} {:>8.5}", layer.name, frac);
     }
 
     println!("\n-- detected photons reaching each layer --");
-    for (i, layer) in sim.tissue.layers().iter().enumerate() {
+    for (i, layer) in layers.iter().enumerate() {
         println!("{:<14} {:>7.2}%", layer.name, res.detected_reached_layer_fraction(i) * 100.0);
     }
     println!(

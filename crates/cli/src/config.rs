@@ -22,10 +22,12 @@
 //! spec; unknown keys are named errors, not silent no-ops.
 
 use lumen_core::{
-    Detector, GateWindow, GridSpec, Scenario, Simulation, SimulationOptions, Source, Vec3,
+    Detector, GateWindow, Geometry, GridSpec, Scenario, Simulation, SimulationOptions, Source,
+    Vec3, VoxelTissue,
 };
 use lumen_tissue::presets::{
-    adult_head, homogeneous_white_matter, neonatal_head, semi_infinite_phantom, AdultHeadConfig,
+    adult_head, homogeneous_white_matter, neonatal_head, semi_infinite_phantom, voxelized,
+    AdultHeadConfig,
 };
 use std::collections::BTreeMap;
 
@@ -34,6 +36,7 @@ use std::collections::BTreeMap;
 /// ignored and run the default budget).
 pub const KNOWN_KEYS: &[&str] = &[
     "tissue",
+    "geometry",
     "source",
     "detector",
     "gate",
@@ -168,7 +171,7 @@ impl Config {
 
     /// Build the full simulation this config describes.
     pub fn build_simulation(&self) -> Result<Simulation, ConfigError> {
-        let tissue = self.tissue()?;
+        let tissue = self.geometry()?;
         let source = self.source()?;
         let detector = self.detector()?;
         let mut options = SimulationOptions::default();
@@ -185,6 +188,63 @@ impl Config {
             expected: "a consistent configuration",
         })?;
         Ok(sim)
+    }
+
+    /// Resolve the `geometry` key (default `layered`):
+    ///
+    /// * `layered` — the `tissue` preset as-is;
+    /// * `voxel <path>` — a voxel grid loaded from the text format written
+    ///   by `VoxelTissue::to_text` (no `tissue` key needed);
+    /// * `voxelized <dx> <half_width_mm> <depth_mm>` — the `tissue` preset
+    ///   voxelized at pitch `dx` over the given extent.
+    fn geometry(&self) -> Result<Geometry, ConfigError> {
+        let spec = self.get("geometry").unwrap_or("layered");
+        let mut parts = spec.split_whitespace();
+        let kind = parts.next().unwrap_or("");
+        match kind {
+            "layered" => Ok(Geometry::Layered(self.tissue()?)),
+            "voxel" => {
+                let path = parts.next().ok_or(ConfigError::BadValue {
+                    key: "geometry".into(),
+                    value: spec.into(),
+                    expected: "`voxel <path-to-grid-file>`",
+                })?;
+                let text = std::fs::read_to_string(path).map_err(|e| ConfigError::BadValue {
+                    key: "geometry".into(),
+                    value: format!("{path}: {e}"),
+                    expected: "a readable voxel grid file",
+                })?;
+                let grid = VoxelTissue::parse_text(&text).map_err(|e| ConfigError::BadValue {
+                    key: "geometry".into(),
+                    value: e.to_string(),
+                    expected: "a valid voxel grid file",
+                })?;
+                Ok(Geometry::Voxel(grid))
+            }
+            "voxelized" => {
+                let nums: Vec<f64> = parts.filter_map(|p| p.parse().ok()).collect();
+                let [dx, half_width, depth] = nums.as_slice() else {
+                    return Err(ConfigError::BadValue {
+                        key: "geometry".into(),
+                        value: spec.into(),
+                        expected: "`voxelized <dx> <half_width_mm> <depth_mm>`",
+                    });
+                };
+                let grid = voxelized(&self.tissue()?, *dx, *half_width, *depth).map_err(|e| {
+                    ConfigError::BadValue {
+                        key: "geometry".into(),
+                        value: e.to_string(),
+                        expected: "a voxelizable extent",
+                    }
+                })?;
+                Ok(Geometry::Voxel(grid))
+            }
+            _ => Err(ConfigError::BadValue {
+                key: "geometry".into(),
+                value: spec.into(),
+                expected: "layered | voxel <path> | voxelized <dx> <half_width> <depth>",
+            }),
+        }
     }
 
     fn tissue(&self) -> Result<lumen_tissue::LayeredTissue, ConfigError> {
@@ -405,6 +465,80 @@ path_histogram = 500 25
         }
         let msg = ConfigError::UnknownKey { line_no: 2, key: "photon".into() }.to_string();
         assert!(msg.contains("known keys"), "{msg}");
+    }
+
+    #[test]
+    fn geometry_defaults_to_layered() {
+        let cfg =
+            Config::parse("tissue = white_matter\ndetector = disc 6 1\nphotons = 10").unwrap();
+        let sim = cfg.build_simulation().unwrap();
+        assert_eq!(sim.tissue.kind(), "layered");
+    }
+
+    #[test]
+    fn geometry_voxelized_converts_the_preset() {
+        let cfg = Config::parse(
+            "tissue = phantom 0.05 10 0.9 1.4\ngeometry = voxelized 1 5 4\n\
+             detector = disc 2 1\nphotons = 10",
+        )
+        .unwrap();
+        let sim = cfg.build_simulation().unwrap();
+        assert_eq!(sim.tissue.kind(), "voxel");
+        let grid = sim.tissue.as_voxel().unwrap();
+        assert_eq!(grid.dims(), (10, 10, 4));
+        assert_eq!(grid.materials().len(), 1);
+    }
+
+    #[test]
+    fn geometry_voxel_loads_a_grid_file() {
+        use lumen_tissue::{VoxelMaterial, VoxelTissue};
+        let grid = VoxelTissue::from_fn(
+            (4, 4, 3),
+            (-2.0, -2.0),
+            (1.0, 1.0, 1.0),
+            vec![
+                VoxelMaterial::new("A", lumen_core::OpticalProperties::new(0.01, 10.0, 0.9, 1.4)),
+                VoxelMaterial::new("B", lumen_core::OpticalProperties::new(0.1, 10.0, 0.9, 1.4)),
+            ],
+            1.0,
+            |c| u16::from(c.z > 1.0),
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join("lumen_cli_geometry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grid.voxels");
+        std::fs::write(&path, grid.to_text()).unwrap();
+        let cfg = Config::parse(&format!(
+            "geometry = voxel {}\ndetector = disc 2 1\nphotons = 10",
+            path.display()
+        ))
+        .unwrap();
+        let sim = cfg.build_simulation().unwrap();
+        assert_eq!(sim.tissue.as_voxel(), Some(&grid));
+        // The `tissue` key is not needed when a grid file is given.
+        assert!(cfg.get("tissue").is_none());
+    }
+
+    #[test]
+    fn geometry_errors_are_named() {
+        let missing = Config::parse(
+            "geometry = voxel /nonexistent/grid.voxels\ndetector = disc 2 1\nphotons = 10",
+        )
+        .unwrap();
+        assert!(matches!(
+            missing.build_simulation(),
+            Err(ConfigError::BadValue { ref key, .. }) if key == "geometry"
+        ));
+        let unknown = Config::parse(
+            "geometry = blob\ntissue = white_matter\ndetector = disc 2 1\nphotons = 10",
+        )
+        .unwrap();
+        assert!(unknown.build_simulation().is_err());
+        let bad_voxelized = Config::parse(
+            "geometry = voxelized -1 5 4\ntissue = white_matter\ndetector = disc 2 1\nphotons = 10",
+        )
+        .unwrap();
+        assert!(bad_voxelized.build_simulation().is_err());
     }
 
     #[test]

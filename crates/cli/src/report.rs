@@ -12,8 +12,9 @@ pub fn print_report(scenario: &Scenario, run: &RunReport) {
     let t = &result.tally;
     println!("== lumen run ==");
     println!(
-        "tissue: {} layer(s); source: {}; detector at {} mm ({}){}",
-        scenario.tissue.len(),
+        "tissue: {} {} region(s); source: {}; detector at {} mm ({}){}",
+        scenario.tissue.kind(),
+        scenario.tissue.region_count(),
         scenario.source.name(),
         scenario.detector.separation,
         if scenario.detector.ring { "ring" } else { "disc" },
@@ -67,9 +68,9 @@ pub fn print_report(scenario: &Scenario, run: &RunReport) {
         println!("  scatters        {:>10.0} per photon", result.mean_detected_scatters());
     }
 
-    println!("\nabsorbed weight per layer (per launched photon):");
-    for (layer, frac) in scenario.tissue.layers().iter().zip(result.absorbed_fraction_by_layer()) {
-        println!("  {:<16} {:.5}", layer.name, frac);
+    println!("\nabsorbed weight per region (per launched photon):");
+    for (region, frac) in result.absorbed_fraction_by_layer().iter().enumerate() {
+        println!("  {:<16} {:.5}", scenario.tissue.region_name(region), frac);
     }
 
     if let Some(grid) = t.path_grid.as_ref() {

@@ -20,12 +20,13 @@ use lumen_core::{
     BoundaryMode, Detector, GateWindow, OpticalProperties, RouletteConfig, SimulationOptions,
     Source, Vec3,
 };
-use lumen_tissue::{Layer, LayeredTissue};
+use lumen_tissue::{Geometry, Layer, LayeredTissue, VoxelMaterial, VoxelTissue};
 
 /// Magic bytes identifying a lumen wire message.
 pub const MAGIC: [u8; 4] = *b"LMN1";
-/// Wire format version.
-pub const VERSION: u8 = 1;
+/// Wire format version. v2 added the geometry-kind tag to scenario
+/// messages (layered | voxel); v1 scenarios carried a bare layer stack.
+pub const VERSION: u8 = 2;
 
 /// Encoding buffer.
 #[derive(Debug, Default)]
@@ -551,7 +552,101 @@ fn get_tissue(d: &mut Decoder) -> Result<LayeredTissue, WireError> {
         let optics = get_optics(d)?;
         layers.push(Layer { name, z_top, z_bottom, optics });
     }
-    LayeredTissue::new(layers, ambient_n).map_err(WireError::Invalid)
+    LayeredTissue::new(layers, ambient_n).map_err(|e| WireError::Invalid(e.to_string()))
+}
+
+fn put_voxel_tissue(e: &mut Encoder, t: &VoxelTissue) {
+    e.put_f64(t.ambient_n);
+    let (nx, ny, nz) = t.dims();
+    e.put_u64(nx as u64);
+    e.put_u64(ny as u64);
+    e.put_u64(nz as u64);
+    let (x0, y0) = t.origin();
+    e.put_f64(x0);
+    e.put_f64(y0);
+    let (dx, dy, dz) = t.voxel_mm();
+    e.put_f64(dx);
+    e.put_f64(dy);
+    e.put_f64(dz);
+    e.put_u64(t.materials().len() as u64);
+    for m in t.materials() {
+        e.put_str(&m.name);
+        put_optics(e, &m.optics);
+    }
+    // Cells in bulk, straight into the encoder buffer: one reserve, no
+    // intermediate copy, no 2^26 bounds-checked calls.
+    e.buf.reserve(t.cells().len() * 2);
+    for &c in t.cells() {
+        e.buf.extend_from_slice(&c.to_le_bytes());
+    }
+}
+
+fn get_voxel_tissue(d: &mut Decoder) -> Result<VoxelTissue, WireError> {
+    let ambient_n = d.get_f64()?;
+    let nx = d.get_u64()?;
+    let ny = d.get_u64()?;
+    let nz = d.get_u64()?;
+    // Cells are 2 bytes each on the wire: a hostile dimension triple that
+    // cannot fit the remaining bytes (or the VoxelTissue cell cap) dies
+    // here, before any allocation. Dimensions past u32 cannot pass the
+    // cell cap, so the u64 → usize narrowing below is lossless.
+    if nx > u32::MAX as u64 || ny > u32::MAX as u64 || nz > u32::MAX as u64 {
+        return Err(WireError::BadLength(u64::MAX));
+    }
+    let n_cells = lumen_tissue::voxel::checked_cell_count(nx as usize, ny as usize, nz as usize)
+        .ok_or(WireError::BadLength(u64::MAX))?;
+    let n_cells = d.checked_len(n_cells as u64, 2)?;
+    let x0 = d.get_f64()?;
+    let y0 = d.get_f64()?;
+    let dx = d.get_f64()?;
+    let dy = d.get_f64()?;
+    let dz = d.get_f64()?;
+    let n_materials = d.get_u64()?;
+    // A material costs at least its name-length prefix plus four floats.
+    let n_materials = d.checked_len(n_materials, 8 * 5)?;
+    let mut materials = Vec::with_capacity(n_materials);
+    for _ in 0..n_materials {
+        let name = d.get_str()?;
+        materials.push(VoxelMaterial { name, optics: get_optics(d)? });
+    }
+    // Bulk-decode the cell block: `checked_len` already proved the bytes
+    // are present, so one take + chunked conversion replaces 2^26
+    // per-element bounds checks on large grids.
+    let raw = d.take(n_cells * 2)?;
+    let cells: Vec<u16> = raw.chunks_exact(2).map(|b| u16::from_le_bytes([b[0], b[1]])).collect();
+    VoxelTissue::new(
+        (nx as usize, ny as usize, nz as usize),
+        (x0, y0),
+        (dx, dy, dz),
+        materials,
+        cells,
+        ambient_n,
+    )
+    .map_err(|e| WireError::Invalid(e.to_string()))
+}
+
+/// Encode a geometry value: a kind tag, then the kind-specific body.
+pub fn put_geometry(e: &mut Encoder, g: &Geometry) {
+    match g {
+        Geometry::Layered(t) => {
+            e.put_u8(0);
+            put_tissue(e, t);
+        }
+        Geometry::Voxel(t) => {
+            e.put_u8(1);
+            put_voxel_tissue(e, t);
+        }
+    }
+}
+
+/// Decode a geometry value; construction re-validates, so a hostile peer
+/// cannot smuggle an inconsistent stack or grid past the type system.
+pub fn get_geometry(d: &mut Decoder) -> Result<Geometry, WireError> {
+    match d.get_u8()? {
+        0 => Ok(Geometry::Layered(get_tissue(d)?)),
+        1 => Ok(Geometry::Voxel(get_voxel_tissue(d)?)),
+        tag => Err(WireError::Invalid(format!("unknown geometry tag {tag}"))),
+    }
 }
 
 fn put_source(e: &mut Encoder, s: &Source) {
@@ -686,7 +781,7 @@ fn get_options(d: &mut Decoder) -> Result<SimulationOptions, WireError> {
 /// options, photon budget, task split, and seed.
 pub fn encode_scenario(s: &Scenario) -> Vec<u8> {
     let mut e = Encoder::new();
-    put_tissue(&mut e, &s.tissue);
+    put_geometry(&mut e, &s.tissue);
     put_source(&mut e, &s.source);
     put_detector(&mut e, &s.detector);
     put_options(&mut e, &s.options);
@@ -700,7 +795,7 @@ pub fn encode_scenario(s: &Scenario) -> Vec<u8> {
 /// peer cannot smuggle an inconsistent layer stack past the type system.
 pub fn decode_scenario(bytes: &[u8]) -> Result<Scenario, WireError> {
     let mut d = Decoder::new(bytes)?;
-    let tissue = get_tissue(&mut d)?;
+    let tissue = get_geometry(&mut d)?;
     let source = get_source(&mut d)?;
     let detector = get_detector(&mut d)?;
     let options = get_options(&mut d)?;
@@ -952,6 +1047,102 @@ mod tests {
         ));
     }
 
+    fn voxel_scenario() -> Scenario {
+        use lumen_tissue::presets::{head_with_inclusion, AdultHeadConfig};
+        Scenario::new(
+            head_with_inclusion(
+                AdultHeadConfig::default(),
+                2.0,
+                6.0,
+                24.0,
+                Vec3::new(3.0, 0.0, 16.0),
+                4.0,
+            )
+            .expect("inclusion phantom builds"),
+            Source::Delta,
+            Detector::new(10.0, 2.0),
+        )
+        .with_photons(10_000)
+        .with_tasks(16)
+        .with_seed(2006)
+    }
+
+    #[test]
+    fn voxel_scenario_round_trip() {
+        let s = voxel_scenario();
+        let decoded = decode_scenario(&encode_scenario(&s)).unwrap();
+        assert_eq!(decoded, s);
+        assert!(decoded.validate().is_ok());
+        // The voxel payload really is in there: grid + palette survive.
+        let grid = decoded.tissue.as_voxel().expect("voxel geometry");
+        assert_eq!(grid.materials().len(), 6);
+        assert_eq!(grid.dims(), (6, 6, 12));
+    }
+
+    #[test]
+    fn voxel_scenario_rejects_truncation_and_trailing_bytes() {
+        let bytes = encode_scenario(&voxel_scenario());
+        // Cut in the header, the palette, the cells, and the tail.
+        for cut in [3, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_scenario(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(decode_scenario(&padded), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn hostile_voxel_dimensions_fail_before_allocation() {
+        // A ~100-byte message claiming a 2^20³-cell grid must die on the
+        // length check, not in the allocator.
+        let mut e = Encoder::new();
+        e.put_u8(1); // geometry tag: voxel
+        e.put_f64(1.0); // ambient
+        e.put_u64(1 << 20);
+        e.put_u64(1 << 20);
+        e.put_u64(1 << 20);
+        let bytes = e.finish();
+        match decode_scenario(&bytes) {
+            Err(WireError::BadLength(_)) | Err(WireError::Truncated) => {}
+            other => panic!("expected BadLength/Truncated, got {other:?}"),
+        }
+        // Overflowing u64 entirely is also caught.
+        let mut e = Encoder::new();
+        e.put_u8(1);
+        e.put_f64(1.0);
+        e.put_u64(u64::MAX);
+        e.put_u64(u64::MAX);
+        e.put_u64(2);
+        let bytes = e.finish();
+        assert!(matches!(decode_scenario(&bytes), Err(WireError::BadLength(_))));
+    }
+
+    #[test]
+    fn hostile_voxel_cells_are_revalidated() {
+        // Corrupt one cell to point past the palette: decode must fail
+        // through VoxelTissue::new validation, not panic later.
+        let s = voxel_scenario();
+        let bytes = encode_scenario(&s);
+        // Cells are the last geometry bytes before the source tag; flip the
+        // final cell (little-endian u16) to a huge palette index by
+        // re-encoding the prefix to find its offset.
+        let mut e = Encoder::new();
+        put_geometry(&mut e, &s.tissue);
+        let geom_end = e.finish().len();
+        let mut poisoned = bytes.clone();
+        poisoned[geom_end - 2] = 0xFF;
+        poisoned[geom_end - 1] = 0xFF;
+        assert!(matches!(decode_scenario(&poisoned), Err(WireError::Invalid(_))));
+    }
+
+    #[test]
+    fn bad_geometry_tag_is_rejected() {
+        let mut e = Encoder::new();
+        e.put_u8(9); // no such geometry kind
+        let bytes = e.finish();
+        assert!(matches!(decode_scenario(&bytes), Err(WireError::Invalid(_))));
+    }
+
     #[test]
     fn scenario_rejects_bad_enum_tags() {
         use lumen_tissue::presets::semi_infinite_phantom;
@@ -961,10 +1152,10 @@ mod tests {
             Detector::new(2.0, 0.5),
         );
         let bytes = encode_scenario(&s);
-        // The source tag sits right after the tissue block; find it by
+        // The source tag sits right after the geometry block; find it by
         // re-encoding with a poisoned tag instead of hunting offsets.
         let mut e = Encoder::new();
-        put_tissue(&mut e, &s.tissue);
+        put_geometry(&mut e, &s.tissue);
         let tag_pos = e.finish().len();
         let mut poisoned = bytes.clone();
         poisoned[tag_pos] = 0xEE;

@@ -6,8 +6,8 @@
 
 use lumen_cluster::{BackendExt, FailurePlan, SimulatedCluster, Tcp, ThreadedCluster};
 use lumen_core::engine::{Backend, Progress, Rayon, Scenario, Sequential};
-use lumen_core::{Detector, Source};
-use lumen_tissue::presets::semi_infinite_phantom;
+use lumen_core::{Detector, Source, Vec3};
+use lumen_tissue::presets::{head_with_inclusion, semi_infinite_phantom, AdultHeadConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
 
@@ -20,6 +20,26 @@ fn scenario() -> Scenario {
     .with_photons(4_000)
     .with_tasks(8)
     .with_seed(2006)
+}
+
+/// A voxel scenario small enough for the fast loop but heterogeneous
+/// enough (6-material palette, off-axis inclusion) to exercise the DDA.
+/// The detector aperture (x ∈ [3, 5]) lies well inside the ±8 mm grid so
+/// the detection/tally-merge path is genuinely exercised.
+fn voxel_scenario() -> Scenario {
+    let grid = head_with_inclusion(
+        AdultHeadConfig::default(),
+        1.0,
+        8.0,
+        25.0,
+        Vec3::new(5.0, 0.0, 16.0),
+        4.0,
+    )
+    .expect("inclusion phantom builds");
+    Scenario::new(grid, Source::Delta, Detector::new(4.0, 1.0))
+        .with_photons(2_000)
+        .with_tasks(8)
+        .with_seed(2006)
 }
 
 #[test]
@@ -79,6 +99,71 @@ fn matrix_includes_tcp() {
 
     let reference = Sequential.run(&s).expect("valid scenario");
     assert_eq!(tcp.result.tally, reference.result.tally, "tcp must match sequential");
+}
+
+#[test]
+fn matrix_voxel_scenario_bit_identical_across_backends() {
+    // The five-backend claim extended to voxel geometry: every
+    // physics-running backend produces the same bits.
+    let s = voxel_scenario();
+    let matrix: Vec<Box<dyn Backend>> = vec![
+        Box::new(Sequential),
+        Box::new(Rayon::default()),
+        Box::new(Rayon::with_threads(2)),
+        Box::new(ThreadedCluster::new(3)),
+        Box::new(ThreadedCluster::new(3).with_failure_plan(FailurePlan::Random { rate: 0.25 })),
+    ];
+    let reference = matrix[0].run(&s).expect("valid voxel scenario");
+    assert_eq!(reference.launched(), 2_000);
+    assert!(reference.result.tally.total_absorbed() > 0.0);
+    assert!(
+        reference.result.tally.detected > 0,
+        "the voxel matrix must exercise the detection path, not just absorption"
+    );
+    for backend in &matrix[1..] {
+        let report = backend.run(&s).expect("valid voxel scenario");
+        assert_eq!(
+            reference.result.tally,
+            report.result.tally,
+            "`{}` must match `sequential` bit-for-bit on voxel geometry",
+            backend.name()
+        );
+    }
+    // The DES backend runs the same scenario virtually (no transport).
+    let sim = s.run_simulated(lumen_cluster::homogeneous_pool(4)).expect("valid");
+    assert!(sim.is_virtual());
+    assert_eq!(sim.workers.iter().map(|w| w.photons).sum::<u64>(), 2_000);
+}
+
+#[test]
+fn matrix_voxel_scenario_over_tcp() {
+    // Real sockets under a voxel scenario: tasks out, per-region voxel
+    // tallies back (the scenario encoding itself is covered in wire.rs).
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = probe.local_addr().unwrap().to_string();
+    drop(probe);
+
+    let s = voxel_scenario();
+    let sim = s.simulation();
+    let (addr_c, seed) = (addr.clone(), s.seed);
+    let client = {
+        let sim = sim.clone();
+        thread::spawn(move || {
+            for _ in 0..200 {
+                match lumen_cluster::run_client(&addr_c, &sim, seed) {
+                    Ok(n) => return n,
+                    Err(_) => thread::sleep(std::time::Duration::from_millis(10)),
+                }
+            }
+            panic!("client never connected")
+        })
+    };
+
+    let tcp = Tcp::new(addr).with_clients(1).run(&s).expect("valid voxel scenario");
+    assert_eq!(client.join().expect("join"), 8);
+
+    let reference = Sequential.run(&s).expect("valid voxel scenario");
+    assert_eq!(tcp.result.tally, reference.result.tally, "tcp must match sequential on voxels");
 }
 
 #[test]

@@ -42,7 +42,7 @@ use crate::results::SimulationResult;
 use crate::sim::{PathRecord, Simulation, SimulationOptions};
 use crate::source::Source;
 use crate::tally::Tally;
-use lumen_tissue::LayeredTissue;
+use lumen_tissue::{Geometry, GeometryError};
 use mcrng::StreamFactory;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -85,6 +85,13 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+impl From<GeometryError> for EngineError {
+    /// Geometry construction/validation failures are configuration errors.
+    fn from(e: GeometryError) -> Self {
+        EngineError::InvalidConfig(e.to_string())
+    }
+}
+
 /// A fully specified experiment: what to simulate and how the work is
 /// decomposed, independent of where it executes.
 ///
@@ -99,8 +106,8 @@ impl std::error::Error for EngineError {}
 /// deployments.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
-    /// The layered medium.
-    pub tissue: LayeredTissue,
+    /// The tissue model — layered stack or voxel grid.
+    pub tissue: Geometry,
     /// Source footprint.
     pub source: Source,
     /// Detector geometry and gating.
@@ -127,9 +134,11 @@ impl Scenario {
     pub const DEFAULT_SEED: u64 = 42;
 
     /// A scenario with default options, budget, task count, and seed.
-    pub fn new(tissue: LayeredTissue, source: Source, detector: Detector) -> Self {
+    /// Accepts a bare [`lumen_tissue::LayeredTissue`] or
+    /// [`lumen_tissue::VoxelTissue`] as well as a [`Geometry`] value.
+    pub fn new(tissue: impl Into<Geometry>, source: Source, detector: Detector) -> Self {
         Self {
-            tissue,
+            tissue: tissue.into(),
             source,
             detector,
             options: SimulationOptions::default(),

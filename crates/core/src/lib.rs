@@ -56,7 +56,10 @@ pub use engine::{
     WorkerAccount,
 };
 pub use lumen_photon::{BoundaryMode, OpticalProperties, Photon, RouletteConfig, Vec3};
-pub use lumen_tissue::{LayeredTissue, OpticalProperties as TissueOptics};
+pub use lumen_tissue::{
+    Geometry, GeometryError, LayeredTissue, OpticalProperties as TissueOptics, TissueGeometry,
+    VoxelMaterial, VoxelTissue,
+};
 #[allow(deprecated)]
 pub use parallel::run_parallel;
 pub use parallel::ParallelConfig;

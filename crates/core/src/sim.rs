@@ -27,12 +27,12 @@ use crate::results::SimulationResult;
 use crate::source::Source;
 use crate::tally::{GridSpec, Tally};
 use lumen_photon::{
-    fresnel::{interact_with_boundary, BoundaryOutcome},
+    fresnel::{interact_with_boundary_axis, BoundaryOutcome},
     fresnel_reflectance, hop, roulette, sample_step_mfps, spin,
     step::Hop,
-    BoundaryMode, Fate, Photon, RouletteConfig, Vec3,
+    Axis, BoundaryMode, Fate, Photon, RouletteConfig, Vec3,
 };
-use lumen_tissue::LayeredTissue;
+use lumen_tissue::{Geometry, TissueGeometry};
 use mcrng::{McRng, StreamFactory};
 use serde::{Deserialize, Serialize};
 
@@ -107,7 +107,10 @@ impl Default for SimulationOptions {
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Simulation {
-    pub tissue: LayeredTissue,
+    /// The tissue model — layered or voxelized (see
+    /// [`lumen_tissue::Geometry`]); the stepping loop is generic over
+    /// [`TissueGeometry`] and monomorphized per variant.
+    pub tissue: Geometry,
     pub source: Source,
     pub detector: Detector,
     pub options: SimulationOptions,
@@ -118,14 +121,20 @@ pub struct Simulation {
 #[derive(Default)]
 pub struct Scratch {
     vertices: Vec<Vec3>,
-    /// Pathlength accrued in each layer by the current photon (mm).
+    /// Pathlength accrued in each region by the current photon (mm).
     partial_path: Vec<f64>,
+    /// Regions the current photon has actually entered. Layered walks
+    /// visit a contiguous `0..=max` prefix, but a voxel palette has no
+    /// depth order, so "reached" must be tracked per region.
+    reached: Vec<bool>,
 }
 
 impl Simulation {
-    /// Build a simulation with default options.
-    pub fn new(tissue: LayeredTissue, source: Source, detector: Detector) -> Self {
-        Self { tissue, source, detector, options: SimulationOptions::default() }
+    /// Build a simulation with default options. Accepts a bare
+    /// [`lumen_tissue::LayeredTissue`] or [`lumen_tissue::VoxelTissue`] as
+    /// well as a [`Geometry`] value.
+    pub fn new(tissue: impl Into<Geometry>, source: Source, detector: Detector) -> Self {
+        Self { tissue: tissue.into(), source, detector, options: SimulationOptions::default() }
     }
 
     /// Replace the options (builder style).
@@ -163,17 +172,18 @@ impl Simulation {
         if self.options.max_interactions == 0 {
             return Err("max_interactions must be positive".into());
         }
-        let last = self.tissue.layers().last().expect("validated non-empty");
-        if last.is_semi_infinite() && last.optics.is_transparent() {
-            return Err("the semi-infinite bottom layer cannot be transparent".into());
-        }
+        self.tissue.validate().map_err(String::from)?;
         Ok(())
     }
 
-    /// A tally shaped for this simulation.
+    /// A tally shaped for this simulation: one slot per geometry region
+    /// (layer or voxel material).
     pub fn new_tally(&self) -> Tally {
-        let mut tally =
-            Tally::new(self.tissue.len(), self.options.path_grid, self.options.absorption_grid);
+        let mut tally = Tally::new(
+            self.tissue.region_count(),
+            self.options.path_grid,
+            self.options.absorption_grid,
+        );
         if let Some((max_mm, bins)) = self.options.path_histogram {
             tally = tally.with_path_histogram(max_mm, bins);
         }
@@ -187,7 +197,8 @@ impl Simulation {
     }
 
     /// Trace one photon, accumulating into `tally`. Returns the terminal
-    /// fate. This is the paper's Fig 1 loop.
+    /// fate. This is the paper's Fig 1 loop, dispatched once per photon to
+    /// the geometry-monomorphized inner loop.
     pub fn trace_photon<R: McRng>(
         &self,
         rng: &mut R,
@@ -195,22 +206,47 @@ impl Simulation {
         scratch: &mut Scratch,
         paths_out: Option<&mut Vec<PathRecord>>,
     ) -> Fate {
+        match &self.tissue {
+            Geometry::Layered(g) => self.trace_photon_in(g, rng, tally, scratch, paths_out),
+            Geometry::Voxel(g) => self.trace_photon_in(g, rng, tally, scratch, paths_out),
+        }
+    }
+
+    /// The geometry-generic stepping loop. `photon.layer` holds the current
+    /// *region* index (layer or voxel material); all geometric questions go
+    /// through `geom`, so the layered hot path compiles to exactly the code
+    /// it was before the abstraction (pinned by the golden-tally harness).
+    fn trace_photon_in<G: TissueGeometry, R: McRng>(
+        &self,
+        geom: &G,
+        rng: &mut R,
+        tally: &mut Tally,
+        scratch: &mut Scratch,
+        paths_out: Option<&mut Vec<PathRecord>>,
+    ) -> Fate {
         // --- initialise photon ---
-        let (mut photon, r_sp) = self.source.launch(&self.tissue, rng);
+        let (mut photon, r_sp) = self.source.launch(geom, rng);
         tally.launched += 1;
         tally.specular_weight += r_sp;
+        if !photon.survived() {
+            // Missed a finite grid's lateral extent: full weight reflects.
+            tally.reflected_weight += photon.weight;
+            photon.weight = 0.0;
+        }
 
         let recording = tally.path_grid.is_some() || self.options.record_paths > 0;
         scratch.vertices.clear();
         scratch.partial_path.clear();
-        scratch.partial_path.resize(self.tissue.len(), 0.0);
+        scratch.partial_path.resize(geom.region_count(), 0.0);
+        scratch.reached.clear();
+        scratch.reached.resize(geom.region_count(), false);
+        scratch.reached[photon.layer] = true;
         if recording {
             scratch.vertices.push(photon.pos);
         }
 
         let mut step_mfps = 0.0_f64; // unspent dimensionless step
         let mut interactions = 0u32;
-        let mut max_layer = photon.layer;
         let mut first_detection: Option<(f64, f64)> = None; // (pathlength, weight out)
         let mut detection_weight_total = 0.0;
 
@@ -222,11 +258,11 @@ impl Simulation {
                 break;
             }
 
-            let optics = *self.tissue.optics(photon.layer);
+            let optics = *geom.optics(photon.layer);
             if step_mfps <= 0.0 {
                 step_mfps = sample_step_mfps(rng);
             }
-            let hit = self.tissue.boundary_hit(photon.pos, photon.dir, photon.layer);
+            let hit = geom.boundary_hit(photon.pos, photon.dir, photon.layer);
 
             if !hit.distance.is_finite() && optics.is_transparent() {
                 // Degenerate: horizontal flight in a transparent slab can
@@ -272,16 +308,16 @@ impl Simulation {
                         scratch.vertices.push(photon.pos);
                     }
                     // --- changed medium: internally reflect or refract ---
-                    let moving_up = photon.dir.z < 0.0;
-                    let exits_tissue = hit.next_layer.is_none();
+                    let exits_tissue = hit.next_region.is_none();
                     let n_i = optics.n;
-                    let n_t = self.tissue.neighbour_n(photon.layer, moving_up);
+                    let n_t = geom.neighbour_n(photon.layer, &hit);
 
                     if exits_tissue {
                         self.handle_surface(
                             &mut photon,
                             n_i,
                             n_t,
+                            hit.axis,
                             hit.is_top_surface,
                             rng,
                             tally,
@@ -291,8 +327,9 @@ impl Simulation {
                     } else {
                         // Internal interface: probabilistic branch selection
                         // in both modes (see module docs).
-                        match interact_with_boundary(
+                        match interact_with_boundary_axis(
                             photon.dir,
+                            hit.axis,
                             n_i,
                             n_t,
                             BoundaryMode::Probabilistic,
@@ -303,8 +340,8 @@ impl Simulation {
                             }
                             BoundaryOutcome::Transmitted { dir, .. } => {
                                 photon.dir = dir;
-                                photon.layer = hit.next_layer.expect("internal boundary");
-                                max_layer = max_layer.max(photon.layer);
+                                photon.layer = hit.next_region.expect("internal boundary");
+                                scratch.reached[photon.layer] = true;
                             }
                         }
                     }
@@ -348,8 +385,8 @@ impl Simulation {
             tally.detected_depth_sum += photon.max_depth;
             tally.detected_depth_max = tally.detected_depth_max.max(photon.max_depth);
             tally.detected_scatter_sum += photon.scatters as u64;
-            for l in 0..=max_layer.min(tally.detected_reached_layer.len() - 1) {
-                tally.detected_reached_layer[l] += 1;
+            for (count, &reached) in tally.detected_reached_layer.iter_mut().zip(&scratch.reached) {
+                *count += u64::from(reached);
             }
             for (sum, &partial) in tally.detected_partial_path.iter_mut().zip(&scratch.partial_path)
             {
@@ -378,20 +415,23 @@ impl Simulation {
         fate
     }
 
-    /// External-surface encounter (top z=0 or the bottom of a finite stack).
+    /// External-surface encounter: the top z=0 plane, the bottom of a
+    /// finite stack, or any outer face of a voxel grid (`axis` is the
+    /// face's normal; layered geometries only ever pass [`Axis::Z`]).
     #[allow(clippy::too_many_arguments)]
     fn handle_surface<R: McRng>(
         &self,
         photon: &mut Photon,
         n_i: f64,
         n_t: f64,
+        axis: Axis,
         is_top: bool,
         rng: &mut R,
         tally: &mut Tally,
         first_detection: &mut Option<(f64, f64)>,
         detection_weight_total: &mut f64,
     ) {
-        let cos_i = photon.dir.z.abs();
+        let cos_i = photon.dir.component(axis).abs();
         let reflectance = fresnel_reflectance(n_i, n_t, cos_i);
         // Exit-angle cosine on the ambient side (Snell); escapes only
         // happen below the critical angle, so sin_t < 1 here.
@@ -453,7 +493,7 @@ impl Simulation {
                     });
                 } else {
                     // Internal reflection (total or Fresnel-sampled).
-                    photon.dir = Vec3::new(photon.dir.x, photon.dir.y, -photon.dir.z);
+                    photon.dir = photon.dir.reflect(axis);
                 }
             }
             BoundaryMode::Classical => {
@@ -472,15 +512,30 @@ impl Simulation {
                         Fate::Transmitted
                     });
                 } else {
-                    photon.dir = Vec3::new(photon.dir.x, photon.dir.y, -photon.dir.z);
+                    photon.dir = photon.dir.reflect(axis);
                 }
             }
         }
     }
 
-    /// Run `n` photons from the given RNG into `tally`.
+    /// Run `n` photons from the given RNG into `tally`. Dispatches to the
+    /// geometry-monomorphized loop once for the whole stream.
     pub fn run_stream<R: McRng>(
         &self,
+        n: u64,
+        rng: &mut R,
+        tally: &mut Tally,
+        paths_out: Option<&mut Vec<PathRecord>>,
+    ) {
+        match &self.tissue {
+            Geometry::Layered(g) => self.run_stream_in(g, n, rng, tally, paths_out),
+            Geometry::Voxel(g) => self.run_stream_in(g, n, rng, tally, paths_out),
+        }
+    }
+
+    fn run_stream_in<G: TissueGeometry, R: McRng>(
+        &self,
+        geom: &G,
         n: u64,
         rng: &mut R,
         tally: &mut Tally,
@@ -490,7 +545,7 @@ impl Simulation {
         let mut paths = paths_out;
         for _ in 0..n {
             let out = paths.as_deref_mut();
-            self.trace_photon(rng, tally, &mut scratch, out);
+            self.trace_photon_in(geom, rng, tally, &mut scratch, out);
         }
     }
 

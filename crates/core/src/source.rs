@@ -15,8 +15,8 @@
 //! interface; the reflected fraction `R_sp = ((n₀−n₁)/(n₀+n₁))²` is removed
 //! from the packet weight and reported to the tally, matching MCML.
 
-use lumen_photon::{fresnel_reflectance, Photon, Vec3};
-use lumen_tissue::LayeredTissue;
+use lumen_photon::{fresnel_reflectance, Fate, Photon, Vec3};
+use lumen_tissue::TissueGeometry;
 use mcrng::{gaussian_pair, uniform_disc, McRng};
 use serde::{Deserialize, Serialize};
 
@@ -76,13 +76,32 @@ impl Source {
     /// Launch one photon into the tissue: sample the footprint, apply
     /// specular reflection at the air–tissue interface, and return the
     /// photon plus the specularly reflected weight (for the tally).
-    pub fn launch<R: McRng>(&self, tissue: &LayeredTissue, rng: &mut R) -> (Photon, f64) {
+    ///
+    /// A footprint sample that falls outside a finite geometry's lateral
+    /// extent (possible only for voxel grids) never enters the tissue: the
+    /// returned photon is already terminated as [`Fate::ReflectedOut`] with
+    /// its full weight, and the engine tallies it as diffuse reflectance.
+    pub fn launch<G: TissueGeometry + ?Sized, R: McRng>(
+        &self,
+        geometry: &G,
+        rng: &mut R,
+    ) -> (Photon, f64) {
         let pos = self.sample_position(rng);
-        let mut photon = Photon::launch(pos, Vec3::PLUS_Z, 0);
-        // Normal incidence specular reflection air -> first layer.
-        let r_sp = fresnel_reflectance(tissue.ambient_n, tissue.optics(0).n, 1.0);
-        photon.weight -= r_sp;
-        (photon, r_sp)
+        match geometry.entry_region(pos) {
+            Some(region) => {
+                let mut photon = Photon::launch(pos, Vec3::PLUS_Z, region);
+                // Normal incidence specular reflection ambient -> surface.
+                let r_sp =
+                    fresnel_reflectance(geometry.ambient_n(), geometry.optics(region).n, 1.0);
+                photon.weight -= r_sp;
+                (photon, r_sp)
+            }
+            None => {
+                let mut photon = Photon::launch(pos, Vec3::PLUS_Z, 0);
+                photon.terminate(Fate::ReflectedOut);
+                (photon, 0.0)
+            }
+        }
     }
 }
 

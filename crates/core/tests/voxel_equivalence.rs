@@ -1,0 +1,129 @@
+//! Statistical equivalence: a voxelized slab must reproduce the layered
+//! slab's physics within Monte Carlo tolerance.
+//!
+//! The voxelized grid has exactly the same material planes as the layered
+//! stack (the DDA skips same-material voxel faces), so the only physical
+//! differences are the finite lateral extent and accumulated floating-point
+//! divergence of boundary distances — both far below the MC noise floor at
+//! these budgets.
+
+use lumen_core::engine::{Backend, Scenario, Sequential};
+use lumen_core::{Detector, Source};
+use lumen_tissue::presets::voxelized;
+use lumen_tissue::{LayeredTissue, OpticalProperties, TissueGeometry};
+
+const PHOTONS: u64 = 20_000;
+const SEED: u64 = 2006;
+
+/// A finite two-layer slab: 2 mm of lighter tissue over 3 mm of denser
+/// tissue, air above and below. Finite so the voxel grid can cover it
+/// exactly.
+fn slab() -> LayeredTissue {
+    LayeredTissue::stack(
+        vec![
+            ("top".into(), 2.0, OpticalProperties::new(0.05, 10.0, 0.9, 1.4)),
+            ("bottom".into(), 3.0, OpticalProperties::new(0.02, 15.0, 0.9, 1.4)),
+        ],
+        1.0,
+    )
+    .unwrap()
+}
+
+fn run(scenario: Scenario) -> lumen_core::engine::RunReport {
+    Sequential.run(&scenario).expect("valid scenario")
+}
+
+#[test]
+fn voxelized_slab_matches_layered_tally_within_mc_tolerance() {
+    let layered = slab();
+    // ±20 mm laterally at 0.5 mm pitch: wide enough that lateral leakage
+    // is far below the MC noise at 20k photons.
+    let voxel = voxelized(&layered, 0.5, 20.0, 5.0).unwrap();
+    assert_eq!(voxel.region_count(), layered.len());
+
+    let detector = Detector::new(2.0, 1.0);
+    let l = run(Scenario::new(layered, Source::Delta, detector)
+        .with_photons(PHOTONS)
+        .with_tasks(8)
+        .with_seed(SEED));
+    let v = run(Scenario::new(voxel, Source::Delta, detector)
+        .with_photons(PHOTONS)
+        .with_tasks(8)
+        .with_seed(SEED));
+
+    assert_eq!(l.launched(), PHOTONS);
+    assert_eq!(v.launched(), PHOTONS);
+
+    // Photon-count outcomes agree to a few percent of the budget.
+    let close_counts = |a: u64, b: u64, what: &str| {
+        let diff = (a as f64 - b as f64).abs() / PHOTONS as f64;
+        assert!(diff < 0.02, "{what}: layered {a} vs voxel {b} ({diff:.4} of budget)");
+    };
+    close_counts(l.tally.reflected, v.tally.reflected, "reflected");
+    close_counts(l.tally.transmitted, v.tally.transmitted, "transmitted");
+    close_counts(l.tally.detected, v.tally.detected, "detected");
+
+    // Weight outcomes agree to a few percent relative.
+    let close_weights = |a: f64, b: f64, what: &str| {
+        let rel = (a - b).abs() / a.abs().max(1e-12);
+        assert!(rel < 0.05, "{what}: layered {a} vs voxel {b} (rel {rel:.4})");
+    };
+    assert_eq!(l.tally.specular_weight, v.tally.specular_weight, "same surface optics");
+    close_weights(l.tally.reflected_weight, v.tally.reflected_weight, "reflected weight");
+    close_weights(l.tally.transmitted_weight, v.tally.transmitted_weight, "transmitted weight");
+    close_weights(l.tally.detected_weight, v.tally.detected_weight, "detected weight");
+
+    // Per-region absorption: palette index i is layer i by construction.
+    for (i, (a, b)) in l.tally.absorbed_by_layer.iter().zip(&v.tally.absorbed_by_layer).enumerate()
+    {
+        let rel = (a - b).abs() / a.abs().max(1e-12);
+        assert!(rel < 0.05, "absorbed in region {i}: layered {a} vs voxel {b} (rel {rel:.4})");
+    }
+
+    // Detected-photon pathlength statistics.
+    if l.tally.detected > 0 && v.tally.detected > 0 {
+        let mean_l = l.tally.detected_path_sum / l.tally.detected as f64;
+        let mean_v = v.tally.detected_path_sum / v.tally.detected as f64;
+        let rel = (mean_l - mean_v).abs() / mean_l;
+        assert!(rel < 0.05, "mean detected pathlength: {mean_l} vs {mean_v}");
+    }
+
+    // Both runs conserve energy.
+    assert!((l.tally.accounted_weight_fraction() - 1.0).abs() < 0.02);
+    assert!((v.tally.accounted_weight_fraction() - 1.0).abs() < 0.02);
+}
+
+#[test]
+fn narrow_grid_leaks_sideways_as_transmittance() {
+    // Sanity-check the finite-extent semantics: shrinking the lateral
+    // extent moves weight from reflectance/absorption into lateral escape
+    // (tallied as transmittance), and photons launched outside the grid
+    // reflect immediately.
+    let layered = slab();
+    let wide = voxelized(&layered, 0.5, 20.0, 5.0).unwrap();
+    let narrow = voxelized(&layered, 0.5, 1.0, 5.0).unwrap();
+    let detector = Detector::new(2.0, 1.0);
+    let w = run(Scenario::new(wide, Source::Delta, detector).with_photons(5_000).with_seed(7));
+    let n = run(Scenario::new(narrow, Source::Delta, detector).with_photons(5_000).with_seed(7));
+    assert!(
+        n.tally.transmitted_weight > 2.0 * w.tally.transmitted_weight,
+        "narrow grid must leak sideways: narrow {} vs wide {}",
+        n.tally.transmitted_weight,
+        w.tally.transmitted_weight
+    );
+    assert!((n.tally.accounted_weight_fraction() - 1.0).abs() < 0.02, "leaks are still tallied");
+}
+
+#[test]
+fn source_outside_grid_reflects_at_launch() {
+    // A wide uniform source over a tiny grid: the misses are tallied as
+    // reflected with full weight, keeping energy accounting exact.
+    let layered = slab();
+    let tiny = voxelized(&layered, 0.5, 1.0, 5.0).unwrap();
+    let report = run(Scenario::new(tiny, Source::Uniform { radius: 5.0 }, Detector::new(2.0, 0.5))
+        .with_photons(2_000)
+        .with_seed(3));
+    // P(inside 1x1 square | uniform disc r=5) is small; most photons miss.
+    assert!(report.tally.reflected > 1_500, "reflected {}", report.tally.reflected);
+    assert!((report.tally.accounted_weight_fraction() - 1.0).abs() < 0.05);
+}

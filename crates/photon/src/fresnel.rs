@@ -17,7 +17,7 @@
 //! Total internal reflection (`θi` beyond the critical angle when passing
 //! into a rarer medium) reflects with probability 1 in both modes.
 
-use crate::vec3::Vec3;
+use crate::vec3::{Axis, Vec3};
 use mcrng::McRng;
 use serde::{Deserialize, Serialize};
 
@@ -99,6 +99,8 @@ pub fn critical_cos(n_i: f64, n_t: f64) -> Option<f64> {
 ///
 /// The interface is horizontal (layered geometry), so reflection flips
 /// `dir.z` and refraction rescales the tangential components by Snell's law.
+/// Voxelized geometries present x/y-normal faces too — see
+/// [`interact_with_boundary_axis`], of which this is the `Axis::Z` case.
 pub fn interact_with_boundary<R: McRng>(
     dir: Vec3,
     n_i: f64,
@@ -106,10 +108,25 @@ pub fn interact_with_boundary<R: McRng>(
     mode: BoundaryMode,
     rng: &mut R,
 ) -> BoundaryOutcome {
-    let cos_i = dir.z.abs();
+    interact_with_boundary_axis(dir, Axis::Z, n_i, n_t, mode, rng)
+}
+
+/// Resolve an encounter with an axis-aligned interface whose outward normal
+/// is the given [`Axis`]. Reflection flips the normal component; refraction
+/// rescales the two tangential components by Snell's law.
+pub fn interact_with_boundary_axis<R: McRng>(
+    dir: Vec3,
+    axis: Axis,
+    n_i: f64,
+    n_t: f64,
+    mode: BoundaryMode,
+    rng: &mut R,
+) -> BoundaryOutcome {
+    let normal = dir.component(axis);
+    let cos_i = normal.abs();
     let reflectance = fresnel_reflectance(n_i, n_t, cos_i);
 
-    let reflected_dir = Vec3::new(dir.x, dir.y, -dir.z);
+    let reflected_dir = dir.reflect(axis);
     let transmitted_dir = || -> Vec3 {
         if (n_i - n_t).abs() < 1e-12 {
             return dir;
@@ -117,7 +134,7 @@ pub fn interact_with_boundary<R: McRng>(
         let ratio = n_i / n_t;
         let sin_t2 = ratio * ratio * (1.0 - cos_i * cos_i);
         let cos_t = (1.0 - sin_t2).max(0.0).sqrt();
-        Vec3::new(dir.x * ratio, dir.y * ratio, cos_t * dir.z.signum()).renormalize()
+        (dir * ratio).with_component(axis, cos_t * normal.signum()).renormalize()
     };
 
     if reflectance >= 1.0 {

@@ -28,13 +28,15 @@ pub mod spin;
 pub mod step;
 pub mod vec3;
 
-pub use fresnel::{fresnel_reflectance, BoundaryMode, BoundaryOutcome};
+pub use fresnel::{
+    critical_cos, fresnel_reflectance, interact_with_boundary_axis, BoundaryMode, BoundaryOutcome,
+};
 pub use optics::OpticalProperties;
 pub use photon::{Fate, Photon};
 pub use roulette::{roulette, RouletteConfig};
 pub use spin::spin;
 pub use step::{hop, sample_step_mfps};
-pub use vec3::Vec3;
+pub use vec3::{Axis, Vec3};
 
 /// Weight below which a photon enters Russian roulette (MCML default).
 pub const WEIGHT_THRESHOLD: f64 = 1e-4;

@@ -6,6 +6,20 @@
 use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
+/// A coordinate axis — the normal direction of an axis-aligned interface.
+///
+/// The layered geometry only ever presents z-normal boundaries, but voxelized
+/// geometries expose x- and y-normal voxel faces to the transport loop, so
+/// boundary physics is parameterised by the normal axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Axis {
+    X,
+    Y,
+    /// The depth axis; horizontal interfaces (the layered-tissue case).
+    #[default]
+    Z,
+}
+
 /// A 3-component double-precision vector (position or direction).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct Vec3 {
@@ -77,6 +91,33 @@ impl Vec3 {
     #[inline]
     pub fn distance(self, rhs: Vec3) -> f64 {
         (self - rhs).norm()
+    }
+
+    /// Component along the given axis.
+    #[inline]
+    pub fn component(self, axis: Axis) -> f64 {
+        match axis {
+            Axis::X => self.x,
+            Axis::Y => self.y,
+            Axis::Z => self.z,
+        }
+    }
+
+    /// Copy with the given axis component replaced.
+    #[inline]
+    pub fn with_component(self, axis: Axis, v: f64) -> Vec3 {
+        match axis {
+            Axis::X => Vec3::new(v, self.y, self.z),
+            Axis::Y => Vec3::new(self.x, v, self.z),
+            Axis::Z => Vec3::new(self.x, self.y, v),
+        }
+    }
+
+    /// Copy with the given axis component negated — specular reflection
+    /// off an interface whose normal is that axis.
+    #[inline]
+    pub fn reflect(self, axis: Axis) -> Vec3 {
+        self.with_component(axis, -self.component(axis))
     }
 
     /// Radial distance from the z-axis (source axis), √(x²+y²).

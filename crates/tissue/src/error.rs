@@ -1,0 +1,61 @@
+//! Typed geometry-construction errors.
+//!
+//! Constructors used to return `Result<_, String>`; callers that want to
+//! branch on the failure kind (the CLI, the wire decoder, the engine) now
+//! get a real enum, and `lumen_core::engine::EngineError` has a `From` impl
+//! so geometry failures flow into `EngineError::InvalidConfig` with `?`.
+
+/// Why a tissue geometry could not be built (or is unusable for transport).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeometryError {
+    /// The geometry has no regions at all (no layers, materials, or cells).
+    Empty(&'static str),
+    /// Ambient refractive index must be finite and >= 1.
+    BadAmbientIndex(f64),
+    /// The layer stack is inconsistent (gap, wrong surface start,
+    /// semi-infinite layer not last).
+    BadLayerStack(String),
+    /// A region's optical properties failed validation.
+    BadOptics {
+        /// Region (layer or material) name.
+        region: String,
+        /// Underlying optics complaint.
+        reason: String,
+    },
+    /// The voxel grid shape or cell data is inconsistent.
+    BadGrid(String),
+    /// A voxel-grid text file failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeometryError::Empty(what) => write!(f, "geometry needs at least one {what}"),
+            GeometryError::BadAmbientIndex(n) => {
+                write!(f, "ambient index must be finite >= 1, got {n}")
+            }
+            GeometryError::BadLayerStack(reason) => write!(f, "{reason}"),
+            GeometryError::BadOptics { region, reason } => write!(f, "region '{region}': {reason}"),
+            GeometryError::BadGrid(reason) => write!(f, "voxel grid: {reason}"),
+            GeometryError::Parse { line, reason } => {
+                write!(f, "voxel file line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+impl From<GeometryError> for String {
+    /// Legacy bridge for APIs that still report stringly errors
+    /// (e.g. `Simulation::validate`).
+    fn from(e: GeometryError) -> String {
+        e.to_string()
+    }
+}

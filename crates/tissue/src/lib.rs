@@ -1,21 +1,35 @@
-//! # lumen-tissue — layered tissue geometry and presets
+//! # lumen-tissue — tissue geometry (layered and voxelized) and presets
 //!
 //! The reproduced paper models the head as a stack of horizontal layers
 //! (Table 1: scalp, skull, CSF, grey matter, white matter), each a
 //! homogeneous slab with its own optical properties. This crate provides:
 //!
-//! * [`Layer`] — one slab: name, z-extent, [`OpticalProperties`];
-//! * [`LayeredTissue`] — the stack, with validated construction, layer
-//!   lookup by depth, and boundary-distance queries used by the transport
-//!   engine's hop/boundary logic;
-//! * [`presets`] — the paper's models: the Table 1 adult head, the
-//!   homogeneous white-matter medium of Fig 3, and a neonatal variant after
-//!   Fukui et al. (the paper's reference \[1\]).
+//! * [`TissueGeometry`] — the trait the transport engine is generic over:
+//!   region lookup, boundary-distance queries (with the face's normal
+//!   axis), and far-side refractive indices;
+//! * [`Layer`] / [`LayeredTissue`] — the 1-D stack: validated construction,
+//!   layer lookup by depth, analytic plane-boundary queries;
+//! * [`VoxelTissue`] — a dense 3-D grid of material-palette indices with
+//!   Amanatides–Woo DDA traversal, for lateral inhomogeneity (tumour
+//!   inclusions, curved anatomy) no layer stack can express;
+//! * [`Geometry`] — the closed enum of the above, used wherever a geometry
+//!   value is stored or shipped (scenarios, CLI configs, the cluster wire);
+//! * [`GeometryError`] — typed construction/validation errors;
+//! * [`presets`] — the paper's models (the Table 1 adult head, the
+//!   homogeneous white matter of Fig 3, a neonatal variant after Fukui et
+//!   al., the paper's reference \[1\]) plus [`presets::voxelized`] and a
+//!   voxel head-with-inclusion phantom.
 
+pub mod error;
+pub mod geometry;
 pub mod layer;
 pub mod model;
 pub mod presets;
+pub mod voxel;
 
+pub use error::GeometryError;
+pub use geometry::{Geometry, TissueGeometry};
 pub use layer::Layer;
 pub use lumen_photon::OpticalProperties;
 pub use model::{BoundaryHit, LayeredTissue};
+pub use voxel::{VoxelMaterial, VoxelTissue};

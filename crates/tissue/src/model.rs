@@ -1,19 +1,24 @@
 //! The layered tissue stack and its geometric queries.
 
+use crate::error::GeometryError;
 use crate::layer::Layer;
-use lumen_photon::{OpticalProperties, Vec3};
+use lumen_photon::{Axis, OpticalProperties, Vec3};
 use serde::{Deserialize, Serialize};
 
-/// Which boundary a travelling photon will meet first inside its layer.
+/// Which boundary a travelling photon will meet first inside its region.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoundaryHit {
-    /// Distance along the direction of travel to the boundary plane (mm).
+    /// Distance along the direction of travel to the boundary (mm).
     pub distance: f64,
-    /// Index of the layer on the far side, or `None` when the photon would
-    /// exit the tissue (above the top surface or below a finite stack).
-    pub next_layer: Option<usize>,
+    /// Region index on the far side, or `None` when the photon would exit
+    /// the tissue (above the top surface, below a finite stack, or out of a
+    /// voxel grid's lateral extent).
+    pub next_region: Option<usize>,
     /// True when the boundary is the external top surface (z = 0).
     pub is_top_surface: bool,
+    /// Normal axis of the boundary: always [`Axis::Z`] for layered stacks;
+    /// voxel faces can be x- or y-normal too.
+    pub axis: Axis,
 }
 
 /// A stack of horizontal tissue layers occupying z ≥ 0, with an ambient
@@ -28,32 +33,38 @@ pub struct LayeredTissue {
 impl LayeredTissue {
     /// Build a validated stack. Layers must be contiguous from z = 0
     /// downward, non-empty, and only the last may be semi-infinite.
-    pub fn new(layers: Vec<Layer>, ambient_n: f64) -> Result<Self, String> {
+    pub fn new(layers: Vec<Layer>, ambient_n: f64) -> Result<Self, GeometryError> {
         if layers.is_empty() {
-            return Err("tissue model needs at least one layer".into());
+            return Err(GeometryError::Empty("layer"));
         }
         if !(ambient_n >= 1.0 && ambient_n.is_finite()) {
-            return Err(format!("ambient index must be finite >= 1, got {ambient_n}"));
+            return Err(GeometryError::BadAmbientIndex(ambient_n));
         }
         if layers[0].z_top != 0.0 {
-            return Err(format!(
+            return Err(GeometryError::BadLayerStack(format!(
                 "first layer must start at the surface z=0, starts at {}",
                 layers[0].z_top
-            ));
+            )));
         }
         for pair in layers.windows(2) {
             if pair[0].is_semi_infinite() {
-                return Err(format!("layer '{}' is semi-infinite but not last", pair[0].name));
+                return Err(GeometryError::BadLayerStack(format!(
+                    "layer '{}' is semi-infinite but not last",
+                    pair[0].name
+                )));
             }
             if (pair[0].z_bottom - pair[1].z_top).abs() > 1e-9 {
-                return Err(format!(
+                return Err(GeometryError::BadLayerStack(format!(
                     "gap between layer '{}' (ends {}) and '{}' (starts {})",
                     pair[0].name, pair[0].z_bottom, pair[1].name, pair[1].z_top
-                ));
+                )));
             }
         }
         for layer in &layers {
-            layer.optics.validate().map_err(|e| format!("layer '{}': {e}", layer.name))?;
+            layer
+                .optics
+                .validate()
+                .map_err(|e| GeometryError::BadOptics { region: layer.name.clone(), reason: e })?;
         }
         Ok(Self { layers, ambient_n })
     }
@@ -78,7 +89,7 @@ impl LayeredTissue {
     pub fn stack(
         specs: Vec<(String, f64, OpticalProperties)>,
         ambient_n: f64,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, GeometryError> {
         let mut z = 0.0;
         let mut layers = Vec::with_capacity(specs.len());
         for (name, thickness, optics) in specs {
@@ -159,18 +170,29 @@ impl LayeredTissue {
             // Moving deeper: next plane is the layer bottom.
             let distance = (layer.z_bottom - pos.z) / dir.z;
             let next = if layer_idx + 1 < self.layers.len() { Some(layer_idx + 1) } else { None };
-            BoundaryHit { distance: distance.max(0.0), next_layer: next, is_top_surface: false }
+            BoundaryHit {
+                distance: distance.max(0.0),
+                next_region: next,
+                is_top_surface: false,
+                axis: Axis::Z,
+            }
         } else if dir.z < 0.0 {
             // Moving up: next plane is the layer top.
             let distance = (layer.z_top - pos.z) / dir.z;
             let next = if layer_idx > 0 { Some(layer_idx - 1) } else { None };
             BoundaryHit {
                 distance: distance.max(0.0),
-                next_layer: next,
+                next_region: next,
                 is_top_surface: layer_idx == 0,
+                axis: Axis::Z,
             }
         } else {
-            BoundaryHit { distance: f64::INFINITY, next_layer: None, is_top_surface: false }
+            BoundaryHit {
+                distance: f64::INFINITY,
+                next_region: None,
+                is_top_surface: false,
+                axis: Axis::Z,
+            }
         }
     }
 
@@ -252,7 +274,7 @@ mod tests {
         let t = two_layer();
         let hit = t.boundary_hit(Vec3::new(0.0, 0.0, 0.5), Vec3::PLUS_Z, 0);
         assert!((hit.distance - 1.5).abs() < 1e-12);
-        assert_eq!(hit.next_layer, Some(1));
+        assert_eq!(hit.next_region, Some(1));
         assert!(!hit.is_top_surface);
     }
 
@@ -269,7 +291,7 @@ mod tests {
         let t = two_layer();
         let hit = t.boundary_hit(Vec3::new(0.0, 0.0, 0.5), -Vec3::PLUS_Z, 0);
         assert!((hit.distance - 0.5).abs() < 1e-12);
-        assert_eq!(hit.next_layer, None);
+        assert_eq!(hit.next_region, None);
         assert!(hit.is_top_surface);
     }
 
@@ -293,7 +315,7 @@ mod tests {
         let t = two_layer();
         let hit = t.boundary_hit(Vec3::new(0.0, 0.0, 5.0), Vec3::PLUS_Z, 1);
         assert_eq!(hit.distance, f64::INFINITY);
-        assert_eq!(hit.next_layer, None);
+        assert_eq!(hit.next_region, None);
     }
 
     #[test]

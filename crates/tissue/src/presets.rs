@@ -16,8 +16,10 @@
 //! similarity relation, the choice of g does not change the macroscopic
 //! distributions the paper reports.
 
+use crate::error::GeometryError;
 use crate::model::LayeredTissue;
-use lumen_photon::OpticalProperties;
+use crate::voxel::{VoxelMaterial, VoxelTissue};
+use lumen_photon::{OpticalProperties, Vec3};
 use serde::{Deserialize, Serialize};
 
 /// Standard tissue refractive index in the NIR.
@@ -136,6 +138,88 @@ pub fn neonatal_head() -> LayeredTissue {
 /// tests and for comparing against published semi-infinite benchmarks.
 pub fn semi_infinite_phantom(mu_a: f64, mu_s: f64, g: f64, n: f64) -> LayeredTissue {
     LayeredTissue::homogeneous("Phantom", OpticalProperties::new(mu_a, mu_s, g, n), AIR_N)
+}
+
+/// Voxelize a layered stack: an `(2·half_width)² × depth` grid at pitch
+/// `dx`, each voxel taking the material of the layer containing its centre.
+/// The palette has one material per layer (same indices), so per-region
+/// tallies remain directly comparable with the layered run.
+///
+/// `depth_mm` may extend into a semi-infinite bottom layer but must not
+/// exceed a finite stack's total depth.
+pub fn voxelized(
+    tissue: &LayeredTissue,
+    dx: f64,
+    half_width_mm: f64,
+    depth_mm: f64,
+) -> Result<VoxelTissue, GeometryError> {
+    if !(dx > 0.0 && half_width_mm > 0.0 && depth_mm > 0.0) {
+        return Err(GeometryError::BadGrid(format!(
+            "voxelized() needs positive pitch/extent, got dx={dx}, \
+             half_width={half_width_mm}, depth={depth_mm}"
+        )));
+    }
+    if depth_mm > tissue.total_depth() {
+        return Err(GeometryError::BadGrid(format!(
+            "depth {depth_mm} mm exceeds the {} mm layered stack",
+            tissue.total_depth()
+        )));
+    }
+    let n_lateral = (2.0 * half_width_mm / dx).ceil() as usize;
+    let nz = (depth_mm / dx).ceil() as usize;
+    // Centre the (possibly rounded-up) lateral extent on the origin.
+    let origin = -(n_lateral as f64) * dx / 2.0;
+    let materials: Vec<VoxelMaterial> =
+        tissue.layers().iter().map(|l| VoxelMaterial::new(l.name.clone(), l.optics)).collect();
+    VoxelTissue::from_fn(
+        (n_lateral, n_lateral, nz),
+        (origin, origin),
+        (dx, dx, dx),
+        materials,
+        tissue.ambient_n,
+        // Ceil-rounding can push the last voxel centre past a finite
+        // stack's bottom even though `depth_mm` itself is legal; that
+        // sliver (at most dx/2) inherits the bottom layer.
+        |centre| tissue.layer_at(centre.z).unwrap_or(tissue.len() - 1) as u16,
+    )
+}
+
+/// Optics of a strongly absorbing tumour-like inclusion (10× grey-matter
+/// absorption, grey-matter scattering).
+pub fn inclusion_optics() -> OpticalProperties {
+    OpticalProperties::from_reduced_scattering(0.36, 2.2, TISSUE_G, TISSUE_N)
+}
+
+/// The adult-head phantom with a spherical absorbing inclusion — the
+/// lateral inhomogeneity a layered model cannot express. The head stack is
+/// voxelized at pitch `dx` over ±`half_width_mm` laterally and `depth_mm`
+/// deep; voxels whose centre lies within `radius_mm` of `centre` become the
+/// extra "Inclusion" material (palette index = number of head layers).
+pub fn head_with_inclusion(
+    config: AdultHeadConfig,
+    dx: f64,
+    half_width_mm: f64,
+    depth_mm: f64,
+    centre: Vec3,
+    radius_mm: f64,
+) -> Result<VoxelTissue, GeometryError> {
+    let head = adult_head(config);
+    let base = voxelized(&head, dx, half_width_mm, depth_mm)?;
+    let mut materials = base.materials().to_vec();
+    let inclusion_idx = materials.len() as u16;
+    materials.push(VoxelMaterial::new("Inclusion", inclusion_optics()));
+    let (nx, ny, nz) = base.dims();
+    let mut cells = base.cells().to_vec();
+    for iz in 0..nz {
+        for iy in 0..ny {
+            for ix in 0..nx {
+                if base.centre(ix, iy, iz).distance(centre) <= radius_mm {
+                    cells[(iz * ny + iy) * nx + ix] = inclusion_idx;
+                }
+            }
+        }
+    }
+    VoxelTissue::new(base.dims(), base.origin(), base.voxel_mm(), materials, cells, head.ambient_n)
 }
 
 #[cfg(test)]

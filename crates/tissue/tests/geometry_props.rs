@@ -1,0 +1,173 @@
+//! Property tests for the voxel DDA traversal and the layered↔voxel
+//! correspondence. Runs in the fast loop.
+
+use lumen_photon::Vec3;
+use lumen_tissue::presets::{adult_head, voxelized, AdultHeadConfig};
+use lumen_tissue::{LayeredTissue, OpticalProperties, TissueGeometry, VoxelMaterial, VoxelTissue};
+use proptest::prelude::*;
+
+/// A 6×5×4 grid with an irregular checker of three materials, pitch
+/// (0.4, 0.5, 0.6), origin (-1.2, -1.25) — deliberately anisotropic so
+/// axis mix-ups cannot cancel out.
+fn checker() -> VoxelTissue {
+    let materials = vec![
+        VoxelMaterial::new("A", OpticalProperties::new(0.01, 10.0, 0.9, 1.4)),
+        VoxelMaterial::new("B", OpticalProperties::new(0.02, 20.0, 0.8, 1.5)),
+        VoxelMaterial::new("C", OpticalProperties::new(0.05, 5.0, 0.0, 1.33)),
+    ];
+    VoxelTissue::from_fn((6, 5, 4), (-1.2, -1.25), (0.4, 0.5, 0.6), materials, 1.0, |c| {
+        let ix = ((c.x + 1.2) / 0.4) as usize;
+        let iy = ((c.y + 1.25) / 0.5) as usize;
+        let iz = (c.z / 0.6) as usize;
+        ((ix + 2 * iy + iz) % 3) as u16
+    })
+    .unwrap()
+}
+
+/// Walk a ray through the grid via repeated `boundary_hit` calls, exactly
+/// as the transport loop does, collecting each hop.
+fn walk(t: &VoxelTissue, mut pos: Vec3, dir: Vec3) -> Vec<(f64, Option<usize>)> {
+    let mut region = t
+        .voxel_of(pos, dir)
+        .map(|(ix, iy, iz)| usize::from(t.material_at(ix, iy, iz)))
+        .expect("walk starts inside the grid");
+    let mut hops = Vec::new();
+    for _ in 0..1000 {
+        let hit = t.boundary_hit(pos, dir, region);
+        hops.push((hit.distance, hit.next_region));
+        pos += dir * hit.distance;
+        match hit.next_region {
+            Some(next) => region = next,
+            None => return hops,
+        }
+    }
+    panic!("ray failed to leave a finite grid within 1000 material changes");
+}
+
+proptest! {
+    /// The DDA never yields positions outside the grid (within face
+    /// tolerance) and every ray eventually exits.
+    #[test]
+    fn dda_never_escapes_the_grid(
+        fx in 0.02f64..0.98, fy in 0.02f64..0.98, fz in 0.02f64..0.98,
+        ux in -1.0f64..1.0, uy in -1.0f64..1.0, uz in -1.0f64..1.0,
+    ) {
+        prop_assume!(ux != 0.0 || uy != 0.0 || uz != 0.0);
+        let t = checker();
+        let (lo, hi) = t.bounds();
+        let start = Vec3::new(
+            lo.x + fx * (hi.x - lo.x),
+            lo.y + fy * (hi.y - lo.y),
+            lo.z + fz * (hi.z - lo.z),
+        );
+        let dir = Vec3::new(ux, uy, uz).renormalize();
+        let mut pos = start;
+        let eps = 1e-9;
+        for (distance, next) in walk(&t, start, dir) {
+            pos += dir * distance;
+            if next.is_some() {
+                // Interior hits stay inside the bounds.
+                prop_assert!(pos.x >= lo.x - eps && pos.x <= hi.x + eps, "x = {}", pos.x);
+                prop_assert!(pos.y >= lo.y - eps && pos.y <= hi.y + eps, "y = {}", pos.y);
+                prop_assert!(pos.z >= lo.z - eps && pos.z <= hi.z + eps, "z = {}", pos.z);
+            }
+        }
+    }
+
+    /// Per-call distances are non-negative and finite, and the cumulative
+    /// boundary distances along a ray are monotonically non-decreasing.
+    #[test]
+    fn dda_distances_are_monotone(
+        fx in 0.02f64..0.98, fy in 0.02f64..0.98, fz in 0.02f64..0.98,
+        ux in -1.0f64..1.0, uy in -1.0f64..1.0, uz in -1.0f64..1.0,
+    ) {
+        prop_assume!(ux != 0.0 || uy != 0.0 || uz != 0.0);
+        let t = checker();
+        let (lo, hi) = t.bounds();
+        let start = Vec3::new(
+            lo.x + fx * (hi.x - lo.x),
+            lo.y + fy * (hi.y - lo.y),
+            lo.z + fz * (hi.z - lo.z),
+        );
+        let dir = Vec3::new(ux, uy, uz).renormalize();
+        let mut cumulative = 0.0;
+        let mut previous = 0.0;
+        for (distance, _) in walk(&t, start, dir) {
+            prop_assert!(distance.is_finite() && distance >= 0.0, "distance {distance}");
+            cumulative += distance;
+            prop_assert!(cumulative >= previous);
+            previous = cumulative;
+        }
+        // The whole walk cannot exceed the grid diagonal (plus tolerance).
+        prop_assert!(cumulative <= (hi - lo).norm() + 1e-6, "walked {cumulative}");
+    }
+
+    /// `voxelized(stack, dx)` assigns every voxel the material of the layer
+    /// containing its centre — palette indices equal layer indices.
+    #[test]
+    fn voxelized_agrees_with_layer_at_every_centre(
+        dx in 0.3f64..2.0,
+        scalp in 3.0f64..10.0,
+        skull in 5.0f64..10.0,
+    ) {
+        let cfg = AdultHeadConfig { scalp_mm: scalp, skull_mm: skull, ..Default::default() };
+        let head = adult_head(cfg);
+        let grid = voxelized(&head, dx, 8.0, 30.0).unwrap();
+        let (nx, ny, nz) = grid.dims();
+        for iz in 0..nz {
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let centre = grid.centre(ix, iy, iz);
+                    let expect = head.layer_at(centre.z).expect("inside the stack");
+                    prop_assert_eq!(usize::from(grid.material_at(ix, iy, iz)), expect);
+                }
+            }
+        }
+        // And the palettes line up name-for-name.
+        for (i, layer) in head.layers().iter().enumerate() {
+            prop_assert_eq!(grid.region_name(i), layer.name.as_str());
+        }
+    }
+}
+
+#[test]
+fn voxelized_depth_beyond_finite_stack_is_an_error() {
+    let slab = LayeredTissue::stack(
+        vec![("only".into(), 5.0, OpticalProperties::new(0.1, 10.0, 0.9, 1.4))],
+        1.0,
+    )
+    .unwrap();
+    assert!(voxelized(&slab, 0.5, 5.0, 5.0).is_ok());
+    assert!(voxelized(&slab, 0.5, 5.0, 6.0).is_err());
+    assert!(voxelized(&slab, -0.5, 5.0, 5.0).is_err());
+    // A pitch that does not divide the depth is still legal: ceil-rounding
+    // pushes the deepest voxel centre past the stack bottom (z = 5.0 at
+    // dx = 0.4), and that sliver inherits the bottom layer.
+    let rounded = voxelized(&slab, 0.4, 5.0, 5.0).unwrap();
+    let (_, _, nz) = rounded.dims();
+    assert_eq!(nz, 13);
+    assert_eq!(rounded.material_at(0, 0, nz - 1), 0);
+}
+
+#[test]
+fn walk_region_sequence_matches_cell_materials() {
+    // A straight-down walk through the checker visits exactly the material
+    // run-length sequence of the column of voxels it traverses.
+    let t = checker();
+    let dir = Vec3::PLUS_Z;
+    let start = Vec3::new(0.1, 0.1, 0.0);
+    let (ix, iy, _) = t.voxel_of(start, dir).unwrap();
+    let column: Vec<usize> =
+        (0..t.dims().2).map(|iz| usize::from(t.material_at(ix, iy, iz))).collect();
+    let mut expected_changes: Vec<Option<usize>> = Vec::new();
+    let mut current = column[0];
+    for &m in &column[1..] {
+        if m != current {
+            expected_changes.push(Some(m));
+            current = m;
+        }
+    }
+    expected_changes.push(None); // bottom exit
+    let got: Vec<Option<usize>> = walk(&t, start, dir).iter().map(|&(_, n)| n).collect();
+    assert_eq!(got, expected_changes);
+}

@@ -47,8 +47,8 @@ fn main() {
     println!("max penetration depth:    {:.1} mm", result.max_penetration_depth());
     println!();
     println!("absorbed weight per layer (per launched photon):");
-    for (layer, frac) in scenario.tissue.layers().iter().zip(result.absorbed_fraction_by_layer()) {
-        println!("  {:<14} {:.5}", layer.name, frac);
+    for (region, frac) in result.absorbed_fraction_by_layer().iter().enumerate() {
+        println!("  {:<14} {:.5}", scenario.tissue.region_name(region), frac);
     }
 
     // 4. The reproducibility contract: a completely different execution

@@ -1,0 +1,77 @@
+//! Voxel geometry: absorption perturbation from an embedded inclusion.
+//!
+//! A layered head model cannot express a focal absorber (a bleed, a tumour,
+//! an activated cortical patch) — a voxel grid can. This example voxelizes
+//! the adult head, embeds a 4 mm-radius absorbing inclusion under the
+//! detector's midpoint, and measures how the detected signal and the
+//! per-region absorption budget shift against the homogeneous baseline —
+//! the contrast NIRS imaging lives on.
+//!
+//! Run: `cargo run --release --example voxel_inclusion [photons]`
+
+use lumen::core::{Backend, Detector, Rayon, Scenario, Source, TissueGeometry, Vec3};
+use lumen::tissue::presets::{adult_head, inclusion_optics};
+use lumen::tissue::presets::{head_with_inclusion, voxelized, AdultHeadConfig};
+
+fn main() {
+    let photons: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300_000);
+    let cfg = AdultHeadConfig::default();
+    let separation = 30.0;
+    let dx = 1.0; // mm voxel pitch
+    let half_width = 30.0; // mm lateral half-extent
+    let depth = 30.0; // mm grid depth
+                      // Inclusion centred under the source-detector midpoint, in grey matter.
+    let centre = Vec3::new(separation / 2.0, 0.0, cfg.csf_depth() + 3.0);
+    let radius = 4.0;
+
+    let baseline = voxelized(&adult_head(cfg), dx, half_width, depth).expect("head voxelizes");
+    let perturbed = head_with_inclusion(cfg, dx, half_width, depth, centre, radius)
+        .expect("inclusion phantom builds");
+
+    let (nx, ny, nz) = baseline.dims();
+    println!("voxelized adult head: {nx}x{ny}x{nz} voxels at {dx} mm pitch");
+    println!(
+        "inclusion: r = {radius} mm at ({}, {}, {}) mm, mu_a = {:.3}/mm ({}x grey matter)",
+        centre.x,
+        centre.y,
+        centre.z,
+        inclusion_optics().mu_a,
+        (inclusion_optics().mu_a / 0.036).round(),
+    );
+    println!("detector: ring at {separation} mm; photons: {photons}\n");
+
+    let run = |grid: lumen::tissue::VoxelTissue| {
+        let scenario = Scenario::new(grid, Source::Delta, Detector::ring(separation, 2.0))
+            .with_photons(photons)
+            .with_seed(17);
+        Rayon::default().run(&scenario).expect("valid scenario")
+    };
+    let base = run(baseline);
+    let pert = run(perturbed.clone());
+
+    println!("{:<28} {:>14} {:>14} {:>10}", "", "homogeneous", "inclusion", "change");
+    let row = |label: &str, a: f64, b: f64| {
+        let change = if a.abs() > 1e-12 { 100.0 * (b - a) / a } else { 0.0 };
+        println!("{label:<28} {a:>14.6} {b:>14.6} {change:>+9.2}%");
+    };
+    row("detected weight / photon", base.tally.detected_weight / photons as f64, {
+        pert.tally.detected_weight / photons as f64
+    });
+    row("diffuse reflectance", base.diffuse_reflectance(), pert.diffuse_reflectance());
+    row("absorbed fraction", base.absorbed_fraction(), pert.absorbed_fraction());
+
+    println!("\nabsorbed weight per region (fraction of launched):");
+    let base_by_region = base.absorbed_fraction_by_layer();
+    let pert_by_region = pert.absorbed_fraction_by_layer();
+    for (region, b) in pert_by_region.iter().enumerate() {
+        let a = base_by_region.get(region).copied().unwrap_or(0.0);
+        println!("  {:<16} {:>10.5} -> {:>10.5}", perturbed.region_name(region), a, b);
+    }
+
+    let detected_drop = 100.0 * (base.tally.detected_weight - pert.tally.detected_weight)
+        / base.tally.detected_weight.max(1e-12);
+    println!(
+        "\nthe inclusion steals {detected_drop:.1}% of the detected signal — \
+         the contrast a layered model cannot produce"
+    );
+}
