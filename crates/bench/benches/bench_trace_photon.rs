@@ -1,0 +1,28 @@
+//! Micro-benchmarks of `Simulation::trace_photon` on the throughput preset
+//! matrix — the per-photon cost the `throughput` binary aggregates, split
+//! by geometry so layered (analytic slab boundaries) and voxel (DDA
+//! traversal) hot paths are tracked separately.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lumen_bench::throughput_presets;
+use lumen_core::sim::Scratch;
+use mcrng::Xoshiro256PlusPlus;
+use std::hint::black_box;
+
+fn bench_trace_photon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_photon");
+    group.throughput(Throughput::Elements(1));
+    for (name, scenario) in throughput_presets() {
+        let sim = scenario.simulation();
+        group.bench_function(name, |b| {
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(scenario.seed);
+            let mut tally = sim.new_tally();
+            let mut scratch = Scratch::default();
+            b.iter(|| black_box(sim.trace_photon(&mut rng, &mut tally, &mut scratch, None)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_photon);
+criterion_main!(benches);

@@ -1,0 +1,219 @@
+//! `throughput` — the perf-trajectory recorder.
+//!
+//! Runs the shared preset matrix ([`lumen_bench::throughput_presets`])
+//! across the `sequential`, `rayon`, and `cluster` backends, measures
+//! photons per wall-clock second, and writes `BENCH_throughput.json` —
+//! one point on the repository's performance trajectory. Every perf PR
+//! reruns this binary and records before/after numbers in
+//! `docs/PERFORMANCE.md`; CI runs it on a reduced budget (non-gating)
+//! and uploads the JSON as an artifact.
+//!
+//! ```text
+//! throughput [--photons N] [--repeats K] [--backends a,b,..]
+//!            [--presets a,b,..] [--out PATH]
+//! ```
+//!
+//! Defaults: 200k photons, 3 repeats (best wall time wins), all presets,
+//! `sequential,rayon,cluster` backends, output `BENCH_throughput.json`
+//! in the current directory. The JSON is hand-rolled because the
+//! workspace's offline `serde` shim does not serialize.
+
+use lumen_bench::throughput_presets;
+use lumen_core::engine::Scenario;
+use std::fmt::Write as _;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+struct Args {
+    photons: u64,
+    repeats: usize,
+    backends: Vec<String>,
+    presets: Vec<String>,
+    out: String,
+}
+
+impl Args {
+    fn parse() -> Result<Self, String> {
+        let mut args = Args {
+            photons: 200_000,
+            repeats: 3,
+            backends: vec!["sequential".into(), "rayon".into(), "cluster".into()],
+            presets: throughput_presets().iter().map(|(n, _)| n.to_string()).collect(),
+            out: "BENCH_throughput.json".into(),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+            match flag.as_str() {
+                "--photons" => {
+                    args.photons =
+                        value("--photons")?.parse().map_err(|e| format!("--photons: {e}"))?
+                }
+                "--repeats" => {
+                    args.repeats =
+                        value("--repeats")?.parse().map_err(|e| format!("--repeats: {e}"))?
+                }
+                "--backends" => {
+                    args.backends =
+                        value("--backends")?.split(',').map(|s| s.trim().to_string()).collect()
+                }
+                "--presets" => {
+                    args.presets =
+                        value("--presets")?.split(',').map(|s| s.trim().to_string()).collect()
+                }
+                "--out" => args.out = value("--out")?,
+                "--help" | "-h" => {
+                    println!(
+                        "throughput [--photons N] [--repeats K] [--backends a,b,..] \
+                         [--presets a,b,..] [--out PATH]"
+                    );
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        if args.photons == 0 || args.repeats == 0 {
+            return Err("--photons and --repeats must be positive".into());
+        }
+        Ok(args)
+    }
+}
+
+/// One measured (preset, backend) cell.
+struct Cell {
+    preset: String,
+    backend: String,
+    photons: u64,
+    tasks: u64,
+    seed: u64,
+    wall_seconds: Vec<f64>,
+    best_wall_seconds: f64,
+    photons_per_second: f64,
+}
+
+fn measure(name: &str, spec: &str, scenario: &Scenario, repeats: usize) -> Result<Cell, String> {
+    let backend = lumen_cluster::backend::from_spec(spec).map_err(|e| e.to_string())?;
+    let mut walls = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        // Time around the whole backend call (validation + merge included):
+        // that is the latency a caller actually observes. The report's own
+        // wall clock agrees to within microseconds.
+        let started = Instant::now();
+        let report = backend.run(scenario).map_err(|e| e.to_string())?;
+        let wall = started.elapsed().as_secs_f64();
+        assert_eq!(report.launched(), scenario.photons, "backend dropped photons");
+        walls.push(wall);
+    }
+    let best = walls.iter().copied().fold(f64::INFINITY, f64::min);
+    Ok(Cell {
+        preset: name.to_string(),
+        backend: spec.to_string(),
+        photons: scenario.photons,
+        tasks: scenario.tasks,
+        seed: scenario.seed,
+        best_wall_seconds: best,
+        photons_per_second: scenario.photons as f64 / best.max(1e-9),
+        wall_seconds: walls,
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64_array(values: &[f64]) -> String {
+    let cells: Vec<String> = values.iter().map(|v| format!("{v}")).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+fn render_json(args: &Args, cells: &[Cell]) -> String {
+    let created = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": \"lumen-bench-throughput/v1\",");
+    let _ = writeln!(s, "  \"created_unix\": {created},");
+    let _ = writeln!(s, "  \"crate_version\": \"{}\",", env!("CARGO_PKG_VERSION"));
+    let _ = writeln!(
+        s,
+        "  \"host\": {{ \"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {cpus} }},",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    );
+    let _ = writeln!(s, "  \"photons\": {},", args.photons);
+    let _ = writeln!(s, "  \"repeats\": {},", args.repeats);
+    let _ = writeln!(s, "  \"results\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"preset\": \"{}\",", json_escape(&c.preset));
+        let _ = writeln!(s, "      \"backend\": \"{}\",", json_escape(&c.backend));
+        let _ = writeln!(s, "      \"photons\": {},", c.photons);
+        let _ = writeln!(s, "      \"tasks\": {},", c.tasks);
+        let _ = writeln!(s, "      \"seed\": {},", c.seed);
+        let _ = writeln!(s, "      \"wall_seconds\": {},", json_f64_array(&c.wall_seconds));
+        let _ = writeln!(s, "      \"best_wall_seconds\": {},", c.best_wall_seconds);
+        let _ = writeln!(s, "      \"photons_per_second\": {}", c.photons_per_second);
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+fn main() {
+    let args = match Args::parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("throughput: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let all = throughput_presets();
+    let mut cells = Vec::new();
+    println!("preset | backend | photons/s | best wall (s)");
+    println!("-------|---------|-----------|--------------");
+    for want in &args.presets {
+        let Some((name, scenario)) = all.iter().find(|(n, _)| n == want) else {
+            eprintln!(
+                "throughput: unknown preset `{want}` (known: {})",
+                all.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
+            );
+            std::process::exit(2);
+        };
+        let scenario = scenario.clone().with_photons(args.photons);
+        for spec in &args.backends {
+            match measure(name, spec, &scenario, args.repeats) {
+                Ok(cell) => {
+                    println!(
+                        "{} | {} | {:.0} | {:.3}",
+                        cell.preset, cell.backend, cell.photons_per_second, cell.best_wall_seconds
+                    );
+                    cells.push(cell);
+                }
+                Err(e) => {
+                    eprintln!("throughput: {name} on `{spec}` failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    let json = render_json(&args, &cells);
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("throughput: cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!("\nwrote {}", args.out);
+}

@@ -184,7 +184,7 @@ impl Config {
         let sim = Simulation { tissue, source, detector, options };
         sim.validate().map_err(|e| ConfigError::BadValue {
             key: "simulation".into(),
-            value: e,
+            value: e.to_string(),
             expected: "a consistent configuration",
         })?;
         Ok(sim)
@@ -312,7 +312,7 @@ impl Config {
             let window = match nums.as_slice() {
                 [lo, hi] => GateWindow::new(*lo, *hi).map_err(|e| ConfigError::BadValue {
                     key: "gate".into(),
-                    value: e,
+                    value: e.to_string(),
                     expected: "0 <= min < max",
                 })?,
                 _ => {

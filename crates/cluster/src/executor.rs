@@ -101,7 +101,7 @@ pub fn run_master_worker(
     progress: &dyn Progress,
 ) -> Result<DistributedReport, EngineError> {
     config.validate()?;
-    sim.validate().map_err(EngineError::InvalidConfig)?;
+    sim.validate().map_err(EngineError::from)?;
 
     let started = Instant::now();
     let factory = StreamFactory::new(config.seed);

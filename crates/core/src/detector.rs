@@ -12,6 +12,7 @@
 //! only photons whose total pathlength falls inside a gate window are
 //! accepted. [`GateWindow`] reproduces this.
 
+use crate::error::ConfigError;
 use lumen_photon::Vec3;
 use serde::{Deserialize, Serialize};
 
@@ -30,9 +31,9 @@ impl GateWindow {
 
     /// Construct a validated window.
     #[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(a > b)` also rejects NaN
-    pub fn new(min_mm: f64, max_mm: f64) -> Result<Self, String> {
+    pub fn new(min_mm: f64, max_mm: f64) -> Result<Self, ConfigError> {
         if min_mm < 0.0 || !(max_mm > min_mm) {
-            return Err(format!("invalid gate window [{min_mm}, {max_mm}]"));
+            return Err(ConfigError::BadGate { min_mm, max_mm });
         }
         Ok(Self { min_mm, max_mm })
     }
@@ -242,10 +243,17 @@ mod tests {
     }
 
     #[test]
-    fn bad_windows_rejected() {
-        assert!(GateWindow::new(-1.0, 10.0).is_err());
-        assert!(GateWindow::new(10.0, 10.0).is_err());
+    fn bad_windows_rejected_with_typed_errors() {
+        assert_eq!(
+            GateWindow::new(-1.0, 10.0),
+            Err(ConfigError::BadGate { min_mm: -1.0, max_mm: 10.0 })
+        );
+        assert_eq!(
+            GateWindow::new(10.0, 10.0),
+            Err(ConfigError::BadGate { min_mm: 10.0, max_mm: 10.0 })
+        );
         assert!(GateWindow::new(10.0, 5.0).is_err());
+        assert!(GateWindow::new(0.0, f64::NAN).is_err());
     }
 
     #[test]

@@ -92,6 +92,13 @@ impl From<GeometryError> for EngineError {
     }
 }
 
+impl From<crate::error::ConfigError> for EngineError {
+    /// Typed validation failures are configuration errors.
+    fn from(e: crate::error::ConfigError) -> Self {
+        EngineError::InvalidConfig(e.to_string())
+    }
+}
+
 /// A fully specified experiment: what to simulate and how the work is
 /// decomposed, independent of where it executes.
 ///
@@ -200,7 +207,7 @@ impl Scenario {
         if self.tasks == 0 {
             return Err(EngineError::InvalidConfig("tasks must be >= 1".into()));
         }
-        self.simulation().validate().map_err(EngineError::InvalidConfig)
+        self.simulation().validate().map_err(EngineError::from)
     }
 
     /// The per-task batch sizes this scenario decomposes into.

@@ -43,6 +43,7 @@
 
 pub mod detector;
 pub mod engine;
+pub mod error;
 pub mod parallel;
 pub mod radial;
 pub mod results;
@@ -55,6 +56,7 @@ pub use engine::{
     Backend, EngineError, NoProgress, Progress, Rayon, RunReport, Scenario, Sequential,
     WorkerAccount,
 };
+pub use error::ConfigError;
 pub use lumen_photon::{BoundaryMode, OpticalProperties, Photon, RouletteConfig, Vec3};
 pub use lumen_tissue::{
     Geometry, GeometryError, LayeredTissue, OpticalProperties as TissueOptics, TissueGeometry,

@@ -22,6 +22,7 @@
 //! so counts remain one-per-photon.
 
 use crate::detector::Detector;
+use crate::error::ConfigError;
 use crate::radial::RadialSpec;
 use crate::results::SimulationResult;
 use crate::source::Source;
@@ -129,6 +130,25 @@ pub struct Scratch {
     reached: Vec<bool>,
 }
 
+impl Scratch {
+    /// Reset for the next photon. After the first photon of a stream the
+    /// per-region vectors already have the right length, so this is a pair
+    /// of `fill`s rather than a clear-and-regrow.
+    #[inline]
+    fn reset(&mut self, regions: usize) {
+        self.vertices.clear();
+        if self.partial_path.len() == regions {
+            self.partial_path.fill(0.0);
+            self.reached.fill(false);
+        } else {
+            self.partial_path.clear();
+            self.partial_path.resize(regions, 0.0);
+            self.reached.clear();
+            self.reached.resize(regions, false);
+        }
+    }
+}
+
 impl Simulation {
     /// Build a simulation with default options. Accepts a bare
     /// [`lumen_tissue::LayeredTissue`] or [`lumen_tissue::VoxelTissue`] as
@@ -145,10 +165,12 @@ impl Simulation {
 
     /// Validate the full configuration.
     #[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0)` also rejects NaN
-    pub fn validate(&self) -> Result<(), String> {
-        self.source.validate()?;
-        self.detector.validate()?;
-        self.options.roulette.validate()?;
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let component =
+            |what: &'static str| move |reason: String| ConfigError::Component { what, reason };
+        self.source.validate().map_err(component("source"))?;
+        self.detector.validate().map_err(component("detector"))?;
+        self.options.roulette.validate().map_err(component("roulette"))?;
         if let Some(g) = &self.options.path_grid {
             g.validate()?;
         }
@@ -157,22 +179,22 @@ impl Simulation {
         }
         if let Some((max_mm, bins)) = &self.options.path_histogram {
             if !(*max_mm > 0.0) || *bins == 0 {
-                return Err("path histogram needs positive range and bins".into());
+                return Err(ConfigError::BadHistogram { max_mm: *max_mm, bins: *bins });
             }
         }
         if let Some(r) = &self.options.reflectance_profile {
-            r.validate()?;
+            r.validate().map_err(component("reflectance profile"))?;
         }
         if let Some((r, nz, z_max)) = &self.options.absorption_rz {
-            r.validate()?;
+            r.validate().map_err(component("absorption_rz radial binning"))?;
             if *nz == 0 || !(*z_max > 0.0) {
-                return Err("absorption_rz needs positive depth binning".into());
+                return Err(ConfigError::BadDepthBinning { nz: *nz, z_max: *z_max });
             }
         }
         if self.options.max_interactions == 0 {
-            return Err("max_interactions must be positive".into());
+            return Err(ConfigError::ZeroInteractionCap);
         }
-        self.tissue.validate().map_err(String::from)?;
+        self.tissue.validate()?;
         Ok(())
     }
 
@@ -235,11 +257,7 @@ impl Simulation {
         }
 
         let recording = tally.path_grid.is_some() || self.options.record_paths > 0;
-        scratch.vertices.clear();
-        scratch.partial_path.clear();
-        scratch.partial_path.resize(geom.region_count(), 0.0);
-        scratch.reached.clear();
-        scratch.reached.resize(geom.region_count(), false);
+        scratch.reset(geom.region_count());
         scratch.reached[photon.layer] = true;
         if recording {
             scratch.vertices.push(photon.pos);
@@ -250,41 +268,71 @@ impl Simulation {
         let mut first_detection: Option<(f64, f64)> = None; // (pathlength, weight out)
         let mut detection_weight_total = 0.0;
 
+        // The current region's precomputed constants, refreshed only when
+        // the photon genuinely changes region (a transmit at a boundary) —
+        // reflections and interactions reuse the cached entry across any
+        // number of steps/DDA faces.
+        let mut region = photon.layer;
+        let mut optics = geom.derived(region);
+
         // --- while (photon survived) ---
-        while photon.survived() {
+        'walk: while photon.survived() {
             interactions += 1;
             if interactions > self.options.max_interactions {
                 photon.terminate(Fate::Expired);
                 break;
             }
 
-            let optics = *geom.optics(photon.layer);
+            if photon.layer != region {
+                region = photon.layer;
+                optics = geom.derived(region);
+            }
             if step_mfps <= 0.0 {
                 step_mfps = sample_step_mfps(rng);
             }
-            let hit = geom.boundary_hit(photon.pos, photon.dir, photon.layer);
-
-            if !hit.distance.is_finite() && optics.is_transparent() {
-                // Degenerate: horizontal flight in a transparent slab can
-                // never interact nor reach a boundary. Probability-zero
-                // geometry; retire the photon rather than loop forever.
-                photon.terminate(Fate::Expired);
-                break;
-            }
 
             // --- move photon ---
+            // Fast path: when the sampled step is at most HALF the
+            // geometry's direction-independent boundary-distance lower
+            // bound, the step certainly ends in an interaction, and the
+            // full boundary query (with its division by the direction
+            // cosine) is skipped. The factor 2 strictly dominates the
+            // rounding of the exact distance computation, so this branch
+            // advances the photon to exactly the position `hop` would
+            // have (same `step_mfps / mu_t` division, same operands).
             let path_before = photon.pathlength;
-            let hop_outcome = hop(&mut photon, step_mfps, optics.mu_t(), hit.distance);
-            scratch.partial_path[photon.layer] += photon.pathlength - path_before;
-            match hop_outcome {
-                Hop::Interact => {
+            let boundary: Option<(f64, lumen_tissue::BoundaryHit)> = 'step: {
+                if !optics.transparent {
+                    let geometric = step_mfps / optics.mu_t;
+                    if geometric <= 0.5 * geom.min_boundary_distance(photon.pos, region) {
+                        photon.advance(geometric);
+                        break 'step None;
+                    }
+                }
+                let hit = geom.boundary_hit(photon.pos, photon.dir, region);
+                if !hit.distance.is_finite() && optics.transparent {
+                    // Degenerate: horizontal flight in a transparent slab
+                    // can never interact nor reach a boundary.
+                    // Probability-zero geometry; retire the photon rather
+                    // than loop forever.
+                    photon.terminate(Fate::Expired);
+                    break 'walk;
+                }
+                match hop(&mut photon, step_mfps, optics.mu_t, hit.distance) {
+                    Hop::Interact => None,
+                    Hop::Boundary { remaining_mfps } => Some((remaining_mfps, hit)),
+                }
+            };
+            scratch.partial_path[region] += photon.pathlength - path_before;
+            match boundary {
+                None => {
                     step_mfps = 0.0;
                     if recording {
                         scratch.vertices.push(photon.pos);
                     }
                     // --- update absorption and photon weight ---
-                    let deposited = photon.absorb(optics.mu_a, optics.mu_t());
-                    tally.absorbed_by_layer[photon.layer] += deposited;
+                    let deposited = photon.absorb_fraction(optics.absorb_frac);
+                    tally.absorbed_by_layer[region] += deposited;
                     if let Some(grid) = tally.absorption_grid.as_mut() {
                         grid.deposit(photon.pos, deposited);
                     }
@@ -302,7 +350,7 @@ impl Simulation {
                         break;
                     }
                 }
-                Hop::Boundary { remaining_mfps } => {
+                Some((remaining_mfps, hit)) => {
                     step_mfps = remaining_mfps;
                     if recording {
                         scratch.vertices.push(photon.pos);
@@ -310,7 +358,7 @@ impl Simulation {
                     // --- changed medium: internally reflect or refract ---
                     let exits_tissue = hit.next_region.is_none();
                     let n_i = optics.n;
-                    let n_t = geom.neighbour_n(photon.layer, &hit);
+                    let n_t = geom.neighbour_n(region, &hit);
 
                     if exits_tissue {
                         self.handle_surface(
@@ -542,10 +590,19 @@ impl Simulation {
         paths_out: Option<&mut Vec<PathRecord>>,
     ) {
         let mut scratch = Scratch::default();
-        let mut paths = paths_out;
-        for _ in 0..n {
-            let out = paths.as_deref_mut();
-            self.trace_photon_in(geom, rng, tally, &mut scratch, out);
+        // Resolve the path-recording branch once for the whole stream so
+        // the per-photon loop carries no `Option` re-borrowing.
+        match paths_out {
+            Some(out) => {
+                for _ in 0..n {
+                    self.trace_photon_in(geom, rng, tally, &mut scratch, Some(&mut *out));
+                }
+            }
+            None => {
+                for _ in 0..n {
+                    self.trace_photon_in(geom, rng, tally, &mut scratch, None);
+                }
+            }
         }
     }
 
@@ -757,6 +814,48 @@ mod tests {
         );
         let sim3 = Simulation::new(tissue, Source::Delta, Detector::new(1.0, 0.5));
         assert!(sim3.validate().is_err());
+    }
+
+    #[test]
+    fn validate_reports_typed_errors() {
+        use lumen_tissue::GeometryError;
+
+        let mut sim = quick_sim();
+        sim.detector.radius = -1.0;
+        assert!(matches!(sim.validate(), Err(ConfigError::Component { what: "detector", .. })));
+
+        let mut sim = quick_sim();
+        sim.source = Source::Gaussian { radius: -2.0 };
+        assert!(matches!(sim.validate(), Err(ConfigError::Component { what: "source", .. })));
+
+        let mut sim = quick_sim();
+        sim.options.max_interactions = 0;
+        assert_eq!(sim.validate(), Err(ConfigError::ZeroInteractionCap));
+
+        let mut sim = quick_sim();
+        sim.options.path_histogram = Some((-3.0, 10));
+        assert_eq!(sim.validate(), Err(ConfigError::BadHistogram { max_mm: -3.0, bins: 10 }));
+
+        let mut sim = quick_sim();
+        sim.options.absorption_rz = Some((RadialSpec { nr: 4, r_max: 5.0 }, 0, 10.0));
+        assert_eq!(sim.validate(), Err(ConfigError::BadDepthBinning { nz: 0, z_max: 10.0 }));
+
+        let mut sim = quick_sim();
+        sim.options.path_grid = Some(GridSpec::cubic(0, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0)));
+        assert_eq!(sim.validate(), Err(ConfigError::EmptyGrid));
+
+        // Geometry failures surface as `Geometry`, and the whole family
+        // converts into the engine's InvalidConfig with the message intact.
+        let tissue = lumen_tissue::LayeredTissue::homogeneous(
+            "void",
+            OpticalProperties::transparent(1.0),
+            1.0,
+        );
+        let sim = Simulation::new(tissue, Source::Delta, Detector::new(1.0, 0.5));
+        let err = sim.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::Geometry(GeometryError::BadOptics { .. })));
+        let engine_err: crate::engine::EngineError = err.into();
+        assert!(engine_err.to_string().contains("semi-infinite"));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! Fig 3 uses 50³) and detected-photon trajectories deposit visit weight
 //! into a [`VisitGrid`].
 
+use crate::error::ConfigError;
 use crate::radial::{CylinderGrid, RadialProfile, RadialSpec};
 use lumen_photon::{Fate, Vec3};
 use serde::{Deserialize, Serialize};
@@ -35,12 +36,12 @@ impl GridSpec {
     }
 
     /// Validate extents.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.nx == 0 || self.ny == 0 || self.nz == 0 {
-            return Err("grid needs at least one voxel per axis".into());
+            return Err(ConfigError::EmptyGrid);
         }
         if !(self.min.x < self.max.x && self.min.y < self.max.y && self.min.z < self.max.z) {
-            return Err(format!("degenerate grid extents {:?}..{:?}", self.min, self.max));
+            return Err(ConfigError::DegenerateGrid { min: self.min, max: self.max });
         }
         Ok(())
     }
@@ -64,16 +65,49 @@ impl GridSpec {
         )
     }
 
+    /// Inverse voxel edge lengths (mm⁻¹) — precompute once and pass to
+    /// [`Self::index_with_inv`] when indexing in a loop, as
+    /// [`VisitGrid::deposit`] does; the three divisions per point become
+    /// three multiplications.
+    #[inline]
+    pub fn inv_voxel_size(&self) -> Vec3 {
+        let vs = self.voxel_size();
+        Vec3::new(1.0 / vs.x, 1.0 / vs.y, 1.0 / vs.z)
+    }
+
     /// Flattened index of the voxel containing `p`, or `None` outside.
     #[inline]
     pub fn index_of(&self, p: Vec3) -> Option<usize> {
-        if p.x < self.min.x || p.y < self.min.y || p.z < self.min.z {
+        self.index_with_inv(p, self.inv_voxel_size())
+    }
+
+    /// [`Self::index_of`] with the inverse voxel size already computed.
+    ///
+    /// Branch-lean: one sign check and one bounds check cover all three
+    /// axes. A point below `min` on some axis gives a negative fractional
+    /// coordinate (exactly: subtraction of nearby doubles is exact by
+    /// Sterbenz, so the sign cannot be lost to rounding), and a point at or
+    /// beyond `max` truncates to an index `>= n`.
+    ///
+    /// Caveat, stated rather than hidden: multiplying by `1/vs` is not
+    /// universally bit-identical to dividing by `vs` — a sample within an
+    /// ulp of a bin edge can land one voxel over relative to the division
+    /// form. That is acceptable *here* and only here: bin assignment is
+    /// pure output discretization (nothing feeds back into photon
+    /// dynamics), the deposit-sampling scheme's own half-voxel spacing
+    /// dwarfs a one-ulp edge ambiguity, and the golden digests pin the
+    /// result for every checked scenario. The transport kernel makes the
+    /// opposite call for the same reason — see `DerivedOptics::inv_mu_t`,
+    /// which exists but is deliberately *not* used by `hop`.
+    #[inline]
+    pub fn index_with_inv(&self, p: Vec3, inv_vs: Vec3) -> Option<usize> {
+        let fx = (p.x - self.min.x) * inv_vs.x;
+        let fy = (p.y - self.min.y) * inv_vs.y;
+        let fz = (p.z - self.min.z) * inv_vs.z;
+        if fx < 0.0 || fy < 0.0 || fz < 0.0 {
             return None;
         }
-        let vs = self.voxel_size();
-        let ix = ((p.x - self.min.x) / vs.x) as usize;
-        let iy = ((p.y - self.min.y) / vs.y) as usize;
-        let iz = ((p.z - self.min.z) / vs.z) as usize;
+        let (ix, iy, iz) = (fx as usize, fy as usize, fz as usize);
         if ix >= self.nx || iy >= self.ny || iz >= self.nz {
             return None;
         }
@@ -99,19 +133,33 @@ impl GridSpec {
 pub struct VisitGrid {
     pub spec: GridSpec,
     data: Vec<f64>,
+    /// Cached `spec.inv_voxel_size()`: deposits are the engine's innermost
+    /// tally write, and recomputing three divisions per sample dominated
+    /// `deposit_segment`. Derived from `spec` at construction; `spec` is
+    /// never mutated afterwards.
+    inv_vs: Vec3,
+    /// Cached half of the smallest voxel edge — `deposit_segment`'s sample
+    /// spacing.
+    half_min_edge: f64,
 }
 
 impl VisitGrid {
     /// An empty grid over `spec`.
     pub fn new(spec: GridSpec) -> Self {
         spec.validate().expect("invalid grid spec");
-        Self { spec, data: vec![0.0; spec.len()] }
+        let vs = spec.voxel_size();
+        Self {
+            spec,
+            data: vec![0.0; spec.len()],
+            inv_vs: spec.inv_voxel_size(),
+            half_min_edge: 0.5 * vs.x.min(vs.y).min(vs.z),
+        }
     }
 
     /// Deposit `w` at point `p` (ignored outside the grid).
     #[inline]
     pub fn deposit(&mut self, p: Vec3, w: f64) {
-        if let Some(i) = self.spec.index_of(p) {
+        if let Some(i) = self.spec.index_with_inv(p, self.inv_vs) {
             self.data[i] += w;
         }
     }
@@ -121,8 +169,7 @@ impl VisitGrid {
     /// through. Weight is split evenly across the samples so a segment
     /// contributes `w` in total.
     pub fn deposit_segment(&mut self, a: Vec3, b: Vec3, w: f64) {
-        let vs = self.spec.voxel_size();
-        let step = 0.5 * vs.x.min(vs.y).min(vs.z);
+        let step = self.half_min_edge;
         let length = a.distance(b);
         if length <= step {
             self.deposit(b, w);
@@ -479,9 +526,12 @@ mod tests {
     fn grid_spec_validation() {
         assert!(spec().validate().is_ok());
         let bad = GridSpec::cubic(0, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0));
-        assert!(bad.validate().is_err());
+        assert_eq!(bad.validate(), Err(ConfigError::EmptyGrid));
         let degenerate = GridSpec::cubic(10, Vec3::ZERO, Vec3::ZERO);
-        assert!(degenerate.validate().is_err());
+        assert_eq!(
+            degenerate.validate(),
+            Err(ConfigError::DegenerateGrid { min: Vec3::ZERO, max: Vec3::ZERO })
+        );
     }
 
     #[test]

@@ -18,13 +18,120 @@
 
 use lumen_core::engine::{Backend, Scenario, Sequential};
 use lumen_core::tally::Tally;
-use lumen_core::{BoundaryMode, Detector, GateWindow, SimulationOptions, Source, Vec3};
+use lumen_core::{
+    BoundaryMode, Detector, GateWindow, GridSpec, RadialSpec, SimulationOptions, Source, Vec3,
+};
 use lumen_tissue::presets::{
     adult_head, head_with_inclusion, homogeneous_white_matter, neonatal_head,
     semi_infinite_phantom, voxelized, AdultHeadConfig,
 };
 use std::fmt::Write as _;
 use std::path::PathBuf;
+
+/// Self-contained SHA-256 (FIPS 180-4) so distribution-level tallies can be
+/// pinned without an external dependency: the full `VisitGrid`,
+/// `PathHistogram`, and `A(r, z)` arrays are digested bit-for-bit into the
+/// snapshot, so drift anywhere in a distribution cannot hide behind stable
+/// scalar totals.
+mod sha256 {
+    const K: [u32; 64] = [
+        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+        0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+        0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+        0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+        0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+        0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+        0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+        0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+        0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+        0xc67178f2,
+    ];
+
+    pub fn digest(data: &[u8]) -> [u8; 32] {
+        let mut h: [u32; 8] = [
+            0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+            0x5be0cd19,
+        ];
+        let bit_len = (data.len() as u64).wrapping_mul(8);
+        let mut msg = data.to_vec();
+        msg.push(0x80);
+        while msg.len() % 64 != 56 {
+            msg.push(0);
+        }
+        msg.extend_from_slice(&bit_len.to_be_bytes());
+
+        for chunk in msg.chunks_exact(64) {
+            let mut w = [0u32; 64];
+            for (i, word) in chunk.chunks_exact(4).enumerate() {
+                w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+            }
+            for i in 16..64 {
+                let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+                let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+                w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
+            }
+            let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+            for i in 0..64 {
+                let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+                let ch = (e & f) ^ (!e & g);
+                let t1 = hh.wrapping_add(s1).wrapping_add(ch).wrapping_add(K[i]).wrapping_add(w[i]);
+                let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+                let maj = (a & b) ^ (a & c) ^ (b & c);
+                let t2 = s0.wrapping_add(maj);
+                hh = g;
+                g = f;
+                f = e;
+                e = d.wrapping_add(t1);
+                d = c;
+                c = b;
+                b = a;
+                a = t1.wrapping_add(t2);
+            }
+            for (slot, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
+                *slot = slot.wrapping_add(v);
+            }
+        }
+
+        let mut out = [0u8; 32];
+        for (i, v) in h.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&v.to_be_bytes());
+        }
+        out
+    }
+
+    pub fn hex(data: &[u8]) -> String {
+        digest(data).iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn known_answers() {
+        assert_eq!(hex(b""), "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+        assert_eq!(hex(b"abc"), "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+        // Spills into a second block (55 vs 56 byte message boundary).
+        assert_eq!(
+            hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+}
+
+/// Little-endian byte stream of an `f64` slice — the digest input for every
+/// float-valued distribution. Bit-exact: any ulp of drift changes the hash.
+fn f64_bytes(values: &[f64]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes
+}
+
+fn u64_bytes(values: &[u64]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes
+}
 
 /// Render a tally as a stable, human-reviewable text snapshot. Floats use
 /// Rust's shortest round-trip formatting, so equal text means equal bits.
@@ -65,6 +172,33 @@ fn snapshot(name: &str, scenario: &Scenario, tally: &Tally) -> String {
         let counts: Vec<String> = hist.counts.iter().map(|v| v.to_string()).collect();
         let _ = writeln!(s, "path_histogram = {}", counts.join(" "));
         let _ = writeln!(s, "path_histogram_overflow = {}", hist.overflow);
+        let _ = writeln!(s, "path_histogram_sha256 = {}", sha256::hex(&u64_bytes(&hist.counts)));
+    }
+    // Distribution-level pinning: the *entire* array of every attached
+    // grid/profile is digested, so drift in any single voxel or bin fails
+    // the snapshot even when totals happen to cancel.
+    if let Some(grid) = &tally.path_grid {
+        let _ = writeln!(s, "path_grid_total = {}", grid.total());
+        let _ = writeln!(s, "path_grid_sha256 = {}", sha256::hex(&f64_bytes(grid.data())));
+    }
+    if let Some(grid) = &tally.absorption_grid {
+        let _ = writeln!(s, "absorption_grid_total = {}", grid.total());
+        let _ = writeln!(s, "absorption_grid_sha256 = {}", sha256::hex(&f64_bytes(grid.data())));
+    }
+    if let Some(profile) = &tally.reflectance_r {
+        let _ = writeln!(s, "reflectance_r_total = {}", profile.total());
+        let _ = writeln!(s, "reflectance_r_overflow = {}", profile.overflow);
+        let _ =
+            writeln!(s, "reflectance_r_sha256 = {}", sha256::hex(&f64_bytes(profile.weights())));
+    }
+    if let Some(rz) = &tally.absorption_rz {
+        let flat: Vec<f64> = (0..rz.nz)
+            .flat_map(|iz| (0..rz.radial.nr).map(move |ir| (ir, iz)))
+            .map(|(ir, iz)| rz.at(ir, iz))
+            .collect();
+        let _ = writeln!(s, "absorption_rz_total = {}", rz.total());
+        let _ = writeln!(s, "absorption_rz_overflow = {}", rz.overflow);
+        let _ = writeln!(s, "absorption_rz_sha256 = {}", sha256::hex(&f64_bytes(&flat)));
     }
     s
 }
@@ -77,8 +211,43 @@ fn scenarios() -> Vec<(&'static str, Scenario)> {
         boundary_mode: BoundaryMode::Classical,
         ..SimulationOptions::default()
     };
-    let gated =
-        SimulationOptions { path_histogram: Some((400.0, 20)), ..SimulationOptions::default() };
+    let gated = SimulationOptions {
+        path_histogram: Some((400.0, 20)),
+        reflectance_profile: Some(RadialSpec { nr: 40, r_max: 40.0 }),
+        ..SimulationOptions::default()
+    };
+    // Distribution tallies attached to representative scenarios so the
+    // sha256 digests pin full arrays, not just scalar sums. Attaching a
+    // grid never consumes RNG draws, so the scalar tallies are unchanged.
+    let head_grids = SimulationOptions {
+        path_grid: Some(GridSpec::cubic(
+            24,
+            Vec3::new(-10.0, -10.0, 0.0),
+            Vec3::new(30.0, 10.0, 40.0),
+        )),
+        absorption_rz: Some((RadialSpec { nr: 30, r_max: 30.0 }, 40, 40.0)),
+        path_histogram: Some((600.0, 40)),
+        ..SimulationOptions::default()
+    };
+    let wm_grids = SimulationOptions {
+        path_grid: Some(GridSpec::cubic(20, Vec3::new(-2.0, -2.0, 0.0), Vec3::new(4.0, 2.0, 4.0))),
+        absorption_grid: Some(GridSpec::cubic(
+            20,
+            Vec3::new(-2.0, -2.0, 0.0),
+            Vec3::new(4.0, 2.0, 4.0),
+        )),
+        ..SimulationOptions::default()
+    };
+    let phantom_grids = SimulationOptions {
+        reflectance_profile: Some(RadialSpec { nr: 25, r_max: 10.0 }),
+        absorption_rz: Some((RadialSpec { nr: 20, r_max: 10.0 }, 20, 10.0)),
+        ..SimulationOptions::default()
+    };
+    let voxel_grids = SimulationOptions {
+        path_grid: Some(GridSpec::cubic(16, Vec3::new(-8.0, -8.0, 0.0), Vec3::new(8.0, 8.0, 25.0))),
+        absorption_rz: Some((RadialSpec { nr: 16, r_max: 8.0 }, 25, 25.0)),
+        ..SimulationOptions::default()
+    };
     vec![
         (
             "adult_head_default",
@@ -87,6 +256,7 @@ fn scenarios() -> Vec<(&'static str, Scenario)> {
                 Source::Delta,
                 Detector::new(20.0, 2.0),
             )
+            .with_options(head_grids)
             .with_photons(2_000)
             .with_tasks(4)
             .with_seed(42),
@@ -123,6 +293,7 @@ fn scenarios() -> Vec<(&'static str, Scenario)> {
         (
             "white_matter",
             Scenario::new(homogeneous_white_matter(), Source::Delta, Detector::new(2.0, 1.0))
+                .with_options(wm_grids)
                 .with_photons(2_000)
                 .with_tasks(4)
                 .with_seed(3),
@@ -134,6 +305,7 @@ fn scenarios() -> Vec<(&'static str, Scenario)> {
                 Source::Delta,
                 Detector::new(2.0, 0.5),
             )
+            .with_options(phantom_grids)
             .with_photons(3_000)
             .with_tasks(4)
             .with_seed(5),
@@ -184,6 +356,7 @@ fn scenarios() -> Vec<(&'static str, Scenario)> {
                 Source::Delta,
                 Detector::new(4.0, 1.0),
             )
+            .with_options(voxel_grids)
             .with_photons(1_500)
             .with_tasks(4)
             .with_seed(42),

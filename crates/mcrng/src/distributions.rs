@@ -37,10 +37,18 @@ pub fn henyey_greenstein_cos<R: McRng>(rng: &mut R, g: f64) -> f64 {
 }
 
 /// Sample a uniform azimuthal angle `ψ ∈ [0, 2π)` and return `(cos ψ, sin ψ)`.
+///
+/// Uses [`f64::sin_cos`], which lowers to one glibc `sincos` call on this
+/// target (verified at the symbol level) instead of separate `sin` and
+/// `cos` calls, and returns the same bits as the separate calls — the
+/// golden-tally harness pins this. The measured win is modest (~1%): the
+/// two calls share no data dependency, so out-of-order execution already
+/// overlapped most of the second call's latency.
 #[inline]
 pub fn uniform_azimuth<R: McRng>(rng: &mut R) -> (f64, f64) {
     let psi = 2.0 * std::f64::consts::PI * rng.next_f64();
-    (psi.cos(), psi.sin())
+    let (sin, cos) = psi.sin_cos();
+    (cos, sin)
 }
 
 /// Uniform point on a disc of the given radius, returned as `(x, y)`.

@@ -49,6 +49,7 @@ pub enum BoundaryOutcome {
 ///
 /// Returns 1.0 beyond the critical angle. Handles normal incidence and
 /// grazing incidence limits explicitly.
+#[inline]
 pub fn fresnel_reflectance(n_i: f64, n_t: f64, cos_i: f64) -> f64 {
     debug_assert!((0.0..=1.0 + 1e-9).contains(&cos_i));
     let cos_i = cos_i.min(1.0);
@@ -84,6 +85,7 @@ pub fn fresnel_reflectance(n_i: f64, n_t: f64, cos_i: f64) -> f64 {
 /// A photon whose |direction·normal| is *below* this cosine (angle larger
 /// than critical) is totally internally reflected — the paper's
 /// `if (photon angle > critical angle) internally reflect` branch.
+#[inline]
 pub fn critical_cos(n_i: f64, n_t: f64) -> Option<f64> {
     if n_t >= n_i {
         None
@@ -114,6 +116,7 @@ pub fn interact_with_boundary<R: McRng>(
 /// Resolve an encounter with an axis-aligned interface whose outward normal
 /// is the given [`Axis`]. Reflection flips the normal component; refraction
 /// rescales the two tangential components by Snell's law.
+#[inline]
 pub fn interact_with_boundary_axis<R: McRng>(
     dir: Vec3,
     axis: Axis,

@@ -31,7 +31,7 @@ pub mod vec3;
 pub use fresnel::{
     critical_cos, fresnel_reflectance, interact_with_boundary_axis, BoundaryMode, BoundaryOutcome,
 };
-pub use optics::OpticalProperties;
+pub use optics::{DerivedOptics, OpticalProperties};
 pub use photon::{Fate, Photon};
 pub use roulette::{roulette, RouletteConfig};
 pub use spin::spin;

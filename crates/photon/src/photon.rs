@@ -102,7 +102,17 @@ impl Photon {
     #[inline]
     pub fn absorb(&mut self, mu_a: f64, mu_t: f64) -> f64 {
         debug_assert!(mu_t > 0.0);
-        let deposited = self.weight * (mu_a / mu_t);
+        self.absorb_fraction(mu_a / mu_t)
+    }
+
+    /// [`Self::absorb`] with the fraction `μa/μt` already computed — what
+    /// the engine calls with `DerivedOptics::absorb_frac`, saving the
+    /// division per interaction. Bit-identical to `absorb(mu_a, mu_t)`
+    /// when `frac == mu_a / mu_t`.
+    #[inline]
+    pub fn absorb_fraction(&mut self, frac: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&frac));
+        let deposited = self.weight * frac;
         self.weight -= deposited;
         deposited
     }

@@ -41,6 +41,7 @@ impl RouletteConfig {
 
 /// Play roulette if the photon's weight is below the threshold.
 /// Returns `true` if the photon is still alive afterwards.
+#[inline]
 pub fn roulette<R: McRng>(photon: &mut Photon, cfg: RouletteConfig, rng: &mut R) -> bool {
     if photon.weight >= cfg.threshold {
         return true;

@@ -14,6 +14,7 @@ const NEARLY_VERTICAL: f64 = 1.0 - 1e-12;
 /// Scatter `photon` into a new direction sampled from HG(g).
 /// Increments the scatter counter and re-normalises the direction to
 /// suppress floating-point drift over long walks.
+#[inline]
 pub fn spin<R: McRng>(photon: &mut Photon, g: f64, rng: &mut R) {
     let cos_t = henyey_greenstein_cos(rng, g);
     let sin_t = (1.0 - cos_t * cos_t).max(0.0).sqrt();

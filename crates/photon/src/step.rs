@@ -34,6 +34,7 @@ pub enum Hop {
 ///
 /// In a transparent medium (μt = 0) the photon streams ballistically to
 /// the boundary and the whole step budget is preserved.
+#[inline]
 pub fn hop(photon: &mut Photon, step_mfps: f64, mu_t: f64, boundary_distance: f64) -> Hop {
     debug_assert!(step_mfps >= 0.0);
     debug_assert!(boundary_distance >= 0.0);

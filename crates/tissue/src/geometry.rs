@@ -17,7 +17,7 @@
 use crate::error::GeometryError;
 use crate::model::{BoundaryHit, LayeredTissue};
 use crate::voxel::VoxelTissue;
-use lumen_photon::{OpticalProperties, Vec3};
+use lumen_photon::{DerivedOptics, OpticalProperties, Vec3};
 use serde::{Deserialize, Serialize};
 
 /// Geometric queries the transport loop needs, answered by any tissue
@@ -36,6 +36,13 @@ pub trait TissueGeometry {
     /// Optical properties of region `region`.
     fn optics(&self, region: usize) -> &OpticalProperties;
 
+    /// Precomputed transport constants of region `region` — what the hot
+    /// loop reads instead of re-deriving μt, μa/μt, and the albedo per
+    /// interaction. Implementations build the table once at construction;
+    /// every field is bit-identical to the inline expression it replaces
+    /// (see [`DerivedOptics`]).
+    fn derived(&self, region: usize) -> &DerivedOptics;
+
     /// Refractive index of the ambient medium above the z = 0 surface.
     fn ambient_n(&self) -> f64;
 
@@ -47,6 +54,20 @@ pub trait TissueGeometry {
     /// First boundary along `dir` from `pos` for a photon currently in
     /// `region`: distance, far-side region, and the boundary's normal axis.
     fn boundary_hit(&self, pos: Vec3, dir: Vec3, region: usize) -> BoundaryHit;
+
+    /// A cheap, direction-independent lower bound on
+    /// [`boundary_hit`](Self::boundary_hit)'s distance from `pos` inside
+    /// `region`, or any value `<= 0` when no useful bound exists (the
+    /// default). The engine skips the full boundary query — and its
+    /// division by the direction cosine — whenever the sampled step is at
+    /// most *half* this bound; the factor-2 margin strictly dominates the
+    /// rounding error of the exact distance computation, so the fast and
+    /// slow paths always make the same interact-vs-boundary decision.
+    #[inline]
+    fn min_boundary_distance(&self, pos: Vec3, region: usize) -> f64 {
+        let _ = (pos, region);
+        0.0
+    }
 
     /// Refractive index on the far side of `hit` for a photon in `region`:
     /// the next region's index, or the ambient medium when the photon is
@@ -66,6 +87,7 @@ pub trait TissueGeometry {
 }
 
 impl TissueGeometry for LayeredTissue {
+    #[inline]
     fn region_count(&self) -> usize {
         self.len()
     }
@@ -74,10 +96,17 @@ impl TissueGeometry for LayeredTissue {
         &self.layers()[region].name
     }
 
+    #[inline]
     fn optics(&self, region: usize) -> &OpticalProperties {
         LayeredTissue::optics(self, region)
     }
 
+    #[inline]
+    fn derived(&self, region: usize) -> &DerivedOptics {
+        LayeredTissue::derived(self, region)
+    }
+
+    #[inline]
     fn ambient_n(&self) -> f64 {
         self.ambient_n
     }
@@ -87,8 +116,14 @@ impl TissueGeometry for LayeredTissue {
         self.layer_at(0.0)
     }
 
+    #[inline]
     fn boundary_hit(&self, pos: Vec3, dir: Vec3, region: usize) -> BoundaryHit {
         LayeredTissue::boundary_hit(self, pos, dir, region)
+    }
+
+    #[inline]
+    fn min_boundary_distance(&self, pos: Vec3, region: usize) -> f64 {
+        LayeredTissue::min_boundary_distance(self, pos, region)
     }
 
     fn validate(&self) -> Result<(), GeometryError> {
@@ -166,6 +201,11 @@ impl Geometry {
         dispatch!(self, g => TissueGeometry::optics(g, region))
     }
 
+    /// Precomputed transport constants of region `region`.
+    pub fn derived(&self, region: usize) -> &DerivedOptics {
+        dispatch!(self, g => TissueGeometry::derived(g, region))
+    }
+
     /// Ambient refractive index above the surface.
     pub fn ambient_n(&self) -> f64 {
         dispatch!(self, g => TissueGeometry::ambient_n(g))
@@ -179,6 +219,12 @@ impl Geometry {
     /// First boundary along a ray — see [`TissueGeometry::boundary_hit`].
     pub fn boundary_hit(&self, pos: Vec3, dir: Vec3, region: usize) -> BoundaryHit {
         dispatch!(self, g => TissueGeometry::boundary_hit(g, pos, dir, region))
+    }
+
+    /// Direction-independent boundary-distance lower bound — see
+    /// [`TissueGeometry::min_boundary_distance`].
+    pub fn min_boundary_distance(&self, pos: Vec3, region: usize) -> f64 {
+        dispatch!(self, g => TissueGeometry::min_boundary_distance(g, pos, region))
     }
 
     /// Far-side refractive index — see [`TissueGeometry::neighbour_n`].
@@ -229,6 +275,10 @@ impl TissueGeometry for Geometry {
         Geometry::optics(self, region)
     }
 
+    fn derived(&self, region: usize) -> &DerivedOptics {
+        Geometry::derived(self, region)
+    }
+
     fn ambient_n(&self) -> f64 {
         Geometry::ambient_n(self)
     }
@@ -239,6 +289,10 @@ impl TissueGeometry for Geometry {
 
     fn boundary_hit(&self, pos: Vec3, dir: Vec3, region: usize) -> BoundaryHit {
         Geometry::boundary_hit(self, pos, dir, region)
+    }
+
+    fn min_boundary_distance(&self, pos: Vec3, region: usize) -> f64 {
+        Geometry::min_boundary_distance(self, pos, region)
     }
 
     fn neighbour_n(&self, region: usize, hit: &BoundaryHit) -> f64 {

@@ -2,7 +2,7 @@
 
 use crate::error::GeometryError;
 use crate::layer::Layer;
-use lumen_photon::{Axis, OpticalProperties, Vec3};
+use lumen_photon::{Axis, DerivedOptics, OpticalProperties, Vec3};
 use serde::{Deserialize, Serialize};
 
 /// Which boundary a travelling photon will meet first inside its region.
@@ -28,6 +28,10 @@ pub struct LayeredTissue {
     layers: Vec<Layer>,
     /// Refractive index of the medium above z = 0 (air by default).
     pub ambient_n: f64,
+    /// Per-layer transport constants, precomputed at construction so the
+    /// stepping loop never re-derives μt/albedo per interaction. Layers are
+    /// immutable after `new`, so this can never go stale.
+    derived: Vec<DerivedOptics>,
 }
 
 impl LayeredTissue {
@@ -66,7 +70,8 @@ impl LayeredTissue {
                 .validate()
                 .map_err(|e| GeometryError::BadOptics { region: layer.name.clone(), reason: e })?;
         }
-        Ok(Self { layers, ambient_n })
+        let derived = layers.iter().map(|l| l.optics.derive()).collect();
+        Ok(Self { layers, ambient_n, derived })
     }
 
     /// Convenience: stack layers from `(name, thickness, optics)` triples
@@ -142,6 +147,24 @@ impl LayeredTissue {
         &self.layers[idx].optics
     }
 
+    /// Precomputed transport constants of layer `idx`.
+    #[inline]
+    pub fn derived(&self, idx: usize) -> &DerivedOptics {
+        &self.derived[idx]
+    }
+
+    /// Direction-independent lower bound on the distance from `pos` to any
+    /// boundary of layer `idx`: the smaller perpendicular gap to the
+    /// layer's two planes. A unit direction's |dz/dt| ≤ 1, so no ray can
+    /// reach a plane sooner than its perpendicular gap. Infinite below a
+    /// semi-infinite bottom; negative when `pos` has drifted outside the
+    /// layer (callers must treat that as "no bound").
+    #[inline]
+    pub fn min_boundary_distance(&self, pos: Vec3, idx: usize) -> f64 {
+        let layer = &self.layers[idx];
+        (layer.z_bottom - pos.z).min(pos.z - layer.z_top)
+    }
+
     /// Refractive index on the far side of the boundary a photon in layer
     /// `idx` is crossing: the adjacent layer's index, or the ambient medium.
     pub fn neighbour_n(&self, idx: usize, moving_up: bool) -> f64 {
@@ -164,6 +187,7 @@ impl LayeredTissue {
     ///
     /// Horizontal travel (`dir.z == 0`) never meets a horizontal boundary:
     /// returns an infinite hit.
+    #[inline]
     pub fn boundary_hit(&self, pos: Vec3, dir: Vec3, layer_idx: usize) -> BoundaryHit {
         let layer = &self.layers[layer_idx];
         if dir.z > 0.0 {

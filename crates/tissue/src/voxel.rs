@@ -17,7 +17,7 @@
 use crate::error::GeometryError;
 use crate::geometry::TissueGeometry;
 use crate::model::BoundaryHit;
-use lumen_photon::{Axis, OpticalProperties, Vec3};
+use lumen_photon::{Axis, DerivedOptics, OpticalProperties, Vec3};
 use serde::{Deserialize, Serialize};
 
 /// One palette entry: a named homogeneous material.
@@ -70,6 +70,12 @@ pub struct VoxelTissue {
     cells: Vec<u16>,
     /// Refractive index of the medium outside the grid.
     pub ambient_n: f64,
+    /// Per-material transport constants, precomputed at construction (the
+    /// palette is immutable after `new`, so this can never go stale).
+    derived: Vec<DerivedOptics>,
+    /// Cached `1/(dx, dy, dz)` for the interior fast-path bound (the pitch
+    /// is immutable after `new`).
+    inv_d: (f64, f64, f64),
 }
 
 impl VoxelTissue {
@@ -135,7 +141,9 @@ impl VoxelTissue {
                 materials.len()
             )));
         }
-        Ok(Self { nx, ny, nz, x0, y0, dx, dy, dz, materials, cells, ambient_n })
+        let derived = materials.iter().map(|m| m.optics.derive()).collect();
+        let inv_d = (1.0 / dx, 1.0 / dy, 1.0 / dz);
+        Ok(Self { nx, ny, nz, x0, y0, dx, dy, dz, materials, cells, ambient_n, derived, inv_d })
     }
 
     /// Build a grid by evaluating `material` at every voxel centre.
@@ -272,6 +280,7 @@ impl VoxelTissue {
 }
 
 impl TissueGeometry for VoxelTissue {
+    #[inline]
     fn region_count(&self) -> usize {
         self.materials.len()
     }
@@ -280,12 +289,43 @@ impl TissueGeometry for VoxelTissue {
         &self.materials[region].name
     }
 
+    #[inline]
     fn optics(&self, region: usize) -> &OpticalProperties {
         &self.materials[region].optics
     }
 
+    #[inline]
+    fn derived(&self, region: usize) -> &DerivedOptics {
+        &self.derived[region]
+    }
+
+    #[inline]
     fn ambient_n(&self) -> f64 {
         self.ambient_n
+    }
+
+    /// Perpendicular gap from `pos` to the nearest face of its containing
+    /// voxel, minimised over the three axes. The DDA's first *material*
+    /// face is at least as far as the first *cell* face, and no unit
+    /// direction closes a perpendicular gap faster than 1:1, so this lower
+    /// bound lets the engine skip the whole traversal for interior steps.
+    /// Returns `<= 0` on faces and outside the grid (no fast path there).
+    #[inline]
+    fn min_boundary_distance(&self, pos: Vec3, _region: usize) -> f64 {
+        let gap = |p: f64, lo: f64, d: f64, inv_d: f64, n: usize| -> f64 {
+            let f = (p - lo) * inv_d;
+            if f <= 0.0 || f >= n as f64 {
+                return 0.0;
+            }
+            let i = f.floor();
+            // Distances to the two faces of cell `i`, in mm.
+            let below = p - (lo + i * d);
+            let above = (lo + (i + 1.0) * d) - p;
+            below.min(above)
+        };
+        gap(pos.x, self.x0, self.dx, self.inv_d.0, self.nx)
+            .min(gap(pos.y, self.y0, self.dy, self.inv_d.1, self.ny))
+            .min(gap(pos.z, 0.0, self.dz, self.inv_d.2, self.nz))
     }
 
     fn entry_region(&self, pos: Vec3) -> Option<usize> {

@@ -47,6 +47,12 @@ pub mod arbitrary {
         }
     }
 
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> [T; N] {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
     /// Strategy for any value of `T`; see [`any`].
     pub struct Any<T>(std::marker::PhantomData<T>);
 
