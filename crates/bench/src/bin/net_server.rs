@@ -2,13 +2,27 @@
 //!
 //! Run: `cargo run --release -p lumen-bench --bin net_server -- \
 //!        [addr=127.0.0.1:7878] [scenario=white_matter] [photons=100000] \
-//!        [tasks=16] [clients=2] [seed=42]`
+//!        [tasks=16] [min_clients=2] [lease_timeout_s=600] \
+//!        [join_grace_s=600]`
 //!
-//! Start the server first, then `clients` copies of `net_client` with the
-//! same scenario and seed (on any machines that can reach the address).
+//! `join_grace_s` bounds how long the server waits for `min_clients` to
+//! show up (and for the pool to refill if every client vanishes) — the
+//! default is generous because this binary's workflow is starting
+//! clients by hand on other machines.
+//!
+//! Start the server, then point any number of `net_client` copies at it
+//! (same scenario and seed, on any machines that can reach the address).
+//! The pool is elastic: `min_clients` only gates the first assignment;
+//! clients joining later are handed work immediately, and a client that
+//! stalls past the lease timeout or disconnects has its task re-queued
+//! and re-run bit-identically elsewhere. An abandoned run (every client
+//! gone) exits non-zero with a typed error instead of printing a
+//! partial tally.
 
 use lumen_bench::scenario_by_name;
+use lumen_cluster::ServeOptions;
 use std::net::TcpListener;
+use std::time::Duration;
 
 fn arg(n: usize, default: &str) -> String {
     std::env::args().nth(n).unwrap_or_else(|| default.to_string())
@@ -19,16 +33,45 @@ fn main() {
     let scenario = arg(2, "white_matter");
     let photons: u64 = arg(3, "100000").parse().expect("photons");
     let tasks: u64 = arg(4, "16").parse().expect("tasks");
-    let clients: usize = arg(5, "2").parse().expect("clients");
-    let _seed: u64 = arg(6, "42").parse().expect("seed");
+    let min_clients: usize = arg(5, "2").parse().expect("min_clients");
+    let lease_timeout_s: f64 = arg(6, "600").parse().expect("lease_timeout_s");
+    let join_grace_s: f64 = arg(7, "600").parse().expect("join_grace_s");
+    // Same range from_spec enforces; Duration::from_secs_f64 would panic
+    // on a negative/NaN/huge value instead of erroring.
+    for (name, v) in [("lease_timeout_s", lease_timeout_s), ("join_grace_s", join_grace_s)] {
+        if !(v > 0.0 && v <= 1e9) {
+            eprintln!("{name} must be in (0, 10^9] seconds, got {v}");
+            std::process::exit(2);
+        }
+    }
 
     let sim =
         scenario_by_name(&scenario).unwrap_or_else(|| panic!("unknown scenario '{scenario}'"));
     let listener = TcpListener::bind(&addr).expect("bind server address");
-    println!("lumen DataManager on {addr}: scenario={scenario}, photons={photons}, tasks={tasks}; waiting for {clients} client(s)...");
+    let options = ServeOptions::default()
+        .with_min_clients(min_clients)
+        .with_lease_timeout(Duration::from_secs_f64(lease_timeout_s))
+        .with_join_grace(Duration::from_secs_f64(join_grace_s));
+    println!(
+        "lumen DataManager on {addr}: scenario={scenario}, photons={photons}, tasks={tasks}; \
+         starting at {min_clients} client(s), lease timeout {lease_timeout_s}s, \
+         join grace {join_grace_s}s..."
+    );
 
-    let report =
-        lumen_cluster::serve(listener, &sim, photons, tasks, clients).expect("distributed run");
+    let report = match lumen_cluster::serve_with_options(
+        listener,
+        &sim,
+        photons,
+        tasks,
+        options,
+        &lumen_core::engine::NoProgress,
+    ) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("distributed run failed: {e}");
+            std::process::exit(1);
+        }
+    };
     println!(
         "done: {} photons over {} clients ({} requeues)",
         report.result.launched(),

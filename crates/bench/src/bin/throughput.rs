@@ -1,12 +1,12 @@
 //! `throughput` — the perf-trajectory recorder.
 //!
 //! Runs the shared preset matrix ([`lumen_bench::throughput_presets`])
-//! across the `sequential`, `rayon`, and `cluster` backends, measures
-//! photons per wall-clock second, and writes `BENCH_throughput.json` —
-//! one point on the repository's performance trajectory. Every perf PR
-//! reruns this binary and records before/after numbers in
-//! `docs/PERFORMANCE.md`; CI runs it on a reduced budget (non-gating)
-//! and uploads the JSON as an artifact.
+//! across the `sequential`, `rayon`, `cluster`, and `tcp` backends,
+//! measures photons per wall-clock second, and writes
+//! `BENCH_throughput.json` — one point on the repository's performance
+//! trajectory. Every perf PR reruns this binary and records before/after
+//! numbers in `docs/PERFORMANCE.md`; CI runs it on a reduced budget
+//! (non-gating) and uploads the JSON as an artifact.
 //!
 //! ```text
 //! throughput [--photons N] [--repeats K] [--backends a,b,..]
@@ -14,14 +14,21 @@
 //! ```
 //!
 //! Defaults: 200k photons, 3 repeats (best wall time wins), all presets,
-//! `sequential,rayon,cluster` backends, output `BENCH_throughput.json`
-//! in the current directory. The JSON is hand-rolled because the
-//! workspace's offline `serde` shim does not serialize.
+//! `sequential,rayon,cluster,tcp` backends, output
+//! `BENCH_throughput.json` in the current directory. The `tcp` leg runs
+//! the real elastic wire runtime loopback: the server binds an ephemeral
+//! port and two in-process `run_client` loops connect to it, so the
+//! recorded number includes framing, tally serialization, and the lease
+//! bookkeeping. The JSON is hand-rolled because the workspace's offline
+//! `serde` shim does not serialize.
 
 use lumen_bench::throughput_presets;
 use lumen_core::engine::Scenario;
 use std::fmt::Write as _;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// In-process client loops the loopback `tcp` leg runs.
+const TCP_CLIENTS: usize = 2;
 
 struct Args {
     photons: u64,
@@ -36,7 +43,7 @@ impl Args {
         let mut args = Args {
             photons: 200_000,
             repeats: 3,
-            backends: vec!["sequential".into(), "rayon".into(), "cluster".into()],
+            backends: vec!["sequential".into(), "rayon".into(), "cluster".into(), "tcp".into()],
             presets: throughput_presets().iter().map(|(n, _)| n.to_string()).collect(),
             out: "BENCH_throughput.json".into(),
         };
@@ -90,17 +97,88 @@ struct Cell {
     photons_per_second: f64,
 }
 
+/// One timed run of the loopback `tcp` leg: bind an ephemeral port, point
+/// `TCP_CLIENTS` in-process client loops at it, and serve the scenario
+/// over real sockets. Returns the launched photon count. The listener is
+/// bound once and handed to the server directly (no probe/rebind port
+/// race), and the client threads are always joined, even when the server
+/// leg fails.
+fn run_tcp_once(scenario: &Scenario) -> Result<u64, String> {
+    use lumen_cluster::ServeOptions;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?.to_string();
+
+    let sim = scenario.simulation();
+    let seed = scenario.seed;
+    let clients: Vec<_> = (0..TCP_CLIENTS)
+        .map(|_| {
+            let sim = sim.clone();
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                for _ in 0..500 {
+                    match lumen_cluster::run_client(&addr, &sim, seed) {
+                        Ok(n) => return Ok(n),
+                        Err(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
+                    }
+                }
+                Err("bench client never connected".to_string())
+            })
+        })
+        .collect();
+
+    let served = lumen_cluster::serve_with_options(
+        listener,
+        &sim,
+        scenario.photons,
+        scenario.tasks,
+        ServeOptions::default().with_min_clients(TCP_CLIENTS),
+        &lumen_core::engine::NoProgress,
+    );
+    // Join the clients first (a failed server closes their sockets, so
+    // they terminate either way) to avoid leaking spinning threads.
+    let mut client_err = None;
+    for c in clients {
+        match c.join() {
+            Ok(Ok(_)) => {}
+            Ok(Err(e)) => client_err = Some(e),
+            Err(_) => client_err = Some("bench client panicked".to_string()),
+        }
+    }
+    let report = served.map_err(|e| e.to_string())?;
+    if let Some(e) = client_err {
+        return Err(e);
+    }
+    Ok(report.result.launched())
+}
+
 fn measure(name: &str, spec: &str, scenario: &Scenario, repeats: usize) -> Result<Cell, String> {
-    let backend = lumen_cluster::backend::from_spec(spec).map_err(|e| e.to_string())?;
+    let is_tcp = spec.split_whitespace().next() == Some("tcp");
+    if is_tcp && spec != "tcp" {
+        // The tcp leg is the fixed loopback configuration; silently
+        // measuring something other than the requested spec would
+        // mislabel the JSON record.
+        return Err(format!(
+            "the tcp leg takes no arguments (fixed {TCP_CLIENTS}-client loopback); got `{spec}`"
+        ));
+    }
+    let backend = if is_tcp {
+        None
+    } else {
+        Some(lumen_cluster::backend::from_spec(spec).map_err(|e| e.to_string())?)
+    };
     let mut walls = Vec::with_capacity(repeats);
     for _ in 0..repeats {
         // Time around the whole backend call (validation + merge included):
         // that is the latency a caller actually observes. The report's own
         // wall clock agrees to within microseconds.
         let started = Instant::now();
-        let report = backend.run(scenario).map_err(|e| e.to_string())?;
+        let launched = match &backend {
+            Some(b) => b.run(scenario).map_err(|e| e.to_string())?.launched(),
+            None => run_tcp_once(scenario)?,
+        };
         let wall = started.elapsed().as_secs_f64();
-        assert_eq!(report.launched(), scenario.photons, "backend dropped photons");
+        assert_eq!(launched, scenario.photons, "backend dropped photons");
         walls.push(wall);
     }
     let best = walls.iter().copied().fold(f64::INFINITY, f64::min);

@@ -158,7 +158,9 @@ impl Config {
     }
 
     /// Backend spec (default `rayon`); resolved by
-    /// `lumen_cluster::backend::from_spec`.
+    /// `lumen_cluster::backend::from_spec` over the full vocabulary
+    /// `sequential | rayon [threads] | cluster [workers] [failure_rate] |
+    /// tcp <addr> [min_clients] [lease_timeout_s] | sim [machines]`.
     pub fn backend(&self) -> &str {
         self.get("backend").unwrap_or("rayon")
     }
@@ -551,6 +553,13 @@ path_histogram = 500 25
         )
         .unwrap();
         assert_eq!(cfg.backend(), "cluster 4");
+        // The elastic TCP knobs pass through verbatim for from_spec.
+        let cfg = Config::parse(
+            "tissue = white_matter\ndetector = disc 6 1\nphotons = 10\n\
+             backend = tcp 127.0.0.1:7878 3 45",
+        )
+        .unwrap();
+        assert_eq!(cfg.backend(), "tcp 127.0.0.1:7878 3 45");
     }
 
     #[test]

@@ -128,7 +128,7 @@ seed      = 42
 tasks     = 64
 
 # execution backend: sequential | rayon [threads] | cluster [workers] [failure_rate]
-#                  | tcp <addr> [clients] | sim [machines]
+#                  | tcp <addr> [min_clients] [lease_timeout_s] | sim [machines]
 # all real backends give bit-identical tallies for the same (seed, tasks)
 backend   = rayon
 "#;

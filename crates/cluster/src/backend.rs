@@ -24,14 +24,14 @@
 
 use crate::executor::{run_master_worker, DistributedConfig, DistributedReport};
 use crate::machine::{homogeneous_pool, MachinePool};
-use crate::net::serve_with_progress;
+use crate::net::{serve_with_options, NetError, ServeOptions};
 use crate::protocol::WorkerStats;
 use crate::{AvailabilityModel, ClusterSim, DesReport, JobSpec, NetworkModel};
 use lumen_core::engine::{Backend, EngineError, Progress, RunReport, Scenario, WorkerAccount};
 use lumen_core::SimulationResult;
 use serde::{Deserialize, Serialize};
 use std::net::TcpListener;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How a [`ThreadedCluster`] injects worker failures (a non-dedicated PC
 /// being reclaimed by its owner mid-task).
@@ -123,28 +123,74 @@ impl Backend for ThreadedCluster {
     }
 }
 
-/// The paper's deployment: the DataManager bound to a TCP address, serving
-/// `clients` connecting `net::run_client` processes. Clients must be
-/// started separately with the same scenario definition and seed (the
-/// out-of-band experiment contract; `wire::encode_scenario` ships it).
+/// The paper's deployment: the DataManager bound to a TCP address,
+/// serving however many `net::run_client` processes connect — the pool is
+/// elastic, `min_clients` only gates the first assignment, and leased
+/// tasks survive departures via deadline-based revocation (see
+/// [`crate::net::serve_with_options`]). Clients must be started
+/// separately with the same scenario definition and seed (the out-of-band
+/// experiment contract; `wire::encode_scenario` ships it).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tcp {
     /// Address to bind, e.g. `"127.0.0.1:7878"`.
     pub addr: String,
-    /// Number of client connections to accept before starting.
-    pub clients: usize,
+    /// Clients to wait for before the first assignment (late joiners are
+    /// served immediately after that).
+    pub min_clients: usize,
+    /// Per-task lease deadline; a lease that misses it is revoked and
+    /// re-queued exactly like a disconnect.
+    pub lease_timeout: Duration,
+    /// How long the server tolerates an empty client pool before
+    /// abandoning the run with a typed error.
+    pub join_grace: Duration,
 }
 
 impl Tcp {
-    /// A server for `addr` expecting one client.
+    /// A server for `addr` starting at the first client, with the default
+    /// lease/grace timeouts of [`ServeOptions`].
     pub fn new(addr: impl Into<String>) -> Self {
-        Self { addr: addr.into(), clients: 1 }
+        let defaults = ServeOptions::default();
+        Self {
+            addr: addr.into(),
+            min_clients: defaults.min_clients,
+            lease_timeout: defaults.lease_timeout,
+            join_grace: defaults.join_grace,
+        }
     }
 
-    /// Builder-style expected-client count.
-    pub fn with_clients(mut self, clients: usize) -> Self {
-        self.clients = clients;
+    /// Builder-style minimum client count.
+    pub fn with_clients(mut self, min_clients: usize) -> Self {
+        self.min_clients = min_clients;
         self
+    }
+
+    /// Builder-style lease deadline.
+    pub fn with_lease_timeout(mut self, lease_timeout: Duration) -> Self {
+        self.lease_timeout = lease_timeout;
+        self
+    }
+
+    /// Builder-style empty-pool grace period.
+    pub fn with_join_grace(mut self, join_grace: Duration) -> Self {
+        self.join_grace = join_grace;
+        self
+    }
+
+    fn serve_options(&self) -> ServeOptions {
+        ServeOptions::default()
+            .with_min_clients(self.min_clients)
+            .with_lease_timeout(self.lease_timeout)
+            .with_join_grace(self.join_grace)
+    }
+}
+
+/// Map a networked failure onto the engine's error vocabulary: parameter
+/// problems stay `InvalidConfig`, everything else (I/O, protocol
+/// violations, an abandoned incomplete run) is a backend failure.
+fn net_error(e: NetError) -> EngineError {
+    match e {
+        NetError::InvalidConfig(reason) => EngineError::InvalidConfig(reason),
+        other => EngineError::backend("tcp", other.to_string()),
     }
 }
 
@@ -159,22 +205,19 @@ impl Backend for Tcp {
         progress: &dyn Progress,
     ) -> Result<RunReport, EngineError> {
         scenario.validate()?;
-        if self.clients == 0 {
-            return Err(EngineError::InvalidConfig("tcp backend needs at least one client".into()));
-        }
         let started = Instant::now();
         let listener = TcpListener::bind(&self.addr)
             .map_err(|e| EngineError::backend(self.name(), format!("bind {}: {e}", self.addr)))?;
         let sim = scenario.simulation();
-        let report = serve_with_progress(
+        let report = serve_with_options(
             listener,
             &sim,
             scenario.photons,
             scenario.tasks,
-            self.clients,
+            self.serve_options(),
             progress,
         )
-        .map_err(|e| EngineError::backend(self.name(), e.to_string()))?;
+        .map_err(net_error)?;
         Ok(RunReport {
             result: report.result,
             workers: account(&report.worker_stats),
@@ -319,7 +362,8 @@ impl BackendExt for Scenario {
 ///   `lumen_core::engine::from_spec`;
 /// * `cluster [workers] [failure_rate]` — [`ThreadedCluster`] (defaults:
 ///   one worker per logical CPU, no failures);
-/// * `tcp <addr> [clients]` — [`Tcp`] (default: 1 client);
+/// * `tcp <addr> [min_clients] [lease_timeout_s]` — [`Tcp`] (defaults:
+///   start at the first client, 10-minute lease deadline);
 /// * `sim [machines]` — [`SimulatedCluster`] (default: the paper's 60
 ///   dedicated homogeneous machines).
 pub fn from_spec(spec: &str) -> Result<Box<dyn Backend>, EngineError> {
@@ -350,12 +394,25 @@ pub fn from_spec(spec: &str) -> Result<Box<dyn Backend>, EngineError> {
             Ok(Box::new(ThreadedCluster { workers, failure_plan: plan }))
         }
         ("tcp", [addr]) => Ok(Box::new(Tcp::new(*addr))),
-        ("tcp", [addr, clients]) => {
-            Ok(Box::new(Tcp::new(*addr).with_clients(parse::<usize>("tcp client count", clients)?)))
+        ("tcp", [addr, min_clients]) => Ok(Box::new(
+            Tcp::new(*addr).with_clients(parse::<usize>("tcp minimum client count", min_clients)?),
+        )),
+        ("tcp", [addr, min_clients, lease_secs]) => {
+            let secs = parse::<f64>("tcp lease timeout (seconds)", lease_secs)?;
+            if !(secs > 0.0 && secs <= 1e9) {
+                return Err(EngineError::InvalidConfig(format!(
+                    "tcp lease timeout must be in (0, 10^9] seconds, got `{lease_secs}`"
+                )));
+            }
+            Ok(Box::new(
+                Tcp::new(*addr)
+                    .with_clients(parse::<usize>("tcp minimum client count", min_clients)?)
+                    .with_lease_timeout(Duration::from_secs_f64(secs)),
+            ))
         }
-        ("tcp", _) => {
-            Err(EngineError::InvalidConfig("tcp backend needs `tcp <addr> [clients]`".into()))
-        }
+        ("tcp", _) => Err(EngineError::InvalidConfig(
+            "tcp backend needs `tcp <addr> [min_clients] [lease_timeout_s]`".into(),
+        )),
         ("sim", []) => Ok(Box::new(SimulatedCluster::new(60))),
         ("sim", [machines]) => {
             Ok(Box::new(SimulatedCluster::new(parse::<usize>("sim machine count", machines)?)))
@@ -367,7 +424,8 @@ pub fn from_spec(spec: &str) -> Result<Box<dyn Backend>, EngineError> {
         ("sequential", _) | ("rayon", _) => lumen_core::engine::from_spec(spec),
         _ => Err(EngineError::InvalidConfig(format!(
             "unknown backend `{spec}` (expected sequential | rayon [threads] | \
-             cluster [workers] [failure_rate] | tcp <addr> [clients] | sim [machines])"
+             cluster [workers] [failure_rate] | tcp <addr> [min_clients] [lease_timeout_s] | \
+             sim [machines])"
         ))),
     }
 }
@@ -484,10 +542,34 @@ mod tests {
         assert_eq!(from_spec("cluster 4 0.1").unwrap().name(), "cluster");
         assert_eq!(from_spec("tcp 127.0.0.1:7878").unwrap().name(), "tcp");
         assert_eq!(from_spec("tcp 127.0.0.1:7878 3").unwrap().name(), "tcp");
+        assert_eq!(from_spec("tcp 127.0.0.1:7878 3 5.5").unwrap().name(), "tcp");
         assert_eq!(from_spec("sim").unwrap().name(), "sim");
         assert_eq!(from_spec("sim 150").unwrap().name(), "sim");
         assert!(from_spec("tcp").is_err());
+        assert!(from_spec("tcp 127.0.0.1:7878 3 0").is_err());
+        assert!(from_spec("tcp 127.0.0.1:7878 3 -2").is_err());
+        assert!(from_spec("tcp 127.0.0.1:7878 3 1e30").is_err());
+        assert!(from_spec("tcp 127.0.0.1:7878 3 5 extra").is_err());
         assert!(from_spec("cluster four").is_err());
         assert!(from_spec("warp-drive").is_err());
+    }
+
+    #[test]
+    fn tcp_spec_carries_min_clients_and_lease_timeout() {
+        // `from_spec` returns a boxed trait object, so check the knobs on
+        // the concrete builder it mirrors.
+        let tcp = Tcp::new("127.0.0.1:7878")
+            .with_clients(3)
+            .with_lease_timeout(std::time::Duration::from_secs_f64(5.5));
+        assert_eq!(tcp.min_clients, 3);
+        assert_eq!(tcp.lease_timeout, std::time::Duration::from_secs_f64(5.5));
+        assert_eq!(tcp.join_grace, crate::net::ServeOptions::default().join_grace);
+    }
+
+    #[test]
+    fn tcp_zero_min_clients_is_invalid_config() {
+        let s = scenario();
+        let err = Tcp::new("127.0.0.1:0").with_clients(0).run(&s).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidConfig(_)), "{err}");
     }
 }

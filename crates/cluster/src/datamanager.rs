@@ -61,16 +61,31 @@ impl DataManager {
         Some(task)
     }
 
-    /// Process a completed task's tally.
-    pub fn complete(&mut self, worker: usize, task: SimTask, tally: &Tally) {
+    /// Register a worker that joined after construction (the elastic TCP
+    /// server admits clients for the run's whole lifetime), returning its
+    /// dense id.
+    pub fn register_worker(&mut self) -> usize {
+        self.stats.push(WorkerStats::default());
+        self.stats.len() - 1
+    }
+
+    /// Process a completed task's tally. Returns `false` (without
+    /// merging) if the task was already completed — a duplicate must
+    /// never double-count photons, and the server's event loop must never
+    /// panic over a misbehaving peer.
+    pub fn complete(&mut self, worker: usize, task: SimTask, tally: &Tally) -> bool {
         self.release_lease(task);
         let slot = &mut self.completed[task.task_id as usize];
-        assert!(slot.is_none(), "task {} completed twice", task.task_id);
+        if slot.is_some() {
+            return false;
+        }
         *slot = Some(tally.clone());
         self.tasks_done += 1;
-        let s = &mut self.stats[worker];
-        s.tasks_completed += 1;
-        s.photons += task.photons;
+        if let Some(s) = self.stats.get_mut(worker) {
+            s.tasks_completed += 1;
+            s.photons += task.photons;
+        }
+        true
     }
 
     /// Re-queue a failed task (front of queue: it is the oldest work).
@@ -78,7 +93,9 @@ impl DataManager {
         self.release_lease(task);
         self.queue.push_front(task);
         self.requeues += 1;
-        self.stats[worker].tasks_failed += 1;
+        if let Some(s) = self.stats.get_mut(worker) {
+            s.tasks_failed += 1;
+        }
     }
 
     fn release_lease(&mut self, task: SimTask) {
@@ -195,5 +212,35 @@ mod tests {
         let dm = DataManager::new(0, 4, template(), 1);
         assert!(dm.finished());
         assert_eq!(dm.tasks_total(), 0);
+    }
+
+    #[test]
+    fn duplicate_completion_is_ignored_not_merged() {
+        let mut dm = DataManager::new(20, 2, template(), 2);
+        let t = dm.assign().unwrap();
+        assert!(dm.complete(0, t, &worker_tally(t.photons)));
+        // A stale duplicate (e.g. a revoked lease finishing late) merges
+        // nothing and corrupts no accounting.
+        assert!(!dm.complete(1, t, &worker_tally(t.photons)));
+        let u = dm.assign().unwrap();
+        assert!(dm.complete(0, u, &worker_tally(u.photons)));
+        let (tally, stats, _) = dm.into_results();
+        assert_eq!(tally.launched, 20);
+        assert_eq!(stats[0].tasks_completed, 2);
+        assert_eq!(stats[1].tasks_completed, 0);
+    }
+
+    #[test]
+    fn registered_workers_extend_the_stats_table() {
+        let mut dm = DataManager::new(10, 1, template(), 0);
+        let a = dm.register_worker();
+        let b = dm.register_worker();
+        assert_eq!((a, b), (0, 1));
+        let t = dm.assign().unwrap();
+        dm.complete(b, t, &worker_tally(t.photons));
+        let (_, stats, _) = dm.into_results();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[1].tasks_completed, 1);
+        assert_eq!(stats[0].tasks_completed, 0);
     }
 }

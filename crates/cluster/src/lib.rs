@@ -58,7 +58,9 @@ pub use des::{ClusterSim, DesReport, JobSpec};
 pub use executor::run_distributed;
 pub use executor::{run_master_worker, DistributedConfig, DistributedReport};
 pub use machine::{homogeneous_pool, table2_pool, MachineClass, MachinePool};
-pub use net::{run_client, serve, serve_with_progress, NetReport};
+pub use net::{
+    run_client, serve, serve_with_options, serve_with_progress, NetError, NetReport, ServeOptions,
+};
 pub use network::NetworkModel;
 pub use scheduler::{GaScheduler, Scheduler, SelfScheduling, StaticChunking};
 pub use speedup::{efficiency, speedup_curve, SpeedupPoint};

@@ -1,39 +1,74 @@
 //! TCP deployment of the DataManager ⇄ client protocol.
 //!
 //! This is the configuration the paper actually ran: "All the clients
-//! connected to a dedicated server". [`serve`] runs the DataManager on a
+//! connected to a dedicated server." [`serve`] runs the DataManager on a
 //! TCP listener; [`run_client`] is the client loop a worker machine runs.
 //! Both ends are constructed with the same [`Simulation`] (the original
 //! shipped the `Algorithm` bytecode; we ship the experiment definition
 //! out-of-band, which is the idiomatic Rust equivalent).
 //!
+//! The paper's whole point is Monte Carlo on *non-dedicated* clusters
+//! where workers come and go, so the server is elastic: a background
+//! accept thread admits clients at any time (late joiners are handed work
+//! immediately), every assignment is a **lease** with a deadline, and a
+//! lease that misses its deadline is revoked and re-queued exactly like a
+//! disconnect — same `task_id`, hence the same RNG substream, hence a
+//! bit-identical final tally no matter how many times a batch is re-run.
+//! The server returns `Ok` **iff** every task completed; any abnormal
+//! termination is a typed [`NetError`] (never a silently partial tally).
+//!
 //! Framing: every message is a 4-byte little-endian length followed by a
-//! kind byte and a [`crate::wire`]-encoded payload. Unknown kinds and
-//! malformed payloads terminate that client's connection; the DataManager
-//! re-queues whatever task the lost client held, exactly as the paper's
-//! platform survives reclaimed PCs.
+//! kind byte and a [`crate::wire`]-encoded payload. A connection opens
+//! with a [`KIND_HELLO`] exchange carrying the wire-format version
+//! ([`wire::VERSION`]); mismatched peers are rejected with
+//! [`NetError::VersionMismatch`]. Unknown kinds and malformed payloads
+//! terminate that client's connection; the DataManager re-queues whatever
+//! task the lost client held, exactly as the paper's platform survives
+//! reclaimed PCs.
 
 use crate::datamanager::DataManager;
-use crate::protocol::{SimTask, WorkerStats};
+use crate::protocol::SimTask;
+use crate::protocol::WorkerStats;
 use crate::wire::{self, WireError};
 use lumen_core::engine::{NoProgress, Progress};
 use lumen_core::tally::Tally;
 use lumen_core::{Simulation, SimulationResult};
 use mcrng::StreamFactory;
+use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::mpsc;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread;
+use std::time::{Duration, Instant};
 
-/// Message kind bytes.
-const KIND_REQUEST: u8 = 0x01;
-const KIND_COMPLETE: u8 = 0x02;
-const KIND_ASSIGN: u8 = 0x81;
-const KIND_SHUTDOWN: u8 = 0x82;
+/// Client → server: "I am idle; give me work."
+pub const KIND_REQUEST: u8 = 0x01;
+/// Client → server: a completed task's tally (the task is the client's
+/// current lease — the server is authoritative about which one that is).
+pub const KIND_COMPLETE: u8 = 0x02;
+/// Either direction: protocol handshake. Payload is one byte, the
+/// sender's [`wire::VERSION`]. A client opens with this; the server
+/// always answers with its own version so a mismatched peer can
+/// diagnose itself before the connection closes.
+pub const KIND_HELLO: u8 = 0x03;
+/// Either direction: liveness probe. The peer echoes the payload back
+/// with the same kind. Pings prove the *transport* is alive; they do
+/// **not** count as activity for the server's idle-zombie cut — a
+/// connection that pings but never requests work is still reaped after
+/// a lease period ([`ServeOptions::lease_timeout`]).
+pub const KIND_PING: u8 = 0x04;
+/// Server → client: a task assignment.
+pub const KIND_ASSIGN: u8 = 0x81;
+/// Server → client: no more work; terminate the worker loop.
+pub const KIND_SHUTDOWN: u8 = 0x82;
 
 /// Largest accepted frame (64 MiB) — a 50³ grid of f64 is ~1 MB, so this
 /// leaves ample headroom while bounding a hostile length prefix.
 const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// How often the accept thread polls its non-blocking listener.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
 
 /// Errors from the networked protocol.
 #[derive(Debug)]
@@ -44,6 +79,28 @@ pub enum NetError {
     BadKind(u8),
     /// Frame length outside (0, MAX_FRAME].
     BadFrame(u32),
+    /// The peer's HELLO carried a different wire-format version.
+    VersionMismatch {
+        /// Our [`wire::VERSION`].
+        ours: u8,
+        /// The version the peer announced.
+        theirs: u8,
+    },
+    /// The server gave up (no clients, or the whole pool vanished) before
+    /// every task completed. The partial tally is deliberately withheld:
+    /// an incomplete Monte Carlo result reported as success is the one
+    /// failure mode a golden-pinned codebase must never have.
+    Incomplete {
+        /// Photons completed and merged before the run was abandoned.
+        photons_done: u64,
+        /// The scenario's full photon budget.
+        photons_total: u64,
+        /// Tasks re-queued over the run's lifetime.
+        requeues: u64,
+    },
+    /// The serve parameters were inconsistent (invalid simulation, zero
+    /// `min_clients`, zero-duration timeouts, ...).
+    InvalidConfig(String),
 }
 
 impl From<std::io::Error> for NetError {
@@ -65,6 +122,15 @@ impl std::fmt::Display for NetError {
             NetError::Wire(e) => write!(f, "wire: {e}"),
             NetError::BadKind(k) => write!(f, "unknown message kind {k:#x}"),
             NetError::BadFrame(n) => write!(f, "bad frame length {n}"),
+            NetError::VersionMismatch { ours, theirs } => {
+                write!(f, "protocol version mismatch: ours v{ours}, peer v{theirs}")
+            }
+            NetError::Incomplete { photons_done, photons_total, requeues } => write!(
+                f,
+                "run abandoned incomplete: {photons_done}/{photons_total} photons \
+                 ({requeues} requeues)"
+            ),
+            NetError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
         }
     }
 }
@@ -99,181 +165,566 @@ pub fn read_frame(stream: &mut TcpStream) -> Result<(u8, Vec<u8>), NetError> {
     Ok((kind, payload))
 }
 
+/// Client-side half of the HELLO handshake: announce our
+/// [`wire::VERSION`], read the server's, and fail typed on a mismatch.
+pub fn handshake(stream: &mut TcpStream) -> Result<(), NetError> {
+    write_frame(stream, KIND_HELLO, &[wire::VERSION])?;
+    let (kind, payload) = read_frame(stream)?;
+    match kind {
+        KIND_HELLO => {
+            let theirs = *payload.first().ok_or(NetError::Wire(WireError::Truncated))?;
+            if theirs == wire::VERSION {
+                Ok(())
+            } else {
+                Err(NetError::VersionMismatch { ours: wire::VERSION, theirs })
+            }
+        }
+        other => Err(NetError::BadKind(other)),
+    }
+}
+
+/// Round-trip a [`KIND_PING`] liveness probe on an established
+/// (handshaken) connection, returning the measured latency.
+pub fn ping(stream: &mut TcpStream) -> Result<Duration, NetError> {
+    let started = Instant::now();
+    write_frame(stream, KIND_PING, b"ping")?;
+    let (kind, payload) = read_frame(stream)?;
+    if kind != KIND_PING || payload != b"ping" {
+        return Err(NetError::BadKind(kind));
+    }
+    Ok(started.elapsed())
+}
+
+/// Knobs for the elastic server — see [`serve_with_options`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Clients to wait for before the first assignment. The run is
+    /// elastic after the gate opens: clients joining later are handed
+    /// work immediately, and the pool may shrink below this number
+    /// without aborting the run (leases cover the departures).
+    pub min_clients: usize,
+    /// Deadline for one leased task. A lease that misses it is revoked
+    /// and re-queued exactly like a disconnect; the holder's connection
+    /// is cut. Size it comfortably above the slowest expected batch —
+    /// the default is a generous 10 minutes, because socket errors
+    /// already catch real disconnects immediately and revocation only
+    /// needs to cover the silently-wedged remainder. The same deadline
+    /// bounds how long a connected client may sit idle without
+    /// requesting work before it is cut as a zombie.
+    pub lease_timeout: Duration,
+    /// How long the server tolerates having **zero** connected clients
+    /// (at startup, or after the whole pool vanished mid-run) before
+    /// abandoning the run with [`NetError::Incomplete`]. Also bounds the
+    /// wait for `min_clients` and a new connection's HELLO.
+    pub join_grace: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            min_clients: 1,
+            lease_timeout: Duration::from_secs(600),
+            join_grace: Duration::from_secs(10),
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Builder-style minimum client count.
+    pub fn with_min_clients(mut self, min_clients: usize) -> Self {
+        self.min_clients = min_clients;
+        self
+    }
+
+    /// Builder-style lease deadline.
+    pub fn with_lease_timeout(mut self, lease_timeout: Duration) -> Self {
+        self.lease_timeout = lease_timeout;
+        self
+    }
+
+    /// Builder-style empty-pool grace period.
+    pub fn with_join_grace(mut self, join_grace: Duration) -> Self {
+        self.join_grace = join_grace;
+        self
+    }
+
+    fn validate(&self) -> Result<(), NetError> {
+        if self.min_clients == 0 {
+            return Err(NetError::InvalidConfig("min_clients must be >= 1".into()));
+        }
+        if self.lease_timeout.is_zero() || self.join_grace.is_zero() {
+            return Err(NetError::InvalidConfig(
+                "lease_timeout and join_grace must be positive".into(),
+            ));
+        }
+        // Cap deadlines so `Instant + timeout` arithmetic can never
+        // overflow (and panic) on the serve path. ~31 years is "forever"
+        // for any real deployment.
+        const MAX_TIMEOUT: Duration = Duration::from_secs(1_000_000_000);
+        if self.lease_timeout > MAX_TIMEOUT || self.join_grace > MAX_TIMEOUT {
+            return Err(NetError::InvalidConfig(
+                "lease_timeout and join_grace must be at most 10^9 seconds".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Outcome of a networked run.
 #[derive(Debug)]
 pub struct NetReport {
     pub result: SimulationResult,
     pub worker_stats: Vec<WorkerStats>,
     pub requeues: u64,
-    /// Clients that connected over the run's lifetime.
+    /// Connections actually served over the run's lifetime: every client
+    /// that completed the HELLO handshake, late joiners included,
+    /// never-connected slots excluded.
     pub clients_served: usize,
 }
 
-/// Serve one distributed simulation on `listener`: hand out `n` photons in
-/// `tasks` batches to however many clients connect (at least one), merge
-/// their tallies, and shut everyone down when complete.
-///
-/// `expected_clients` controls how many connections the server waits for
-/// before it stops accepting (clients may still come and go; a client that
-/// disconnects mid-task has its task re-queued).
+/// Serve one distributed simulation on `listener`: hand out `n` photons
+/// in `tasks` batches to the clients that connect, merge their tallies,
+/// and shut everyone down when complete. `min_clients` gates the first
+/// assignment; the pool is elastic after that. Default lease/grace
+/// timeouts — use [`serve_with_options`] to tune them.
 pub fn serve(
     listener: TcpListener,
     sim: &Simulation,
     n: u64,
     tasks: u64,
-    expected_clients: usize,
+    min_clients: usize,
 ) -> Result<NetReport, NetError> {
-    serve_with_progress(listener, sim, n, tasks, expected_clients, &NoProgress)
+    serve_with_progress(listener, sim, n, tasks, min_clients, &NoProgress)
 }
 
-/// [`serve`], streaming completion and retry events to `progress` (the
-/// hook the `Tcp` backend in [`crate::backend`] wires through).
+/// [`serve`], streaming completion and retry events to `progress`.
 pub fn serve_with_progress(
     listener: TcpListener,
     sim: &Simulation,
     n: u64,
     tasks: u64,
-    expected_clients: usize,
+    min_clients: usize,
     progress: &dyn Progress,
 ) -> Result<NetReport, NetError> {
-    assert!(expected_clients > 0, "need at least one client");
-    sim.validate().expect("invalid simulation configuration");
-    let mut dm = DataManager::new(n, tasks, sim.new_tally(), expected_clients);
-
-    enum Event {
-        Request { worker: usize },
-        Complete { worker: usize, task: SimTask, tally: Box<Tally> },
-        Disconnected { worker: usize },
-    }
-
-    let (tx, rx) = mpsc::channel::<Event>();
-    let mut reply_txs: Vec<mpsc::Sender<Option<SimTask>>> = Vec::new();
-    let mut handles = Vec::new();
-
-    // Accept exactly `expected_clients` connections, each served by a
-    // proxy thread translating frames into events.
-    for worker in 0..expected_clients {
-        let (mut stream, _) = listener.accept()?;
-        stream.set_nodelay(true).ok();
-        let (reply_tx, reply_rx) = mpsc::channel::<Option<SimTask>>();
-        reply_txs.push(reply_tx);
-        let tx = tx.clone();
-        handles.push(thread::spawn(move || {
-            // Track the lease so a disconnect can be reported with intent.
-            let mut lease: Option<SimTask> = None;
-            let run = (|| -> Result<(), NetError> {
-                loop {
-                    let (kind, payload) = read_frame(&mut stream)?;
-                    match kind {
-                        KIND_REQUEST => {
-                            tx.send(Event::Request { worker }).ok();
-                            match reply_rx.recv().unwrap_or(None) {
-                                Some(task) => {
-                                    lease = Some(task);
-                                    write_frame(
-                                        &mut stream,
-                                        KIND_ASSIGN,
-                                        &wire::encode_task(&task),
-                                    )?;
-                                }
-                                None => {
-                                    write_frame(&mut stream, KIND_SHUTDOWN, &[])?;
-                                    return Ok(());
-                                }
-                            }
-                        }
-                        KIND_COMPLETE => {
-                            let task = lease.take().ok_or(NetError::BadKind(kind))?;
-                            let tally = wire::decode_tally(&payload)?;
-                            tx.send(Event::Complete { worker, task, tally: Box::new(tally) }).ok();
-                        }
-                        other => return Err(NetError::BadKind(other)),
-                    }
-                }
-            })();
-            if run.is_err() {
-                // Connection lost or protocol violation: surrender the lease.
-                tx.send(Event::Disconnected { worker }).ok();
-            }
-            let _ = lease;
-        }));
-    }
-    drop(tx);
-
-    // DataManager event loop. Workers whose request arrives while the
-    // queue is empty wait; a failed client's requeue may wake them.
-    let mut waiting: Vec<usize> = Vec::new();
-    // Server-side lease tracking: at most one task outstanding per client.
-    let mut leases: Vec<Option<SimTask>> = vec![None; expected_clients];
-    let mut photons_done = 0u64;
-    while !dm.finished() {
-        match rx.recv() {
-            Ok(Event::Request { worker }) => match dm.assign() {
-                Some(task) => {
-                    leases[worker] = Some(task);
-                    reply_txs[worker].send(Some(task)).ok();
-                }
-                None => waiting.push(worker),
-            },
-            Ok(Event::Complete { worker, task, tally }) => {
-                leases[worker] = None;
-                dm.complete(worker, task, &tally);
-                photons_done += task.photons;
-                progress.on_photons(photons_done, n);
-            }
-            Ok(Event::Disconnected { worker }) => {
-                // A reclaimed/crashed client surrenders its lease; the
-                // task is re-queued and another client will rerun the
-                // identical photons (same stream index).
-                if let Some(task) = leases[worker].take() {
-                    dm.fail(worker, task);
-                    progress.on_task_retry(task.task_id);
-                    while let Some(w) = waiting.pop() {
-                        match dm.assign() {
-                            Some(t) => {
-                                leases[w] = Some(t);
-                                reply_txs[w].send(Some(t)).ok();
-                            }
-                            None => {
-                                waiting.push(w);
-                                break;
-                            }
-                        }
-                    }
-                }
-            }
-            Err(_) => break, // all proxies gone
-        }
-    }
-
-    // Release waiting clients and any future requests with Shutdown.
-    for w in waiting {
-        reply_txs[w].send(None).ok();
-    }
-    // Proxies still alive will forward one more request each; answer None.
-    drop(rx);
-    for tx in &reply_txs {
-        tx.send(None).ok();
-    }
-    for h in handles {
-        h.join().ok();
-    }
-
-    let (tally, worker_stats, requeues) = dm.into_results();
-    Ok(NetReport {
-        result: SimulationResult::new(tally, Vec::new()),
-        worker_stats,
-        requeues,
-        clients_served: expected_clients,
-    })
+    let options = ServeOptions::default().with_min_clients(min_clients);
+    serve_with_options(listener, sim, n, tasks, options, progress)
 }
 
-/// The client loop: connect to the server, request tasks, simulate them
-/// with the shared `sim` definition and `seed`, return tallies, exit on
-/// shutdown. Returns the number of tasks completed.
+/// Messages the accept/proxy threads feed the DataManager event loop.
+enum Event {
+    /// A connection completed its HELLO handshake and wants a worker id.
+    Joined {
+        reply_tx: mpsc::Sender<Option<SimTask>>,
+        stream: TcpStream,
+        id_tx: mpsc::Sender<usize>,
+    },
+    Request {
+        worker: usize,
+    },
+    Complete {
+        worker: usize,
+        tally: Box<Tally>,
+    },
+    Disconnected {
+        worker: usize,
+    },
+}
+
+/// Event-loop record for one connected client.
+struct Proxy {
+    reply_tx: mpsc::Sender<Option<SimTask>>,
+    /// Clone of the client's socket, so the event loop can cut a
+    /// connection (lease revocation, stale completion) from outside the
+    /// proxy thread.
+    stream: TcpStream,
+    /// The outstanding task and its deadline, if one is leased.
+    lease: Option<(SimTask, Instant)>,
+    /// When this client last went leaseless (joined, or completed a
+    /// task). A connected client that neither holds a lease nor parks a
+    /// request past the lease deadline is a zombie and gets cut — so no
+    /// connection state can stall the run unboundedly.
+    idle_since: Instant,
+}
+
+/// One connection's server-side thread: handshake, then translate frames
+/// into events for the DataManager loop and replies back into frames.
+fn proxy_loop(mut stream: TcpStream, tx: mpsc::Sender<Event>, handshake_timeout: Duration) {
+    stream.set_nonblocking(false).ok();
+    stream.set_nodelay(true).ok();
+    // The handshake runs under a read timeout so a silent connection can
+    // never pin server resources past the grace period.
+    stream.set_read_timeout(Some(handshake_timeout)).ok();
+    let hello = (|| -> Result<(), NetError> {
+        let (kind, payload) = read_frame(&mut stream)?;
+        if kind != KIND_HELLO {
+            return Err(NetError::BadKind(kind));
+        }
+        let theirs = *payload.first().ok_or(NetError::Wire(WireError::Truncated))?;
+        // Always answer with our version so the peer can diagnose itself.
+        write_frame(&mut stream, KIND_HELLO, &[wire::VERSION])?;
+        if theirs != wire::VERSION {
+            return Err(NetError::VersionMismatch { ours: wire::VERSION, theirs });
+        }
+        Ok(())
+    })();
+    if hello.is_err() {
+        // Never joined the pool; nothing to surrender. The connection
+        // simply closes (the rejected peer already has our version).
+        return;
+    }
+    stream.set_read_timeout(None).ok();
+
+    // Register with the event loop, which assigns dense worker ids (so
+    // per-worker stats cover exactly the clients actually served).
+    let (reply_tx, reply_rx) = mpsc::channel::<Option<SimTask>>();
+    let (id_tx, id_rx) = mpsc::channel::<usize>();
+    let Ok(stream_clone) = stream.try_clone() else { return };
+    if tx.send(Event::Joined { reply_tx, stream: stream_clone, id_tx }).is_err() {
+        // The run already ended; tell the late client to go home.
+        write_frame(&mut stream, KIND_SHUTDOWN, &[]).ok();
+        return;
+    }
+    let Ok(worker) = id_rx.recv() else {
+        write_frame(&mut stream, KIND_SHUTDOWN, &[]).ok();
+        return;
+    };
+
+    let run = (|| -> Result<(), NetError> {
+        loop {
+            let (kind, payload) = read_frame(&mut stream)?;
+            match kind {
+                KIND_REQUEST => {
+                    tx.send(Event::Request { worker }).ok();
+                    match reply_rx.recv().unwrap_or(None) {
+                        Some(task) => {
+                            write_frame(&mut stream, KIND_ASSIGN, &wire::encode_task(&task))?;
+                        }
+                        None => {
+                            write_frame(&mut stream, KIND_SHUTDOWN, &[])?;
+                            return Ok(());
+                        }
+                    }
+                }
+                KIND_COMPLETE => {
+                    let tally = wire::decode_tally(&payload)?;
+                    tx.send(Event::Complete { worker, tally: Box::new(tally) }).ok();
+                }
+                KIND_PING => write_frame(&mut stream, KIND_PING, &payload)?,
+                other => return Err(NetError::BadKind(other)),
+            }
+        }
+    })();
+    if run.is_err() {
+        // Connection lost or protocol violation: surrender the lease.
+        tx.send(Event::Disconnected { worker }).ok();
+    }
+}
+
+/// Hand the next queued task to `worker`, stamping a lease deadline. If
+/// the worker's proxy died between queueing its request and this reply,
+/// the task goes straight back to the queue (another client will re-run
+/// the identical photons) and the dead proxy is dropped.
+fn hand_out(
+    dm: &mut DataManager,
+    proxies: &mut HashMap<usize, Proxy>,
+    waiting: &mut Vec<usize>,
+    worker: usize,
+    lease_timeout: Duration,
+    progress: &dyn Progress,
+) {
+    let Some(p) = proxies.get_mut(&worker) else { return };
+    match dm.assign() {
+        Some(task) => {
+            if p.reply_tx.send(Some(task)).is_ok() {
+                p.lease = Some((task, Instant::now() + lease_timeout));
+            } else {
+                dm.fail(worker, task);
+                progress.on_task_retry(task.task_id);
+                proxies.remove(&worker);
+            }
+        }
+        None => waiting.push(worker),
+    }
+}
+
+/// Wake parked workers while queued work remains.
+fn drain_waiting(
+    dm: &mut DataManager,
+    proxies: &mut HashMap<usize, Proxy>,
+    waiting: &mut Vec<usize>,
+    lease_timeout: Duration,
+    progress: &dyn Progress,
+) {
+    loop {
+        if dm.queue_empty() {
+            return;
+        }
+        let Some(w) = waiting.pop() else { return };
+        hand_out(dm, proxies, waiting, w, lease_timeout, progress);
+    }
+}
+
+/// [`serve`] with explicit [`ServeOptions`] — the full elastic runtime.
+///
+/// Invariants this function maintains:
+///
+/// * **`Ok` iff complete.** The merged tally is returned only when every
+///   task completed; any abandonment path is a typed `Err`
+///   ([`NetError::Incomplete`] carries how far the run got).
+/// * **Requeue determinism.** A task lost to a disconnect, a revoked
+///   lease, or a failed hand-off re-enters the queue under the same
+///   `task_id`, so its re-execution draws the identical RNG substream
+///   and the final tally is bit-identical to a sequential run.
+/// * **Elasticity.** Clients join at any time; `min_clients` only gates
+///   the *first* assignment. Departures below `min_clients` do not abort
+///   the run while at least one client remains.
+pub fn serve_with_options(
+    listener: TcpListener,
+    sim: &Simulation,
+    n: u64,
+    tasks: u64,
+    options: ServeOptions,
+    progress: &dyn Progress,
+) -> Result<NetReport, NetError> {
+    options.validate()?;
+    sim.validate().map_err(|e| NetError::InvalidConfig(e.to_string()))?;
+    if tasks == 0 {
+        return Err(NetError::InvalidConfig("tasks must be >= 1".into()));
+    }
+    let mut dm = DataManager::new(n, tasks, sim.new_tally(), 0);
+
+    let (tx, rx) = mpsc::channel::<Event>();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Background accept thread: clients may join at any time. The
+    // listener polls non-blocking so the thread can observe `stop` and
+    // release the port when the run ends.
+    listener.set_nonblocking(true)?;
+    let accept_thread = {
+        let tx = tx.clone();
+        let stop = Arc::clone(&stop);
+        let handshake_timeout = options.join_grace;
+        thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let tx = tx.clone();
+                        // Proxy threads are detached: each is bounded by
+                        // the handshake timeout, a queued shutdown reply,
+                        // or its socket being cut, so none can outlive
+                        // the run by more than one client round-trip.
+                        thread::spawn(move || proxy_loop(stream, tx, handshake_timeout));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+    };
+    drop(tx);
+
+    let mut proxies: HashMap<usize, Proxy> = HashMap::new();
+    let mut waiting: Vec<usize> = Vec::new();
+    let mut joined_total = 0usize;
+    let mut photons_done = 0u64;
+    let started = Instant::now();
+    // The pool has been empty since this instant (None while non-empty).
+    let mut empty_since = Some(started);
+    let lease_timeout = options.lease_timeout;
+
+    let outcome = loop {
+        if dm.finished() {
+            break Ok(());
+        }
+        let now = Instant::now();
+
+        // Abandon (typed, never a hang): the gate never opened, or the
+        // whole pool vanished and nobody re-joined within the grace.
+        let gate_stalled =
+            joined_total < options.min_clients && now.duration_since(started) >= options.join_grace;
+        let pool_stalled = empty_since.is_some_and(|t| now.duration_since(t) >= options.join_grace);
+        if gate_stalled || pool_stalled {
+            break Err(NetError::Incomplete {
+                photons_done,
+                photons_total: n,
+                requeues: dm.requeues(),
+            });
+        }
+
+        // Sleep until the next actionable instant: an event, the nearest
+        // lease deadline, or a stall-detection horizon.
+        let mut horizon = now + Duration::from_millis(500);
+        for p in proxies.values() {
+            if let Some((_, deadline)) = p.lease {
+                horizon = horizon.min(deadline);
+            }
+        }
+        if let Some(t) = empty_since {
+            horizon = horizon.min(t + options.join_grace);
+        }
+        if joined_total < options.min_clients {
+            horizon = horizon.min(started + options.join_grace);
+        }
+        let wait = horizon.saturating_duration_since(now).max(Duration::from_millis(1));
+
+        match rx.recv_timeout(wait) {
+            Ok(Event::Joined { reply_tx, stream, id_tx }) => {
+                let worker = dm.register_worker();
+                // A fresh Instant, not the pre-wait `now`: the loop may
+                // have slept up to 500 ms before this event, and a stale
+                // stamp could backdate a sub-second idle deadline enough
+                // to cut a healthy client before its first request.
+                let joined_at = Instant::now();
+                proxies
+                    .insert(worker, Proxy { reply_tx, stream, lease: None, idle_since: joined_at });
+                joined_total += 1;
+                empty_since = None;
+                progress.on_clients(proxies.len());
+                // The id reply releases the proxy into its frame loop.
+                id_tx.send(worker).ok();
+                if joined_total == options.min_clients {
+                    // Gate opens: release requests parked before quorum.
+                    drain_waiting(&mut dm, &mut proxies, &mut waiting, lease_timeout, progress);
+                }
+            }
+            Ok(Event::Request { worker }) => {
+                if joined_total >= options.min_clients {
+                    hand_out(&mut dm, &mut proxies, &mut waiting, worker, lease_timeout, progress);
+                } else {
+                    waiting.push(worker);
+                }
+            }
+            Ok(Event::Complete { worker, tally }) => {
+                if let Some(p) = proxies.get_mut(&worker) {
+                    match p.lease.take() {
+                        Some((task, _)) => {
+                            p.idle_since = Instant::now();
+                            dm.complete(worker, task, &tally);
+                            photons_done += task.photons;
+                            progress.on_photons(photons_done, n);
+                        }
+                        None => {
+                            // Stale completion of a revoked lease (or a
+                            // protocol violation): the task already went
+                            // back to the queue, so merging this tally
+                            // would double-count its photons. Drop it and
+                            // cut the connection.
+                            p.stream.shutdown(Shutdown::Both).ok();
+                        }
+                    }
+                }
+            }
+            Ok(Event::Disconnected { worker }) => {
+                // Purge the departed worker from the wait queue so a
+                // later requeue can never hand a task to a dead proxy.
+                waiting.retain(|&w| w != worker);
+                if let Some(mut p) = proxies.remove(&worker) {
+                    progress.on_clients(proxies.len());
+                    if let Some((task, _)) = p.lease.take() {
+                        // A reclaimed/crashed client surrenders its
+                        // lease; another client will re-run the identical
+                        // photons (same stream index).
+                        dm.fail(worker, task);
+                        progress.on_task_retry(task.task_id);
+                        drain_waiting(&mut dm, &mut proxies, &mut waiting, lease_timeout, progress);
+                    }
+                }
+                if proxies.is_empty() {
+                    empty_since = Some(Instant::now());
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // The accept thread holds a sender for the run's whole
+                // lifetime, so this means it died — abandon, typed.
+                break Err(NetError::Incomplete {
+                    photons_done,
+                    photons_total: n,
+                    requeues: dm.requeues(),
+                });
+            }
+        }
+
+        // Revoke leases past their deadline: requeue now (a parked client
+        // can start immediately) and cut the holder's connection, which
+        // turns the laggard into an ordinary disconnect. If its COMPLETE
+        // was already in flight, the cleared lease makes the event loop
+        // drop the stale tally above — photons are never double-counted.
+        let now = Instant::now();
+        let mut revoked = false;
+        for (&worker, p) in proxies.iter_mut() {
+            if p.lease.is_some_and(|(_, deadline)| now >= deadline) {
+                if let Some((task, _)) = p.lease.take() {
+                    p.stream.shutdown(Shutdown::Both).ok();
+                    dm.fail(worker, task);
+                    progress.on_task_retry(task.task_id);
+                    revoked = true;
+                }
+            } else if p.lease.is_none()
+                && now.duration_since(p.idle_since) >= lease_timeout
+                && !waiting.contains(&worker)
+            {
+                // A connected client that has neither requested work nor
+                // held a lease for a whole lease period is a zombie
+                // (parked workers are exempt — they are waiting on *us*).
+                // Cut it so the run cannot be held open indefinitely by a
+                // connection that will never contribute.
+                p.stream.shutdown(Shutdown::Both).ok();
+            }
+        }
+        if revoked {
+            drain_waiting(&mut dm, &mut proxies, &mut waiting, lease_timeout, progress);
+        }
+    };
+
+    // Wind down: stop admitting connections, release parked clients, and
+    // queue a shutdown reply for every proxy's next (or pending) request.
+    // Live clients then exit via a clean KIND_SHUTDOWN; proxies of dead
+    // clients error out on their own.
+    stop.store(true, Ordering::Relaxed);
+    for w in waiting.drain(..) {
+        if let Some(p) = proxies.get(&w) {
+            p.reply_tx.send(None).ok();
+        }
+    }
+    drop(rx);
+    for p in proxies.values() {
+        p.reply_tx.send(None).ok();
+    }
+    accept_thread.join().ok();
+    // Proxies of responsive clients wake on the queued reply within
+    // microseconds and write their SHUTDOWN; after a short drain, cut any
+    // socket still in the map so a silent client cannot leak its proxy
+    // thread and fd past this call in a long-lived process.
+    thread::sleep(Duration::from_millis(50));
+    for p in proxies.values() {
+        p.stream.shutdown(Shutdown::Both).ok();
+    }
+
+    match outcome {
+        Ok(()) => {
+            let (tally, worker_stats, requeues) = dm.into_results();
+            Ok(NetReport {
+                result: SimulationResult::new(tally, Vec::new()),
+                worker_stats,
+                requeues,
+                clients_served: joined_total,
+            })
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// The client loop: connect to the server, exchange HELLOs, request
+/// tasks, simulate them with the shared `sim` definition and `seed`,
+/// return tallies, exit on shutdown. Returns the number of tasks
+/// completed.
 pub fn run_client(addr: &str, sim: &Simulation, seed: u64) -> Result<u64, NetError> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true).ok();
+    handshake(&mut stream)?;
     let factory = StreamFactory::new(seed);
     let mut completed = 0u64;
     loop {
@@ -336,6 +787,7 @@ mod tests {
         let completed: u64 = clients.into_iter().map(|c| c.join().expect("join")).sum();
 
         assert_eq!(completed, tasks);
+        assert_eq!(report.clients_served, 3);
         let rayon_res = rayon_reference(&s, n, seed, tasks);
         assert_eq!(report.result.tally, rayon_res.tally);
     }
@@ -360,6 +812,7 @@ mod tests {
         let report = serve(listener, &s, n, 4, 1).expect("serve");
         client.join().expect("join");
 
+        assert_eq!(report.clients_served, 1);
         let rayon_res = rayon_reference(&s, n, seed, 4);
         assert_eq!(report.result.tally, rayon_res.tally);
         assert!(report.result.tally.path_grid.is_some());
@@ -396,5 +849,61 @@ mod tests {
         let mut stream = TcpStream::connect(addr).unwrap();
         stream.write_all(&0u32.to_le_bytes()).unwrap();
         srv.join().unwrap();
+    }
+
+    #[test]
+    fn serve_rejects_invalid_inputs_without_panicking() {
+        // Zero min_clients and an invalid simulation are typed errors on
+        // the serve path, never thread-killing panics.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let err = serve(listener, &sim(), 100, 4, 0).unwrap_err();
+        assert!(matches!(err, NetError::InvalidConfig(_)), "{err:?}");
+
+        let mut bad = sim();
+        bad.detector.radius = -1.0;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let err = serve(listener, &bad, 100, 4, 1).unwrap_err();
+        assert!(matches!(err, NetError::InvalidConfig(_)), "{err:?}");
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let err = serve(listener, &sim(), 100, 0, 1).unwrap_err();
+        assert!(matches!(err, NetError::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn ping_round_trips_on_a_served_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let s = sim();
+        let server = {
+            let s = s.clone();
+            thread::spawn(move || serve(listener, &s, 500, 2, 1))
+        };
+        let mut stream = loop {
+            match TcpStream::connect(&addr) {
+                Ok(c) => break c,
+                Err(_) => thread::sleep(Duration::from_millis(5)),
+            }
+        };
+        handshake(&mut stream).expect("handshake");
+        let rtt = ping(&mut stream).expect("ping echoes");
+        assert!(rtt < Duration::from_secs(5));
+        // Finish the run so the server thread exits cleanly.
+        let seed = 7;
+        let factory = StreamFactory::new(seed);
+        loop {
+            write_frame(&mut stream, KIND_REQUEST, &[]).unwrap();
+            let (kind, payload) = read_frame(&mut stream).unwrap();
+            if kind == KIND_SHUTDOWN {
+                break;
+            }
+            let task = wire::decode_task(&payload).unwrap();
+            let mut tally = s.new_tally();
+            let mut rng = factory.stream(task.task_id);
+            s.run_stream(task.photons, &mut rng, &mut tally, None);
+            write_frame(&mut stream, KIND_COMPLETE, &wire::encode_tally(&tally)).unwrap();
+        }
+        let report = server.join().expect("server thread").expect("serve ok");
+        assert_eq!(report.result.launched(), 500);
     }
 }

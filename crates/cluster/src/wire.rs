@@ -24,9 +24,13 @@ use lumen_tissue::{Geometry, Layer, LayeredTissue, VoxelMaterial, VoxelTissue};
 
 /// Magic bytes identifying a lumen wire message.
 pub const MAGIC: [u8; 4] = *b"LMN1";
-/// Wire format version. v2 added the geometry-kind tag to scenario
-/// messages (layered | voxel); v1 scenarios carried a bare layer stack.
-pub const VERSION: u8 = 2;
+/// Wire format version. v3 added the `HELLO`/`PING` handshake frames to
+/// the networked protocol (`crate::net`) — a connection now opens with a
+/// version exchange, so a peer speaking v2 or earlier is rejected with a
+/// typed `VersionMismatch` instead of a confusing mid-run decode error.
+/// v2 added the geometry-kind tag to scenario messages (layered |
+/// voxel); v1 scenarios carried a bare layer stack.
+pub const VERSION: u8 = 3;
 
 /// Encoding buffer.
 #[derive(Debug, Default)]

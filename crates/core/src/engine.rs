@@ -237,6 +237,13 @@ pub trait Progress: Sync {
     fn on_task_retry(&self, task_id: u64) {
         let _ = task_id;
     }
+
+    /// The connected worker-pool size changed (elastic backends only: a
+    /// client joined, disconnected, or had its lease revoked). Called
+    /// with the pool size after the change.
+    fn on_clients(&self, connected: usize) {
+        let _ = connected;
+    }
 }
 
 /// The no-op observer used by [`Backend::run`].
