@@ -37,4 +37,4 @@ pub use projection::Projection2D;
 pub use render::{render_ascii, write_pgm};
 pub use stats::Histogram;
 pub use threshold::threshold_fraction;
-pub use tof::{pathlength_to_time_ps, tpsf_from_pathlengths};
+pub use tof::{arrival_time_ps, pathlength_to_time_ps, tof_from_archive, tpsf_from_pathlengths};

@@ -9,6 +9,7 @@
 //! picoseconds, the unit a pulsed NIRS instrument actually gates in.
 
 use crate::stats::Histogram;
+use lumen_core::archive::{PathArchive, CLASS_DETECTED};
 
 /// Speed of light in vacuum (mm / ps).
 pub const C_MM_PER_PS: f64 = 0.299_792_458;
@@ -50,6 +51,32 @@ pub fn tpsf_from_pathlengths(pathlength_hist: &Histogram, n: f64) -> Histogram {
 #[inline]
 pub fn mean_time_of_flight_ps(mean_pathlength_mm: f64, n: f64) -> f64 {
     pathlength_to_time_ps(mean_pathlength_mm, n)
+}
+
+/// Arrival time (ps) of one archived entry, summed region by region:
+/// `t = Σ_r L_r · n_r / c`. A path archive keeps per-region partial
+/// pathlengths, so the TPSF can honour each region's refractive index
+/// instead of assuming one effective `n` for the whole path — in a
+/// layered head model the CSF and scalp travel at different speeds.
+pub fn arrival_time_ps(archive: &PathArchive, entry: usize) -> f64 {
+    let row = entry * archive.regions;
+    (0..archive.regions)
+        .map(|r| pathlength_to_time_ps(archive.partial_path[row + r], archive.base[r].n))
+        .sum()
+}
+
+/// Build a TPSF histogram (ps) directly from a path archive's detected
+/// entries, using per-region optical times ([`arrival_time_ps`]). Bins
+/// span `[0, max_ps)`; one count per detected photon, like the engine's
+/// own `PathHistogram`.
+pub fn tof_from_archive(archive: &PathArchive, max_ps: f64, bins: usize) -> Histogram {
+    let mut h = Histogram::new(0.0, max_ps, bins);
+    for i in 0..archive.len() {
+        if archive.class[i] == CLASS_DETECTED {
+            h.record(arrival_time_ps(archive, i));
+        }
+    }
+    h
 }
 
 #[cfg(test)]
@@ -95,5 +122,39 @@ mod tests {
     #[test]
     fn mean_tof_matches_conversion() {
         assert_eq!(mean_time_of_flight_ps(50.0, 1.4), pathlength_to_time_ps(50.0, 1.4));
+    }
+
+    fn two_region_archive() -> PathArchive {
+        use lumen_core::{OpticalProperties, RecordOptions};
+        let base = vec![
+            OpticalProperties::new(0.05, 10.0, 0.9, 1.4),
+            OpticalProperties::new(0.02, 15.0, 0.9, 1.3),
+        ];
+        let mut a = PathArchive::new(2, base, RecordOptions::default());
+        a.on_launch(0.0);
+        a.push(CLASS_DETECTED, 0.8, 1.0, 100.0, 5.0, 10, &[60.0, 40.0], &[6, 4], &[true, true]);
+        a.on_launch(0.0);
+        // A reflected (undetected) entry must not enter the TPSF.
+        a.push(0, 0.5, 9.0, 10.0, 1.0, 2, &[10.0, 0.0], &[2, 0], &[true, false]);
+        a
+    }
+
+    #[test]
+    fn archive_arrival_time_honours_per_region_index() {
+        let a = two_region_archive();
+        let expected = pathlength_to_time_ps(60.0, 1.4) + pathlength_to_time_ps(40.0, 1.3);
+        assert!((arrival_time_ps(&a, 0) - expected).abs() < 1e-12);
+        // Faster than pricing the whole path at the denser region's index…
+        assert!(arrival_time_ps(&a, 0) < pathlength_to_time_ps(100.0, 1.4));
+        // …and slower than at the lighter one.
+        assert!(arrival_time_ps(&a, 0) > pathlength_to_time_ps(100.0, 1.3));
+    }
+
+    #[test]
+    fn archive_tpsf_counts_only_detections() {
+        let a = two_region_archive();
+        let tpsf = tof_from_archive(&a, 1000.0, 50);
+        assert_eq!(tpsf.len(), 1);
+        assert!((tpsf.mean() - arrival_time_ps(&a, 0)).abs() < 1e-12);
     }
 }

@@ -85,6 +85,82 @@ impl Args {
     }
 }
 
+/// Query count per timed reweight sweep.
+const REWEIGHT_QUERIES: usize = 1024;
+
+/// The measured `reweight_qps` leg: how fast a stored archive answers
+/// (μa′, μs′) queries without re-tracing.
+struct ReweightCell {
+    preset: String,
+    photons: u64,
+    archive_entries: usize,
+    queries: usize,
+    wall_seconds: Vec<f64>,
+    best_wall_seconds: f64,
+    queries_per_second: f64,
+}
+
+/// Record a detected-only archive for `scenario` and time a deterministic
+/// sweep of [`REWEIGHT_QUERIES`] perturbed-property queries against it.
+/// The sweep scales μa by 0.7–1.3 and μs by 0.9–1.1 across queries, the
+/// band the reweight estimator is validated for.
+fn measure_reweight(
+    name: &str,
+    scenario: &Scenario,
+    repeats: usize,
+) -> Result<ReweightCell, String> {
+    use lumen_core::{RecordOptions, Reweight};
+
+    let mut recording = scenario.clone();
+    recording.options.archive = Some(RecordOptions { detected_only: true });
+    let report = lumen_cluster::backend::from_spec("rayon")
+        .map_err(|e| e.to_string())?
+        .run(&recording)
+        .map_err(|e| e.to_string())?;
+    let archive = report.result.tally.archive.clone().ok_or("recording run returned no archive")?;
+    let entries = archive.len();
+    if entries == 0 {
+        return Err(format!("archive for `{name}` recorded zero detections"));
+    }
+    let reweight = Reweight::new(archive);
+
+    let queries: Vec<Vec<lumen_core::OpticalProperties>> = (0..REWEIGHT_QUERIES)
+        .map(|q| {
+            let t = q as f64 / (REWEIGHT_QUERIES - 1) as f64;
+            let (fa, fs) = (0.7 + 0.6 * t, 0.9 + 0.2 * t);
+            reweight
+                .archive
+                .base
+                .iter()
+                .map(|o| lumen_core::OpticalProperties::new(o.mu_a * fa, o.mu_s * fs, o.g, o.n))
+                .collect()
+        })
+        .collect();
+
+    let mut walls = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let started = Instant::now();
+        let mut checksum = 0.0f64;
+        for query in &queries {
+            let r = reweight.query(query).map_err(|e| e.to_string())?;
+            checksum += r.tally.detected_weight;
+        }
+        let wall = started.elapsed().as_secs_f64();
+        assert!(checksum.is_finite(), "reweight sweep produced non-finite weight");
+        walls.push(wall);
+    }
+    let best = walls.iter().copied().fold(f64::INFINITY, f64::min);
+    Ok(ReweightCell {
+        preset: name.to_string(),
+        photons: scenario.photons,
+        archive_entries: entries,
+        queries: REWEIGHT_QUERIES,
+        best_wall_seconds: best,
+        queries_per_second: REWEIGHT_QUERIES as f64 / best.max(1e-9),
+        wall_seconds: walls,
+    })
+}
+
 /// One measured (preset, backend) cell.
 struct Cell {
     preset: String,
@@ -214,7 +290,7 @@ fn json_f64_array(values: &[f64]) -> String {
     format!("[{}]", cells.join(", "))
 }
 
-fn render_json(args: &Args, cells: &[Cell]) -> String {
+fn render_json(args: &Args, cells: &[Cell], reweight: Option<&ReweightCell>) -> String {
     let created = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut s = String::new();
@@ -244,7 +320,23 @@ fn render_json(args: &Args, cells: &[Cell]) -> String {
         let _ = writeln!(s, "      \"photons_per_second\": {}", c.photons_per_second);
         let _ = writeln!(s, "    }}{comma}");
     }
-    let _ = writeln!(s, "  ]");
+    match reweight {
+        None => {
+            let _ = writeln!(s, "  ]");
+        }
+        Some(r) => {
+            let _ = writeln!(s, "  ],");
+            let _ = writeln!(s, "  \"reweight\": {{");
+            let _ = writeln!(s, "    \"preset\": \"{}\",", json_escape(&r.preset));
+            let _ = writeln!(s, "    \"photons\": {},", r.photons);
+            let _ = writeln!(s, "    \"archive_entries\": {},", r.archive_entries);
+            let _ = writeln!(s, "    \"queries\": {},", r.queries);
+            let _ = writeln!(s, "    \"wall_seconds\": {},", json_f64_array(&r.wall_seconds));
+            let _ = writeln!(s, "    \"best_wall_seconds\": {},", r.best_wall_seconds);
+            let _ = writeln!(s, "    \"queries_per_second\": {}", r.queries_per_second);
+            let _ = writeln!(s, "  }}");
+        }
+    }
     let _ = writeln!(s, "}}");
     s
 }
@@ -288,7 +380,32 @@ fn main() {
         }
     }
 
-    let json = render_json(&args, &cells);
+    // The reweight_qps leg: archive once on the first requested preset,
+    // then time the query sweep. Target: >= 10^4 queries/sec.
+    let reweight = {
+        let want = args.presets.first().expect("at least one preset");
+        let (name, scenario) = all.iter().find(|(n, _)| n == want).expect("preset validated above");
+        let scenario = scenario.clone().with_photons(args.photons);
+        match measure_reweight(name, &scenario, args.repeats) {
+            Ok(cell) => {
+                println!(
+                    "{} | reweight | {:.0} q/s | {:.3} ({} entries, {} queries)",
+                    cell.preset,
+                    cell.queries_per_second,
+                    cell.best_wall_seconds,
+                    cell.archive_entries,
+                    cell.queries
+                );
+                cell
+            }
+            Err(e) => {
+                eprintln!("throughput: reweight leg failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    let json = render_json(&args, &cells, Some(&reweight));
     if let Err(e) = std::fs::write(&args.out, &json) {
         eprintln!("throughput: cannot write {}: {e}", args.out);
         std::process::exit(1);

@@ -22,8 +22,8 @@
 //! spec; unknown keys are named errors, not silent no-ops.
 
 use lumen_core::{
-    Detector, GateWindow, Geometry, GridSpec, Scenario, Simulation, SimulationOptions, Source,
-    Vec3, VoxelTissue,
+    Detector, GateWindow, Geometry, GridSpec, RecordOptions, Scenario, Simulation,
+    SimulationOptions, Source, Vec3, VoxelTissue,
 };
 use lumen_tissue::presets::{
     adult_head, homogeneous_white_matter, neonatal_head, semi_infinite_phantom, voxelized,
@@ -47,6 +47,7 @@ pub const KNOWN_KEYS: &[&str] = &[
     "seed",
     "tasks",
     "backend",
+    "archive_record",
 ];
 
 /// A parsed configuration file: ordered key → value map.
@@ -160,9 +161,33 @@ impl Config {
     /// Backend spec (default `rayon`); resolved by
     /// `lumen_cluster::backend::from_spec` over the full vocabulary
     /// `sequential | rayon [threads] | cluster [workers] [failure_rate] |
-    /// tcp <addr> [min_clients] [lease_timeout_s] | sim [machines]`.
+    /// tcp <addr> [min_clients] [lease_timeout_s] | sim [machines] |
+    /// reweight <archive-file>`.
     pub fn backend(&self) -> &str {
         self.get("backend").unwrap_or("rayon")
+    }
+
+    /// The `archive_record` key: `<path> [detected_only]`. Turns on path
+    /// archiving for the run and names the file the encoded archive is
+    /// written to; that file is what `backend = reweight <path>` replays.
+    pub fn archive_record(&self) -> Result<Option<(String, RecordOptions)>, ConfigError> {
+        let Some(spec) = self.get("archive_record") else { return Ok(None) };
+        let mut parts = spec.split_whitespace();
+        let bad = |expected| ConfigError::BadValue {
+            key: "archive_record".into(),
+            value: spec.into(),
+            expected,
+        };
+        let path = parts.next().ok_or_else(|| bad("`<path> [detected_only]`"))?;
+        let detected_only = match parts.next() {
+            None => false,
+            Some("detected_only") => true,
+            Some(_) => return Err(bad("`<path> [detected_only]`")),
+        };
+        if parts.next().is_some() {
+            return Err(bad("`<path> [detected_only]`"));
+        }
+        Ok(Some((path.to_string(), RecordOptions { detected_only })))
     }
 
     /// Build the full [`Scenario`] — the config format maps onto it 1:1.
@@ -182,6 +207,9 @@ impl Config {
         }
         if let Some((max_mm, bins)) = self.path_histogram()? {
             options.path_histogram = Some((max_mm, bins));
+        }
+        if let Some((_, record)) = self.archive_record()? {
+            options.archive = Some(record);
         }
         let sim = Simulation { tissue, source, detector, options };
         sim.validate().map_err(|e| ConfigError::BadValue {
@@ -560,6 +588,43 @@ path_histogram = 500 25
         )
         .unwrap();
         assert_eq!(cfg.backend(), "tcp 127.0.0.1:7878 3 45");
+    }
+
+    #[test]
+    fn archive_record_key_enables_recording() {
+        let cfg = Config::parse(
+            "tissue = white_matter\ndetector = disc 6 1\nphotons = 10\n\
+             archive_record = /tmp/run.lmna",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.archive_record().unwrap(),
+            Some(("/tmp/run.lmna".into(), RecordOptions { detected_only: false }))
+        );
+        let sim = cfg.build_simulation().unwrap();
+        assert_eq!(sim.options.archive, Some(RecordOptions { detected_only: false }));
+
+        let cfg = Config::parse(
+            "tissue = white_matter\ndetector = disc 6 1\nphotons = 10\n\
+             archive_record = /tmp/run.lmna detected_only",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.archive_record().unwrap(),
+            Some(("/tmp/run.lmna".into(), RecordOptions { detected_only: true }))
+        );
+
+        let bad = Config::parse(
+            "tissue = white_matter\ndetector = disc 6 1\nphotons = 10\n\
+             archive_record = /tmp/run.lmna everything",
+        )
+        .unwrap();
+        assert!(matches!(bad.archive_record(), Err(ConfigError::BadValue { .. })));
+
+        let absent =
+            Config::parse("tissue = white_matter\ndetector = disc 6 1\nphotons = 10").unwrap();
+        assert_eq!(absent.archive_record().unwrap(), None);
+        assert_eq!(absent.build_simulation().unwrap().options.archive, None);
     }
 
     #[test]

@@ -58,6 +58,13 @@ fn cmd_run(path: &str) -> i32 {
             return 1;
         }
     };
+    let archive_record = match cfg.archive_record() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return 1;
+        }
+    };
     // One entry point for every execution substrate: the config's
     // `backend` key picks the `Backend` impl, nothing else changes.
     let backend = match lumen_cluster::backend::from_spec(cfg.backend()) {
@@ -70,6 +77,22 @@ fn cmd_run(path: &str) -> i32 {
     match backend.run(&scenario) {
         Ok(run) => {
             report::print_report(&scenario, &run);
+            if let Some((archive_path, _)) = archive_record {
+                let Some(archive) = run.result.tally.archive.as_ref() else {
+                    eprintln!("{path}: backend returned no archive to record");
+                    return 1;
+                };
+                let bytes = lumen_cluster::wire::encode_archive(archive);
+                if let Err(e) = std::fs::write(&archive_path, &bytes) {
+                    eprintln!("cannot write archive {archive_path}: {e}");
+                    return 1;
+                }
+                println!(
+                    "archive: {} entries ({} bytes) -> {archive_path}",
+                    archive.len(),
+                    bytes.len()
+                );
+            }
             0
         }
         Err(e) => {
@@ -129,6 +152,12 @@ tasks     = 64
 
 # execution backend: sequential | rayon [threads] | cluster [workers] [failure_rate]
 #                  | tcp <addr> [min_clients] [lease_timeout_s] | sim [machines]
+#                  | reweight <archive-file>
 # all real backends give bit-identical tallies for the same (seed, tasks)
 backend   = rayon
+
+# optional path archive: record every escape (or only detections) to a
+# file, then re-score it for new optical properties without re-tracing:
+#   backend = reweight <archive-file>  with a perturbed `tissue`
+#archive_record = run.lmna            # or: run.lmna detected_only
 "#;

@@ -365,7 +365,10 @@ impl BackendExt for Scenario {
 /// * `tcp <addr> [min_clients] [lease_timeout_s]` — [`Tcp`] (defaults:
 ///   start at the first client, 10-minute lease deadline);
 /// * `sim [machines]` — [`SimulatedCluster`] (default: the paper's 60
-///   dedicated homogeneous machines).
+///   dedicated homogeneous machines);
+/// * `reweight <archive-file>` — [`lumen_core::Reweight`] over a stored
+///   path archive ([`crate::wire::decode_archive`]): answers the scenario
+///   by re-scoring recorded paths instead of tracing photons.
 pub fn from_spec(spec: &str) -> Result<Box<dyn Backend>, EngineError> {
     let mut parts = spec.split_whitespace();
     let kind = parts.next().unwrap_or("");
@@ -418,6 +421,18 @@ pub fn from_spec(spec: &str) -> Result<Box<dyn Backend>, EngineError> {
             Ok(Box::new(SimulatedCluster::new(parse::<usize>("sim machine count", machines)?)))
         }
         ("sim", _) => Err(EngineError::InvalidConfig("sim backend needs `sim [machines]`".into())),
+        ("reweight", [path]) => {
+            let bytes = std::fs::read(path).map_err(|e| {
+                EngineError::InvalidConfig(format!("cannot read archive `{path}`: {e}"))
+            })?;
+            let archive = crate::wire::decode_archive(&bytes).map_err(|e| {
+                EngineError::InvalidConfig(format!("cannot decode archive `{path}`: {e}"))
+            })?;
+            Ok(Box::new(lumen_core::Reweight::new(archive)))
+        }
+        ("reweight", _) => Err(EngineError::InvalidConfig(
+            "reweight backend needs `reweight <archive-file>`".into(),
+        )),
         // Known core backends keep the core resolver's precise errors
         // (e.g. "rayon thread count must be >= 1"); only genuinely
         // unknown names get the full-vocabulary message.
@@ -425,7 +440,7 @@ pub fn from_spec(spec: &str) -> Result<Box<dyn Backend>, EngineError> {
         _ => Err(EngineError::InvalidConfig(format!(
             "unknown backend `{spec}` (expected sequential | rayon [threads] | \
              cluster [workers] [failure_rate] | tcp <addr> [min_clients] [lease_timeout_s] | \
-             sim [machines])"
+             sim [machines] | reweight <archive-file>)"
         ))),
     }
 }
@@ -534,7 +549,7 @@ mod tests {
     }
 
     #[test]
-    fn spec_resolution_covers_all_five() {
+    fn spec_resolution_covers_all_six() {
         assert_eq!(from_spec("sequential").unwrap().name(), "sequential");
         assert_eq!(from_spec("rayon 2").unwrap().name(), "rayon");
         assert_eq!(from_spec("cluster").unwrap().name(), "cluster");
@@ -552,6 +567,65 @@ mod tests {
         assert!(from_spec("tcp 127.0.0.1:7878 3 5 extra").is_err());
         assert!(from_spec("cluster four").is_err());
         assert!(from_spec("warp-drive").is_err());
+        // `reweight` needs exactly one archive path, and the file must
+        // exist and decode.
+        assert!(from_spec("reweight").is_err());
+        assert!(from_spec("reweight a b").is_err());
+        assert!(from_spec("reweight /nonexistent/archive.lmn").is_err());
+        let file = std::env::temp_dir().join("lumen_spec_resolution_archive.lmn");
+        let archive = recorded_archive(&scenario_with_archive());
+        std::fs::write(&file, crate::wire::encode_archive(&archive)).unwrap();
+        assert_eq!(from_spec(&format!("reweight {}", file.display())).unwrap().name(), "reweight");
+        let _ = std::fs::remove_file(&file);
+    }
+
+    fn scenario_with_archive() -> Scenario {
+        let mut s = scenario();
+        s.options.archive = Some(lumen_core::RecordOptions::default());
+        s
+    }
+
+    fn recorded_archive(s: &Scenario) -> lumen_core::PathArchive {
+        Sequential.run(s).unwrap().result.tally.archive.clone().expect("archive attached")
+    }
+
+    #[test]
+    fn archives_agree_across_backends_after_canonical_ordering() {
+        // Sequential and Rayon merge per-task archives in task order;
+        // the threaded cluster merges in completion order, which is
+        // schedule-dependent — but after the canonical task-id sort all
+        // three must hold the identical recording.
+        let s = scenario_with_archive();
+        let mut seq = recorded_archive(&s);
+        let mut ray =
+            Rayon::default().run(&s).unwrap().result.tally.archive.clone().expect("archive");
+        let mut clu =
+            ThreadedCluster::new(3).run(&s).unwrap().result.tally.archive.clone().expect("archive");
+        seq.canonical_order();
+        ray.canonical_order();
+        clu.canonical_order();
+        assert_eq!(seq, ray);
+        assert_eq!(seq, clu);
+    }
+
+    #[test]
+    fn reweight_spec_answers_identity_query_from_disk() {
+        let s = scenario_with_archive();
+        let recorded = Sequential.run(&s).unwrap();
+        let file = std::env::temp_dir().join("lumen_reweight_spec_archive.lmn");
+        std::fs::write(
+            &file,
+            crate::wire::encode_archive(recorded.result.tally.archive.as_ref().unwrap()),
+        )
+        .unwrap();
+        let backend = from_spec(&format!("reweight {}", file.display())).unwrap();
+        let mut query = s.clone();
+        query.options.archive = None;
+        let replayed = backend.run(&query).unwrap();
+        let _ = std::fs::remove_file(&file);
+        assert_eq!(replayed.backend, "reweight");
+        assert_eq!(replayed.result.tally.detected, recorded.result.tally.detected);
+        assert_eq!(replayed.result.tally.detected_weight, recorded.result.tally.detected_weight);
     }
 
     #[test]

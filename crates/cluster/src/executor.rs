@@ -141,6 +141,9 @@ pub fn run_master_worker(
                                 let mut tally = sim.new_tally();
                                 let mut rng = factory.stream(task.task_id);
                                 sim.run_stream(task.photons, &mut rng, &mut tally, None);
+                                if let Some(a) = tally.archive.as_mut() {
+                                    a.stamp_task(task.task_id);
+                                }
                                 let _ = to_server.send(ClientMessage::TaskComplete {
                                     worker: worker_id,
                                     task,

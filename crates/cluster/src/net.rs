@@ -737,6 +737,9 @@ pub fn run_client(addr: &str, sim: &Simulation, seed: u64) -> Result<u64, NetErr
                 let mut tally = sim.new_tally();
                 let mut rng = factory.stream(task.task_id);
                 sim.run_stream(task.photons, &mut rng, &mut tally, None);
+                if let Some(a) = tally.archive.as_mut() {
+                    a.stamp_task(task.task_id);
+                }
                 write_frame(&mut stream, KIND_COMPLETE, &wire::encode_tally(&tally))?;
                 completed += 1;
             }
@@ -901,6 +904,9 @@ mod tests {
             let mut tally = s.new_tally();
             let mut rng = factory.stream(task.task_id);
             s.run_stream(task.photons, &mut rng, &mut tally, None);
+            if let Some(a) = tally.archive.as_mut() {
+                a.stamp_task(task.task_id);
+            }
             write_frame(&mut stream, KIND_COMPLETE, &wire::encode_tally(&tally)).unwrap();
         }
         let report = server.join().expect("server thread").expect("serve ok");

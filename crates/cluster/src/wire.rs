@@ -13,6 +13,7 @@
 //! bit patterns.
 
 use crate::protocol::{SimTask, WorkerStats};
+use lumen_core::archive::{PathArchive, RecordOptions, CLASS_TRANSMITTED};
 use lumen_core::engine::Scenario;
 use lumen_core::radial::{CylinderGrid, RadialProfile, RadialSpec};
 use lumen_core::tally::{GridSpec, PathHistogram, Tally, VisitGrid};
@@ -24,13 +25,16 @@ use lumen_tissue::{Geometry, Layer, LayeredTissue, VoxelMaterial, VoxelTissue};
 
 /// Magic bytes identifying a lumen wire message.
 pub const MAGIC: [u8; 4] = *b"LMN1";
-/// Wire format version. v3 added the `HELLO`/`PING` handshake frames to
+/// Wire format version. v4 added path archives: tallies may carry a
+/// [`PathArchive`] section, scenarios carry the archive `RecordOptions`,
+/// and standalone archive messages ([`encode_archive`]) feed the
+/// `reweight` backend. v3 added the `HELLO`/`PING` handshake frames to
 /// the networked protocol (`crate::net`) — a connection now opens with a
 /// version exchange, so a peer speaking v2 or earlier is rejected with a
 /// typed `VersionMismatch` instead of a confusing mid-run decode error.
 /// v2 added the geometry-kind tag to scenario messages (layered |
 /// voxel); v1 scenarios carried a bare layer stack.
-pub const VERSION: u8 = 3;
+pub const VERSION: u8 = 4;
 
 /// Encoding buffer.
 #[derive(Debug, Default)]
@@ -81,6 +85,23 @@ impl Encoder {
         for &v in vs {
             self.put_u64(v);
         }
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u32_slice(&mut self, vs: &[u32]) {
+        self.put_u64(vs.len() as u64);
+        for &v in vs {
+            self.put_u32(v);
+        }
+    }
+
+    /// Raw byte sequence: length prefix then the bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u64(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
     }
 
     /// UTF-8 string: byte-length prefix then the bytes.
@@ -175,6 +196,23 @@ impl<'a> Decoder<'a> {
         let n = self.get_u64()?;
         let n = self.checked_len(n, 8)?;
         (0..n).map(|_| self.get_u64()).collect()
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub fn get_u32_vec(&mut self) -> Result<Vec<u32>, WireError> {
+        let n = self.get_u64()?;
+        let n = self.checked_len(n, 4)?;
+        (0..n).map(|_| self.get_u32()).collect()
+    }
+
+    /// Raw byte sequence (see [`Encoder::put_bytes`]).
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.get_u64()?;
+        let n = self.checked_len(n, 1)?;
+        Ok(self.take(n)?.to_vec())
     }
 
     /// UTF-8 string (see [`Encoder::put_str`]).
@@ -493,6 +531,7 @@ pub fn encode_tally(t: &Tally) -> Vec<u8> {
     put_option(&mut e, t.path_histogram.as_ref(), put_path_histogram);
     put_option(&mut e, t.reflectance_r.as_ref(), put_radial_profile);
     put_option(&mut e, t.absorption_rz.as_ref(), put_cylinder);
+    put_option(&mut e, t.archive.as_ref(), put_archive);
     e.finish()
 }
 
@@ -505,8 +544,141 @@ pub fn decode_tally(bytes: &[u8]) -> Result<Tally, WireError> {
     t.path_histogram = get_option(&mut d, get_path_histogram)?;
     t.reflectance_r = get_option(&mut d, get_radial_profile)?;
     t.absorption_rz = get_option(&mut d, get_cylinder)?;
+    t.archive = get_option(&mut d, get_archive)?;
     d.finish()?;
     Ok(t)
+}
+
+// --- Path archive encoding -----------------------------------------------
+//
+// A recorded ensemble of escape events (`lumen_core::archive`) for the
+// `reweight` backend. The SoA columns go on the wire as length-prefixed
+// sequences; on decode every column length is cross-checked against the
+// entry count so a hostile peer cannot desynchronise the columns, and the
+// physical fields are validated (classes in range, weights and pathlengths
+// finite and non-negative) before a `PathArchive` is built.
+
+/// Region cap for archives arriving over the wire. Generous — the paper's
+/// head models have ≤ 6 regions and a 50³ voxel model a few thousand —
+/// but it bounds the `regions × entries` matrix allocations against a
+/// hostile header the same way [`MAX_SPEC_CELLS`] bounds grid specs.
+pub const MAX_ARCHIVE_REGIONS: u64 = 1 << 12;
+
+fn put_archive(e: &mut Encoder, a: &PathArchive) {
+    e.put_u64(a.regions as u64);
+    e.put_u8(u8::from(a.detected_only));
+    for o in &a.base {
+        put_optics(e, o);
+    }
+    e.put_u64(a.launched);
+    e.put_f64(a.specular_weight);
+    e.put_bytes(&a.class);
+    e.put_u64_slice(&a.task);
+    e.put_f64_slice(&a.exit_weight);
+    e.put_f64_slice(&a.exit_radius);
+    e.put_f64_slice(&a.pathlength);
+    e.put_f64_slice(&a.max_depth);
+    e.put_u32_slice(&a.scatters);
+    e.put_f64_slice(&a.partial_path);
+    e.put_u32_slice(&a.collisions);
+    e.put_bytes(&a.reached);
+}
+
+fn finite_nonneg(vs: &[f64], what: &str) -> Result<(), WireError> {
+    if vs.iter().any(|v| !v.is_finite() || *v < 0.0) {
+        return Err(WireError::Invalid(format!("archive {what} must be finite and non-negative")));
+    }
+    Ok(())
+}
+
+fn expect_len(got: usize, want: usize, what: &str) -> Result<(), WireError> {
+    if got != want {
+        return Err(WireError::Invalid(format!(
+            "archive {what} column has {got} values, expected {want}"
+        )));
+    }
+    Ok(())
+}
+
+fn get_archive(d: &mut Decoder) -> Result<PathArchive, WireError> {
+    let regions = d.get_u64()?;
+    if regions == 0 || regions > MAX_ARCHIVE_REGIONS {
+        return Err(WireError::BadLength(regions));
+    }
+    let regions = regions as usize;
+    let detected_only = d.get_u8()? != 0;
+    let base: Vec<OpticalProperties> =
+        (0..regions).map(|_| get_optics(d)).collect::<Result<_, _>>()?;
+    let launched = d.get_u64()?;
+    let specular_weight = d.get_f64()?;
+    finite_nonneg(&[specular_weight], "specular weight")?;
+
+    let class = d.get_bytes()?;
+    let n = class.len();
+    if let Some(bad) = class.iter().find(|&&c| c > CLASS_TRANSMITTED) {
+        return Err(WireError::Invalid(format!("archive entry class {bad} out of range")));
+    }
+    let per_region = n.checked_mul(regions).ok_or(WireError::BadLength(n as u64))?;
+
+    let task = d.get_u64_vec()?;
+    expect_len(task.len(), n, "task")?;
+    let exit_weight = d.get_f64_vec()?;
+    expect_len(exit_weight.len(), n, "exit weight")?;
+    finite_nonneg(&exit_weight, "exit weight")?;
+    let exit_radius = d.get_f64_vec()?;
+    expect_len(exit_radius.len(), n, "exit radius")?;
+    finite_nonneg(&exit_radius, "exit radius")?;
+    let pathlength = d.get_f64_vec()?;
+    expect_len(pathlength.len(), n, "pathlength")?;
+    finite_nonneg(&pathlength, "pathlength")?;
+    let max_depth = d.get_f64_vec()?;
+    expect_len(max_depth.len(), n, "max depth")?;
+    finite_nonneg(&max_depth, "max depth")?;
+    let scatters = d.get_u32_vec()?;
+    expect_len(scatters.len(), n, "scatters")?;
+    let partial_path = d.get_f64_vec()?;
+    expect_len(partial_path.len(), per_region, "partial path")?;
+    finite_nonneg(&partial_path, "partial path")?;
+    let collisions = d.get_u32_vec()?;
+    expect_len(collisions.len(), per_region, "collisions")?;
+    let reached = d.get_bytes()?;
+    expect_len(reached.len(), per_region, "reached")?;
+
+    Ok(PathArchive {
+        regions,
+        detected_only,
+        base,
+        launched,
+        specular_weight,
+        class,
+        task,
+        exit_weight,
+        exit_radius,
+        pathlength,
+        max_depth,
+        scatters,
+        partial_path,
+        collisions,
+        reached,
+    })
+}
+
+/// Encode a standalone path archive — the on-disk format behind the
+/// `reweight <archive-file>` backend spec and the CLI's `archive` key.
+pub fn encode_archive(a: &PathArchive) -> Vec<u8> {
+    let mut e = Encoder::new();
+    put_archive(&mut e, a);
+    e.finish()
+}
+
+/// Decode a standalone path archive, rejecting truncated, desynchronised,
+/// out-of-range, or non-finite payloads with typed errors and without
+/// unbounded allocation.
+pub fn decode_archive(bytes: &[u8]) -> Result<PathArchive, WireError> {
+    let mut d = Decoder::new(bytes)?;
+    let a = get_archive(&mut d)?;
+    d.finish()?;
+    Ok(a)
 }
 
 // --- Scenario encoding ---------------------------------------------------
@@ -743,6 +915,7 @@ fn put_options(e: &mut Encoder, o: &SimulationOptions) {
         e.put_f64(z_max);
     });
     e.put_u64(o.record_paths as u64);
+    put_option(e, o.archive.as_ref(), |e, rec| e.put_u8(u8::from(rec.detected_only)));
 }
 
 fn get_options(d: &mut Decoder) -> Result<SimulationOptions, WireError> {
@@ -768,6 +941,7 @@ fn get_options(d: &mut Decoder) -> Result<SimulationOptions, WireError> {
         Ok((radial, nz, d.get_f64()?))
     })?;
     let record_paths = d.get_u64()? as usize;
+    let archive = get_option(d, |d| Ok(RecordOptions { detected_only: d.get_u8()? != 0 }))?;
     Ok(SimulationOptions {
         boundary_mode,
         roulette,
@@ -778,6 +952,7 @@ fn get_options(d: &mut Decoder) -> Result<SimulationOptions, WireError> {
         reflectance_profile,
         absorption_rz,
         record_paths,
+        archive,
     })
 }
 
@@ -887,6 +1062,136 @@ mod tests {
             Err(WireError::BadLength(n)) => assert_eq!(n, 1 << 60),
             other => panic!("expected BadLength, got {other:?}"),
         }
+    }
+
+    /// Small hand-built two-region archive exercising every column.
+    fn sample_archive() -> PathArchive {
+        let base = vec![
+            OpticalProperties::new(0.05, 10.0, 0.9, 1.4),
+            OpticalProperties::new(0.02, 15.0, 0.9, 1.4),
+        ];
+        let mut a = PathArchive::new(2, base, RecordOptions::default());
+        a.on_launch(0.027);
+        a.push(3, 0.75, 1.5, 42.0, 6.0, 17, &[30.0, 12.0], &[11, 6], &[true, true]);
+        a.on_launch(0.027);
+        a.push(0, 0.5, 9.0, 10.0, 2.0, 3, &[10.0, 0.0], &[3, 0], &[true, false]);
+        a.on_launch(0.027);
+        a.push_launch_miss(1.0, 25.0);
+        a.stamp_task(4);
+        a
+    }
+
+    #[test]
+    fn archive_round_trip_preserves_everything() {
+        let a = sample_archive();
+        assert_eq!(decode_archive(&encode_archive(&a)).unwrap(), a);
+        // And embedded in a tally.
+        let mut t = Tally::new(2, None, None).with_archive(sample_archive());
+        t.launched = 3;
+        assert_eq!(decode_tally(&encode_tally(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn truncated_archive_is_rejected_at_every_cut() {
+        let bytes = encode_archive(&sample_archive());
+        for cut in 5..bytes.len() {
+            assert!(decode_archive(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(decode_archive(&long), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn hostile_archive_counts_are_rejected_without_allocation() {
+        // Region count beyond the cap.
+        let mut e = Encoder::new();
+        e.put_u64(MAX_ARCHIVE_REGIONS + 1);
+        match decode_archive(&e.finish()) {
+            Err(WireError::BadLength(n)) => assert_eq!(n, MAX_ARCHIVE_REGIONS + 1),
+            other => panic!("expected BadLength, got {other:?}"),
+        }
+        // Zero regions are meaningless.
+        let mut e = Encoder::new();
+        e.put_u64(0);
+        assert_eq!(decode_archive(&e.finish()), Err(WireError::BadLength(0)));
+        // A claimed 2^60-entry class column must fail before allocating.
+        let a = sample_archive();
+        let mut e = Encoder::new();
+        e.put_u64(a.regions as u64);
+        e.put_u8(0);
+        for o in &a.base {
+            put_optics(&mut e, o);
+        }
+        e.put_u64(a.launched);
+        e.put_f64(a.specular_weight);
+        e.put_u64(1 << 60); // hostile class-column length prefix
+        match decode_archive(&e.finish()) {
+            Err(WireError::BadLength(n)) => assert_eq!(n, 1 << 60),
+            other => panic!("expected BadLength, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn desynchronised_archive_columns_are_rejected() {
+        // Re-encode with a task column one entry short: the cross-check
+        // must fail even though every column is self-consistent.
+        let mut a = sample_archive();
+        a.task.pop();
+        let bytes = encode_archive(&a);
+        assert!(matches!(decode_archive(&bytes), Err(WireError::Invalid(_))));
+    }
+
+    #[test]
+    fn non_finite_and_negative_archive_physics_are_rejected() {
+        for corrupt in [f64::NAN, f64::INFINITY, -1.0] {
+            let mut a = sample_archive();
+            a.pathlength[0] = corrupt;
+            assert!(
+                matches!(decode_archive(&encode_archive(&a)), Err(WireError::Invalid(_))),
+                "pathlength {corrupt} must be rejected"
+            );
+            let mut a = sample_archive();
+            a.partial_path[1] = corrupt;
+            assert!(
+                matches!(decode_archive(&encode_archive(&a)), Err(WireError::Invalid(_))),
+                "partial path {corrupt} must be rejected"
+            );
+            let mut a = sample_archive();
+            a.exit_weight[0] = corrupt;
+            assert!(
+                matches!(decode_archive(&encode_archive(&a)), Err(WireError::Invalid(_))),
+                "exit weight {corrupt} must be rejected"
+            );
+        }
+        let mut a = sample_archive();
+        a.class[0] = CLASS_TRANSMITTED + 1;
+        assert!(matches!(decode_archive(&encode_archive(&a)), Err(WireError::Invalid(_))));
+    }
+
+    #[test]
+    fn archive_version_mismatch_is_rejected() {
+        let mut bytes = encode_archive(&sample_archive());
+        bytes[4] = VERSION - 1;
+        assert_eq!(decode_archive(&bytes), Err(WireError::BadHeader));
+    }
+
+    #[test]
+    fn options_archive_flag_survives_scenario_round_trip() {
+        use lumen_core::engine::Scenario;
+        use lumen_core::{Detector, Source};
+        use lumen_tissue::presets::semi_infinite_phantom;
+        let mut s = Scenario::new(
+            semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
+            Source::Delta,
+            Detector::new(1.0, 0.5),
+        );
+        s.options.archive = Some(RecordOptions { detected_only: true });
+        let decoded = decode_scenario(&encode_scenario(&s)).unwrap();
+        assert_eq!(decoded.options.archive, Some(RecordOptions { detected_only: true }));
+        s.options.archive = None;
+        let decoded = decode_scenario(&encode_scenario(&s)).unwrap();
+        assert_eq!(decoded.options.archive, None);
     }
 
     #[test]

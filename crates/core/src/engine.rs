@@ -364,6 +364,9 @@ fn run_one_task(
     let mut paths: Vec<PathRecord> = Vec::new();
     let want_paths = sim.options.record_paths > 0;
     sim.run_stream(batch, &mut rng, &mut tally, if want_paths { Some(&mut paths) } else { None });
+    if let Some(a) = tally.archive.as_mut() {
+        a.stamp_task(task_idx);
+    }
     (tally, paths)
 }
 

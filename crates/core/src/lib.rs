@@ -41,6 +41,7 @@
 //! ([`Simulation::run`], the deprecated [`parallel::run_parallel`]) remain
 //! as thin shims.
 
+pub mod archive;
 pub mod detector;
 pub mod engine;
 pub mod error;
@@ -51,6 +52,7 @@ pub mod sim;
 pub mod source;
 pub mod tally;
 
+pub use archive::{PathArchive, RecordOptions, Reweight, ReweightReport};
 pub use detector::{Detector, GateWindow};
 pub use engine::{
     Backend, EngineError, NoProgress, Progress, Rayon, RunReport, Scenario, Sequential,

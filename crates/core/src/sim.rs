@@ -21,6 +21,7 @@
 //! escape events; the *first* detected escape supplies the path statistics
 //! so counts remain one-per-photon.
 
+use crate::archive::{self, PathArchive, RecordOptions};
 use crate::detector::Detector;
 use crate::error::ConfigError;
 use crate::radial::RadialSpec;
@@ -72,6 +73,11 @@ pub struct SimulationOptions {
     pub absorption_rz: Option<(RadialSpec, usize, f64)>,
     /// Keep up to this many full detected trajectories for plotting.
     pub record_paths: usize,
+    /// Record a perturbation-MC path archive of every escape event (see
+    /// [`crate::archive`]). Probabilistic boundary mode only: classical
+    /// mode splits one photon across several escape events, which the
+    /// one-entry-per-packet archive cannot represent.
+    pub archive: Option<RecordOptions>,
 }
 
 impl Default for SimulationOptions {
@@ -86,6 +92,7 @@ impl Default for SimulationOptions {
             reflectance_profile: None,
             absorption_rz: None,
             record_paths: 0,
+            archive: None,
         }
     }
 }
@@ -128,6 +135,10 @@ pub struct Scratch {
     /// visit a contiguous `0..=max` prefix, but a voxel palette has no
     /// depth order, so "reached" must be tracked per region.
     reached: Vec<bool>,
+    /// Interactions the current photon has had in each region — the
+    /// exponent of the perturbation-MC scattering ratio. Maintained
+    /// unconditionally (one add per interaction, tally-neutral).
+    collisions: Vec<u32>,
 }
 
 impl Scratch {
@@ -140,11 +151,14 @@ impl Scratch {
         if self.partial_path.len() == regions {
             self.partial_path.fill(0.0);
             self.reached.fill(false);
+            self.collisions.fill(0);
         } else {
             self.partial_path.clear();
             self.partial_path.resize(regions, 0.0);
             self.reached.clear();
             self.reached.resize(regions, false);
+            self.collisions.clear();
+            self.collisions.resize(regions, 0);
         }
     }
 }
@@ -194,6 +208,14 @@ impl Simulation {
         if self.options.max_interactions == 0 {
             return Err(ConfigError::ZeroInteractionCap);
         }
+        if self.options.archive.is_some() && self.options.boundary_mode == BoundaryMode::Classical {
+            return Err(ConfigError::Component {
+                what: "archive",
+                reason: "path archives require probabilistic boundary mode (classical mode \
+                         splits one packet across several escape events)"
+                    .into(),
+            });
+        }
         self.tissue.validate()?;
         Ok(())
     }
@@ -214,6 +236,11 @@ impl Simulation {
         }
         if let Some((radial, nz, z_max)) = self.options.absorption_rz {
             tally = tally.with_absorption_rz(radial, nz, z_max);
+        }
+        if let Some(record) = self.options.archive {
+            let regions = self.tissue.region_count();
+            let base = (0..regions).map(|r| *self.tissue.optics(r)).collect();
+            tally = tally.with_archive(PathArchive::new(regions, base, record));
         }
         tally
     }
@@ -250,9 +277,17 @@ impl Simulation {
         let (mut photon, r_sp) = self.source.launch(geom, rng);
         tally.launched += 1;
         tally.specular_weight += r_sp;
+        if let Some(a) = tally.archive.as_mut() {
+            a.on_launch(r_sp);
+        }
         if !photon.survived() {
             // Missed a finite grid's lateral extent: full weight reflects.
             tally.reflected_weight += photon.weight;
+            if let Some(a) = tally.archive.as_mut() {
+                if !a.detected_only {
+                    a.push_launch_miss(photon.weight, photon.pos.radial());
+                }
+            }
             photon.weight = 0.0;
         }
 
@@ -327,6 +362,7 @@ impl Simulation {
             match boundary {
                 None => {
                     step_mfps = 0.0;
+                    scratch.collisions[region] += 1;
                     if recording {
                         scratch.vertices.push(photon.pos);
                     }
@@ -361,7 +397,7 @@ impl Simulation {
                     let n_t = geom.neighbour_n(region, &hit);
 
                     if exits_tissue {
-                        self.handle_surface(
+                        let event = self.handle_surface(
                             &mut photon,
                             n_i,
                             n_t,
@@ -372,6 +408,23 @@ impl Simulation {
                             &mut first_detection,
                             &mut detection_weight_total,
                         );
+                        if let Some((class, weight_out)) = event {
+                            if let Some(a) = tally.archive.as_mut() {
+                                if class == archive::CLASS_DETECTED || !a.detected_only {
+                                    a.push(
+                                        class,
+                                        weight_out,
+                                        photon.pos.radial(),
+                                        photon.pathlength,
+                                        photon.max_depth,
+                                        photon.scatters,
+                                        &scratch.partial_path,
+                                        &scratch.collisions,
+                                        &scratch.reached,
+                                    );
+                                }
+                            }
+                        }
                     } else {
                         // Internal interface: probabilistic branch selection
                         // in both modes (see module docs).
@@ -466,6 +519,12 @@ impl Simulation {
     /// External-surface encounter: the top z=0 plane, the bottom of a
     /// finite stack, or any outer face of a voxel grid (`axis` is the
     /// face's normal; layered geometries only ever pass [`Axis::Z`]).
+    ///
+    /// Returns the escape event as an archive `(class, weight_out)` pair
+    /// when the *whole packet* left the tissue (probabilistic mode), so
+    /// the caller — which owns the per-photon scratch — can append a path
+    /// archive entry. Internal reflections and classical-mode partial
+    /// escapes return `None`.
     #[allow(clippy::too_many_arguments)]
     fn handle_surface<R: McRng>(
         &self,
@@ -478,7 +537,7 @@ impl Simulation {
         tally: &mut Tally,
         first_detection: &mut Option<(f64, f64)>,
         detection_weight_total: &mut f64,
-    ) {
+    ) -> Option<(u8, f64)> {
         let cos_i = photon.dir.component(axis).abs();
         let reflectance = fresnel_reflectance(n_i, n_t, cos_i);
         // Exit-angle cosine on the ambient side (Snell); escapes only
@@ -491,8 +550,9 @@ impl Simulation {
                       tally: &mut Tally,
                       first_detection: &mut Option<(f64, f64)>,
                       detection_weight_total: &mut f64|
-         -> bool {
-            // Returns true if this escape event counts as a detection.
+         -> u8 {
+            // Returns the escape's archive class; `CLASS_DETECTED` means
+            // this event counts as a detection.
             if is_top {
                 if let Some(profile) = tally.reflectance_r.as_mut() {
                     profile.record(photon.pos.radial(), weight_out);
@@ -501,7 +561,7 @@ impl Simulation {
                     if !self.detector.accepts_angle(exit_cos) {
                         tally.na_rejected += 1;
                         tally.reflected_weight += weight_out;
-                        return false;
+                        return archive::CLASS_NA_REJECTED;
                     }
                     if self.detector.gate.accepts(photon.pathlength) {
                         tally.detected_weight += weight_out;
@@ -509,18 +569,18 @@ impl Simulation {
                         if first_detection.is_none() {
                             *first_detection = Some((photon.pathlength, weight_out));
                         }
-                        return true;
+                        return archive::CLASS_DETECTED;
                     } else {
                         tally.gate_rejected += 1;
                         tally.reflected_weight += weight_out;
-                        return false;
+                        return archive::CLASS_GATE_REJECTED;
                     }
                 }
                 tally.reflected_weight += weight_out;
-                false
+                archive::CLASS_MISSED_APERTURE
             } else {
                 tally.transmitted_weight += weight_out;
-                false
+                archive::CLASS_TRANSMITTED
             }
         };
 
@@ -529,20 +589,19 @@ impl Simulation {
                 if reflectance < 1.0 && rng.next_f64() >= reflectance {
                     // Whole packet escapes.
                     let w = photon.weight;
-                    let detected =
-                        escape(photon, w, tally, first_detection, detection_weight_total);
+                    let class = escape(photon, w, tally, first_detection, detection_weight_total);
                     photon.weight = 0.0;
-                    photon.terminate(if detected {
+                    photon.terminate(if class == archive::CLASS_DETECTED {
                         Fate::Detected
                     } else if is_top {
                         Fate::ReflectedOut
                     } else {
                         Fate::Transmitted
                     });
-                } else {
-                    // Internal reflection (total or Fresnel-sampled).
-                    photon.dir = photon.dir.reflect(axis);
+                    return Some((class, w));
                 }
+                // Internal reflection (total or Fresnel-sampled).
+                photon.dir = photon.dir.reflect(axis);
             }
             BoundaryMode::Classical => {
                 if reflectance < 1.0 {
@@ -564,6 +623,7 @@ impl Simulation {
                 }
             }
         }
+        None
     }
 
     /// Run `n` photons from the given RNG into `tally`. Dispatches to the

@@ -335,6 +335,9 @@ pub struct Tally {
     pub reflectance_r: Option<RadialProfile>,
     /// Optional cylindrical absorption grid A(r, z) (MCML-style).
     pub absorption_rz: Option<CylinderGrid>,
+    /// Optional path archive recording escape events for perturbation-MC
+    /// reweighting (see [`crate::archive`]).
+    pub archive: Option<crate::archive::PathArchive>,
 }
 
 impl Tally {
@@ -373,6 +376,7 @@ impl Tally {
             path_histogram: None,
             reflectance_r: None,
             absorption_rz: None,
+            archive: None,
         }
     }
 
@@ -391,6 +395,12 @@ impl Tally {
     /// Attach an MCML-style cylindrical absorption grid.
     pub fn with_absorption_rz(mut self, radial: RadialSpec, nz: usize, z_max: f64) -> Self {
         self.absorption_rz = Some(CylinderGrid::new(radial, nz, z_max));
+        self
+    }
+
+    /// Attach a path archive for perturbation-MC recording.
+    pub fn with_archive(mut self, archive: crate::archive::PathArchive) -> Self {
+        self.archive = Some(archive);
         self
     }
 
@@ -473,6 +483,11 @@ impl Tally {
             (Some(a), Some(b)) => a.merge(b),
             (None, None) => {}
             _ => panic!("cylindrical grid presence mismatch in tally merge"),
+        }
+        match (&mut self.archive, &other.archive) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, None) => {}
+            _ => panic!("path archive presence mismatch in tally merge"),
         }
     }
 

@@ -1,0 +1,201 @@
+//! Property tests for the path archive and its reweight algebra.
+//!
+//! The reweight estimator's soundness rests on a few algebraic facts
+//! that hold for *any* archive, not just the ones the engine happens to
+//! record — the perturbation ratio factorises over regions (it is an
+//! exponential of a per-region sum), absorption only ever attenuates,
+//! and the archive container itself behaves like the tally monoid under
+//! merge. These are pinned here on synthetic archives drawn from the
+//! proptest shim, plus one sampled property on real engine output:
+//! Sequential and Rayon runs of the same scenario record identical
+//! archives once entries are brought to canonical (task) order.
+
+use lumen_core::archive::{CLASS_DETECTED, CLASS_MISSED_APERTURE};
+use lumen_core::engine::{Backend, Rayon, Scenario, Sequential};
+use lumen_core::{Detector, OpticalProperties, PathArchive, RecordOptions, Source};
+use lumen_tissue::presets::semi_infinite_phantom;
+use proptest::prelude::*;
+
+const REGIONS: usize = 3;
+
+fn base_optics() -> Vec<OpticalProperties> {
+    vec![
+        OpticalProperties::new(0.02, 10.0, 0.9, 1.4),
+        OpticalProperties::new(0.05, 15.0, 0.9, 1.4),
+        OpticalProperties::new(0.01, 5.0, 0.9, 1.4),
+    ]
+}
+
+/// Build one archive entry per byte triple: per-region pathlengths in
+/// [0, 16) mm and collision counts in [0, 32).
+fn synthetic_archive(entries: &[[u8; 6]], task: u64) -> PathArchive {
+    let mut a = PathArchive::new(REGIONS, base_optics(), RecordOptions::default());
+    for e in entries {
+        let partial: Vec<f64> = (0..REGIONS).map(|r| f64::from(e[r]) / 16.0).collect();
+        let collisions: Vec<u32> = (0..REGIONS).map(|r| u32::from(e[3 + r]) % 32).collect();
+        let pathlength: f64 = partial.iter().sum();
+        let reached: Vec<bool> = partial.iter().map(|&l| l > 0.0).collect();
+        a.on_launch(0.02);
+        let class = if e[0] % 2 == 0 { CLASS_DETECTED } else { CLASS_MISSED_APERTURE };
+        a.push(
+            class,
+            0.5,
+            4.0,
+            pathlength,
+            1.0,
+            collisions.iter().sum(),
+            &partial,
+            &collisions,
+            &reached,
+        );
+    }
+    a.stamp_task(task);
+    a
+}
+
+/// Scale μa and μs of one region of the base optics.
+fn query_scaling(region: usize, fa: f64, fs: f64) -> Vec<OpticalProperties> {
+    base_optics()
+        .iter()
+        .enumerate()
+        .map(|(r, o)| {
+            if r == region {
+                OpticalProperties::new(o.mu_a * fa, o.mu_s * fs, o.g, o.n)
+            } else {
+                *o
+            }
+        })
+        .collect()
+}
+
+/// Factors in (0.5, 1.5] from a byte, bounded away from zero.
+fn factor(raw: u8) -> f64 {
+    0.5 + f64::from(raw % 16 + 1) / 16.0
+}
+
+proptest! {
+    /// The ratio is `exp` of a sum of independent per-region terms, so
+    /// perturbing all regions at once must equal the product of
+    /// single-region perturbations (up to float rounding of the shared
+    /// exponent).
+    #[test]
+    fn ratio_factorises_across_regions(
+        entries in proptest::collection::vec(any::<[u8; 6]>(), 1..8),
+        raw_f in any::<[u8; 6]>()
+    ) {
+        let a = synthetic_archive(&entries, 0);
+        let per_region: Vec<Vec<OpticalProperties>> = (0..REGIONS)
+            .map(|r| query_scaling(r, factor(raw_f[r]), factor(raw_f[3 + r])))
+            .collect();
+        let joint: Vec<OpticalProperties> = (0..REGIONS)
+            .map(|r| per_region[r][r])
+            .collect();
+        let cj = a.coeffs(&joint).unwrap();
+        let cs: Vec<_> = per_region.iter().map(|q| a.coeffs(q).unwrap()).collect();
+        for i in 0..a.len() {
+            let joint_ratio = a.ratio(i, &cj);
+            let product: f64 = cs.iter().map(|c| a.ratio(i, c)).product();
+            let rel = (joint_ratio - product).abs() / joint_ratio.max(1e-300);
+            prop_assert!(
+                rel < 1e-9,
+                "entry {}: joint {} vs factorised {} (rel {})",
+                i, joint_ratio, product, rel
+            );
+        }
+    }
+
+    /// More absorption can only attenuate: every entry's weight ratio is
+    /// non-increasing in any region's μa, strictly decreasing where the
+    /// path actually traverses that region.
+    #[test]
+    fn ratio_is_monotone_decreasing_in_absorption(
+        entries in proptest::collection::vec(any::<[u8; 6]>(), 1..8),
+        region in 0usize..REGIONS,
+        raw_lo in any::<u8>(),
+        raw_hi in any::<u8>()
+    ) {
+        let a = synthetic_archive(&entries, 0);
+        let (lo, hi) = (factor(raw_lo), factor(raw_hi));
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let c_lo = a.coeffs(&query_scaling(region, lo, 1.0)).unwrap();
+        let c_hi = a.coeffs(&query_scaling(region, hi, 1.0)).unwrap();
+        for i in 0..a.len() {
+            let (r_lo, r_hi) = (a.ratio(i, &c_lo), a.ratio(i, &c_hi));
+            prop_assert!(
+                r_hi <= r_lo,
+                "entry {}: ratio rose with absorption ({} at fa {} vs {} at fa {})",
+                i, r_lo, lo, r_hi, hi
+            );
+            let row = i * REGIONS;
+            if hi > lo && a.partial_path[row + region] > 0.0 {
+                prop_assert!(r_hi < r_lo, "strict decrease expected where the path has length");
+            }
+        }
+    }
+
+    /// Merging per-task archives in either order yields the same archive
+    /// after canonical (task-order) sorting — the property the cluster
+    /// runtime leans on when task results arrive out of order.
+    #[test]
+    fn merge_is_order_insensitive_after_canonical_ordering(
+        ea in proptest::collection::vec(any::<[u8; 6]>(), 0..6),
+        eb in proptest::collection::vec(any::<[u8; 6]>(), 0..6)
+    ) {
+        let (a, b) = (synthetic_archive(&ea, 0), synthetic_archive(&eb, 1));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        ab.canonical_order();
+        ba.canonical_order();
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Identity evaluation is insensitive to merge order: the replay
+    /// groups entries by task id, so both merge orders rebuild the same
+    /// per-task summation tree bit for bit.
+    #[test]
+    fn identity_evaluation_is_merge_order_invariant(
+        ea in proptest::collection::vec(any::<[u8; 6]>(), 1..6),
+        eb in proptest::collection::vec(any::<[u8; 6]>(), 1..6)
+    ) {
+        let (a, b) = (synthetic_archive(&ea, 0), synthetic_archive(&eb, 1));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        ba.canonical_order();
+        let ra = ab.evaluate(&base_optics()).unwrap();
+        let rb = ba.evaluate(&base_optics()).unwrap();
+        prop_assert_eq!(ra.tally, rb.tally);
+    }
+}
+
+proptest! {
+    // Full engine runs are costly; a few sampled seeds are enough for
+    // the cross-backend determinism claim (the cluster crate pins the
+    // distributed leg of the same property).
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Sequential and Rayon record identical archives for the same
+    /// scenario once brought to canonical order.
+    #[test]
+    fn backends_record_identical_archives(seed in any::<u16>()) {
+        let mut scenario = Scenario::new(
+            semi_infinite_phantom(0.05, 8.0, 0.9, 1.4),
+            Source::Delta,
+            Detector::new(3.0, 1.0),
+        )
+        .with_photons(2_000)
+        .with_tasks(4)
+        .with_seed(u64::from(seed));
+        scenario.options.archive = Some(RecordOptions::default());
+
+        let mut seq = Sequential.run(&scenario).unwrap().tally.archive.clone().unwrap();
+        let mut ray =
+            Rayon::with_threads(2).run(&scenario).unwrap().tally.archive.clone().unwrap();
+        seq.canonical_order();
+        ray.canonical_order();
+        prop_assert_eq!(seq, ray);
+    }
+}

@@ -1,0 +1,150 @@
+//! Identity-reweight exactness: replaying an archive at its own recorded
+//! (μa, μs) must reproduce the recording run's escape-side tally bit for
+//! bit — the archive-mode analogue of the golden-pinning rule in
+//! docs/PERFORMANCE.md. Every weight ratio is forced to exactly 1.0 when
+//! exponent and base coincide (`ln(μs/μs) ≡ 0.0`, `Δμt ≡ 0.0`,
+//! `exp(0.0) ≡ 1.0`), and entries replay in the original accumulation
+//! order, so even the float sums must match exactly.
+
+use lumen_core::archive::RecordOptions;
+use lumen_core::engine::{Backend, Scenario, Sequential};
+use lumen_core::radial::RadialSpec;
+use lumen_core::{Detector, OpticalProperties, Reweight, Simulation, SimulationOptions, Source};
+use lumen_tissue::presets::{homogeneous_white_matter, voxelized};
+use lumen_tissue::LayeredTissue;
+
+const PHOTONS: u64 = 20_000;
+const SEED: u64 = 2026;
+
+fn record_options() -> SimulationOptions {
+    SimulationOptions {
+        archive: Some(RecordOptions::default()),
+        reflectance_profile: Some(RadialSpec { nr: 40, r_max: 10.0 }),
+        path_histogram: Some((400.0, 80)),
+        ..Default::default()
+    }
+}
+
+fn recording_scenario(tissue: impl Into<lumen_core::Geometry>) -> Scenario {
+    Scenario::new(tissue, Source::Delta, Detector::new(2.0, 1.0))
+        .with_options(record_options())
+        .with_photons(PHOTONS)
+        .with_tasks(8)
+        .with_seed(SEED)
+}
+
+/// Assert that the reweighted tally reproduces every escape-side
+/// accumulator of the recording tally exactly — `assert_eq!` on `f64`
+/// is bit comparison up to `-0.0 == 0.0`, which cannot arise here since
+/// all accumulators are sums of non-negative terms.
+fn assert_identity(recorded: &lumen_core::Tally, replayed: &lumen_core::Tally) {
+    assert_eq!(replayed.launched, recorded.launched);
+    assert_eq!(replayed.specular_weight, recorded.specular_weight);
+    assert_eq!(replayed.detected, recorded.detected);
+    assert_eq!(replayed.reflected, recorded.reflected);
+    assert_eq!(replayed.transmitted, recorded.transmitted);
+    assert_eq!(replayed.na_rejected, recorded.na_rejected);
+    assert_eq!(replayed.gate_rejected, recorded.gate_rejected);
+    assert_eq!(replayed.detected_weight, recorded.detected_weight);
+    assert_eq!(replayed.reflected_weight, recorded.reflected_weight);
+    assert_eq!(replayed.transmitted_weight, recorded.transmitted_weight);
+    assert_eq!(replayed.detected_path_sum, recorded.detected_path_sum);
+    assert_eq!(replayed.detected_path_sq_sum, recorded.detected_path_sq_sum);
+    assert_eq!(replayed.detected_weight_path_sum, recorded.detected_weight_path_sum);
+    assert_eq!(replayed.detected_depth_sum, recorded.detected_depth_sum);
+    assert_eq!(replayed.detected_depth_max, recorded.detected_depth_max);
+    assert_eq!(replayed.detected_scatter_sum, recorded.detected_scatter_sum);
+    assert_eq!(replayed.detected_reached_layer, recorded.detected_reached_layer);
+    assert_eq!(replayed.detected_partial_path, recorded.detected_partial_path);
+    assert_eq!(replayed.reflectance_r, recorded.reflectance_r);
+    assert_eq!(replayed.path_histogram, recorded.path_histogram);
+}
+
+#[test]
+fn identity_reweight_is_bit_exact_on_a_layered_model() {
+    let scenario = recording_scenario(homogeneous_white_matter());
+    let recorded = Sequential.run(&scenario).expect("recording run");
+    assert!(recorded.tally.detected > 50, "detected {}", recorded.tally.detected);
+    let archive = recorded.tally.archive.clone().expect("archive attached");
+
+    // Same tissue (= same properties), archive recording turned off: the
+    // query scenario asks the reweighter for exactly the recorded state.
+    let mut query = scenario.clone();
+    query.options.archive = None;
+    let replayed = Reweight::new(archive).run(&query).expect("identity reweight");
+    assert_identity(&recorded.tally, &replayed.tally);
+    assert_eq!(replayed.backend, "reweight");
+}
+
+#[test]
+fn identity_reweight_is_bit_exact_on_a_voxel_model() {
+    let layered = LayeredTissue::stack(
+        vec![
+            ("top".into(), 2.0, OpticalProperties::new(0.05, 10.0, 0.9, 1.4)),
+            ("bottom".into(), 3.0, OpticalProperties::new(0.02, 15.0, 0.9, 1.4)),
+        ],
+        1.0,
+    )
+    .unwrap();
+    let voxel = voxelized(&layered, 0.5, 20.0, 5.0).unwrap();
+    let scenario = recording_scenario(voxel);
+    let recorded = Sequential.run(&scenario).expect("recording run");
+    assert!(recorded.tally.detected > 50, "detected {}", recorded.tally.detected);
+    let archive = recorded.tally.archive.clone().expect("archive attached");
+
+    let mut query = scenario.clone();
+    query.options.archive = None;
+    let replayed = Reweight::new(archive).run(&query).expect("identity reweight");
+    assert_identity(&recorded.tally, &replayed.tally);
+}
+
+#[test]
+fn identity_ess_equals_the_detected_count_exactly() {
+    let scenario = recording_scenario(homogeneous_white_matter());
+    let recorded = Sequential.run(&scenario).expect("recording run");
+    let archive = recorded.tally.archive.clone().expect("archive attached");
+    let query: Vec<OpticalProperties> =
+        (0..scenario.tissue.region_count()).map(|r| *scenario.tissue.optics(r)).collect();
+    let report = archive.evaluate(&query).expect("identity query");
+    assert_eq!(report.ess, recorded.tally.detected as f64);
+    assert_eq!(report.sum_ratio, recorded.tally.detected as f64);
+    assert_eq!(report.detected_entries, recorded.tally.detected);
+}
+
+#[test]
+fn detected_only_archives_replay_the_detected_scalars_bit_exactly() {
+    let mut options = record_options();
+    options.archive = Some(RecordOptions { detected_only: true });
+    let scenario =
+        Scenario::new(homogeneous_white_matter(), Source::Delta, Detector::new(2.0, 1.0))
+            .with_options(options)
+            .with_photons(PHOTONS)
+            .with_tasks(8)
+            .with_seed(SEED);
+    let recorded = Sequential.run(&scenario).expect("recording run");
+    let archive = recorded.tally.archive.clone().expect("archive attached");
+    assert_eq!(archive.len() as u64, recorded.tally.detected, "detected entries only");
+
+    let query: Vec<OpticalProperties> =
+        (0..scenario.tissue.region_count()).map(|r| *scenario.tissue.optics(r)).collect();
+    let report = archive.evaluate(&query).expect("identity query");
+    assert_eq!(report.tally.detected, recorded.tally.detected);
+    assert_eq!(report.tally.detected_weight, recorded.tally.detected_weight);
+    assert_eq!(report.tally.detected_path_sum, recorded.tally.detected_path_sum);
+    assert_eq!(report.tally.detected_weight_path_sum, recorded.tally.detected_weight_path_sum);
+    // Escape-side aggregates of *undetected* packets are absent by design.
+    assert_eq!(report.tally.reflected, 0);
+}
+
+#[test]
+fn classical_mode_rejects_archive_recording() {
+    let options = SimulationOptions {
+        archive: Some(RecordOptions::default()),
+        boundary_mode: lumen_core::BoundaryMode::Classical,
+        ..Default::default()
+    };
+    let sim = Simulation::new(homogeneous_white_matter(), Source::Delta, Detector::new(2.0, 1.0))
+        .with_options(options);
+    let err = sim.validate().expect_err("classical + archive must be rejected");
+    assert!(err.to_string().contains("archive"), "{err}");
+}

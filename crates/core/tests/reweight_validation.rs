@@ -1,0 +1,317 @@
+//! Statistical validation of the reweight estimator: re-scoring an
+//! archive for perturbed optical properties must agree with a fresh
+//! Monte Carlo run at those properties within MC tolerance (the same
+//! kind of bound `voxel_equivalence.rs` uses between geometry backends).
+//!
+//! The two estimates are statistically independent — the fresh run
+//! traces new trajectories under the perturbed physics while the
+//! reweighter re-scores the recorded ones — so the comparison is on
+//! relative error, not bit equality (that contract lives in
+//! `reweight_identity.rs`). What can be asserted, and how tightly,
+//! follows from the estimator's structure:
+//!
+//! * **Weight aggregates** (detected weight, weighted mean pathlength)
+//!   carry the full importance ratio and are *exact* in expectation —
+//!   Russian roulette cancels out of them identically (the 1/p weight
+//!   boost of a survivor is matched by the p in its path density), so
+//!   they hold on any geometry, absorption or scattering perturbation,
+//!   as long as the effective sample size is healthy.
+//! * **Unweighted path statistics** (the per-region partial-pathlength
+//!   sums) are reweighted by the trajectory-density ratio λ, which
+//!   ignores roulette. They are reliable where detected paths stay
+//!   under the roulette horizon `|ln threshold| / μa` (a bounded slab);
+//!   on a semi-infinite medium, *lowering* μa revives long paths the
+//!   recording run already roulette-thinned, which no reweight can
+//!   recreate — so the head is only checked in the μa-raising direction.
+//! * **Scattering perturbations** multiply a `(μs′/μs)^k` term with
+//!   per-path collision counts k in the hundreds-to-thousands: the
+//!   log-ratio variance is ~`k̄ (ln fs)²`, so ESS collapses rapidly with
+//!   perturbation size and the surviving estimate is heavy-tailed.
+//!   ±10% μs is fine on a thin slab (k̄ ≈ 130) and hopeless on the
+//!   adult head (k̄ ≈ 1900) — which is exactly what
+//!   [`ReweightReport::ess`] is for, and what the ESS-ladder test pins.
+
+use lumen_core::engine::{Backend, RunReport, Scenario, Sequential};
+use lumen_core::{Detector, PathArchive, RecordOptions, ReweightReport, Source, Tally};
+use lumen_tissue::presets::{adult_head, voxelized, AdultHeadConfig};
+use lumen_tissue::{LayeredTissue, OpticalProperties};
+
+const PHOTONS: u64 = 40_000;
+const SEED: u64 = 806;
+
+/// Scale every layer's μa and μs by the given factors, keeping g and n
+/// (the reweight ratio is only defined for μa/μs perturbations).
+fn perturbed(tissue: &LayeredTissue, fa: f64, fs: f64) -> LayeredTissue {
+    LayeredTissue::stack(
+        tissue
+            .layers()
+            .iter()
+            .map(|l| {
+                let o = l.optics;
+                (
+                    l.name.clone(),
+                    l.thickness(),
+                    OpticalProperties::new(o.mu_a * fa, o.mu_s * fs, o.g, o.n),
+                )
+            })
+            .collect(),
+        tissue.ambient_n,
+    )
+    .expect("scaled stack stays valid")
+}
+
+fn perturbed_query(base: &[OpticalProperties], fa: f64, fs: f64) -> Vec<OpticalProperties> {
+    base.iter().map(|o| OpticalProperties::new(o.mu_a * fa, o.mu_s * fs, o.g, o.n)).collect()
+}
+
+/// Record an archive for the scenario and return it with its tally.
+fn record(tissue: LayeredTissue, detector: Detector) -> (PathArchive, Tally) {
+    let mut scenario = Scenario::new(tissue, Source::Delta, detector)
+        .with_photons(PHOTONS)
+        .with_tasks(8)
+        .with_seed(SEED);
+    scenario.options.archive = Some(RecordOptions::default());
+    let recorded = Sequential.run(&scenario).expect("recording run");
+    let archive = recorded.tally.archive.clone().expect("archive attached");
+    assert!(
+        recorded.tally.detected > 400,
+        "need statistics to validate against: detected {}",
+        recorded.tally.detected
+    );
+    (archive, recorded.tally.clone())
+}
+
+fn fresh_layered(tissue: &LayeredTissue, detector: Detector, fa: f64, fs: f64) -> RunReport {
+    Sequential
+        .run(
+            &Scenario::new(perturbed(tissue, fa, fs), Source::Delta, detector)
+                .with_photons(PHOTONS)
+                .with_tasks(8)
+                .with_seed(SEED),
+        )
+        .expect("fresh perturbed run")
+}
+
+/// Assert the exactly-reweightable weight aggregates against a fresh
+/// run: total detected weight and the weighted mean detected pathlength
+/// (the quantity a DPF is built from).
+fn assert_weight_aggregates(report: &ReweightReport, fresh: &Tally, fa: f64, fs: f64, tol: f64) {
+    let rw = report.tally.detected_weight;
+    let mc = fresh.detected_weight;
+    let rel = (rw - mc).abs() / mc.abs().max(1e-12);
+    assert!(
+        rel < tol,
+        "detected weight at (fa {fa}, fs {fs}): reweight {rw} vs fresh {mc} \
+         (rel {rel:.4}, tol {tol}, ess {:.0}/{})",
+        report.ess,
+        report.detected_entries,
+    );
+
+    let rw_mean = report.tally.detected_weight_path_sum / report.tally.detected_weight;
+    let mc_mean = fresh.detected_weight_path_sum / fresh.detected_weight;
+    let rel = (rw_mean - mc_mean).abs() / mc_mean;
+    assert!(
+        rel < tol,
+        "weighted mean pathlength at (fa {fa}, fs {fs}): reweight {rw_mean:.2} \
+         vs fresh {mc_mean:.2} (rel {rel:.4}, tol {tol})"
+    );
+}
+
+/// Assert the λ-reweighted per-region pathlength *shares* against a
+/// fresh run, for regions carrying a meaningful share.
+fn assert_partial_path_shares(report: &ReweightReport, fresh: &Tally, fa: f64, fs: f64, tol: f64) {
+    let rw_total: f64 = report.tally.detected_partial_path.iter().sum();
+    let mc_total: f64 = fresh.detected_partial_path.iter().sum();
+    for (r, (a, b)) in
+        report.tally.detected_partial_path.iter().zip(&fresh.detected_partial_path).enumerate()
+    {
+        let (a, b) = (a / rw_total, b / mc_total);
+        if b > 0.05 {
+            let rel = (a - b).abs() / b;
+            assert!(
+                rel < tol,
+                "partial path share in region {r} at (fa {fa}, fs {fs}): \
+                 reweight {a:.4} vs fresh {b:.4} (rel {rel:.4})"
+            );
+        }
+    }
+}
+
+#[test]
+fn near_absorption_perturbations_match_fresh_runs_on_the_adult_head() {
+    let tissue = adult_head(AdultHeadConfig::default());
+    // An 8 mm ring keeps detection common enough (~9% of launches) for
+    // tight MC statistics on the five-layer head.
+    let detector = Detector::ring(8.0, 2.0);
+    let (archive, _) = record(tissue.clone(), detector);
+
+    for (fa, fs) in [(1.1, 1.0), (0.9, 1.0)] {
+        let report = archive
+            .evaluate(&perturbed_query(&archive.base, fa, fs))
+            .expect("perturbed query in range");
+        let fresh = fresh_layered(&tissue, detector, fa, fs);
+        assert_weight_aggregates(&report, &fresh.tally, fa, fs, 0.05);
+        // The head's white matter is semi-infinite, so its detected-path
+        // population extends past the roulette horizon; the unweighted
+        // shares are only reweight-reachable when μa goes *up* (see the
+        // module docs).
+        if fa > 1.0 {
+            assert_partial_path_shares(&report, &fresh.tally, fa, fs, 0.10);
+        }
+        // Absorption perturbations barely move the path measure: the
+        // sample stays efficient.
+        assert!(
+            report.ess > 0.9 * report.detected_entries as f64,
+            "ess collapsed on a near perturbation: {} of {}",
+            report.ess,
+            report.detected_entries
+        );
+    }
+}
+
+#[test]
+fn moderate_absorption_perturbations_match_fresh_runs_on_the_adult_head() {
+    let tissue = adult_head(AdultHeadConfig::default());
+    let detector = Detector::ring(8.0, 2.0);
+    let (archive, _) = record(tissue.clone(), detector);
+
+    // ±30%: the ratio spread is wider, so the tolerance is looser but
+    // the estimator must still track the fresh physics.
+    for (fa, fs) in [(1.3, 1.0), (0.7, 1.0)] {
+        let report = archive
+            .evaluate(&perturbed_query(&archive.base, fa, fs))
+            .expect("perturbed query in range");
+        let fresh = fresh_layered(&tissue, detector, fa, fs);
+        assert_weight_aggregates(&report, &fresh.tally, fa, fs, 0.10);
+        if fa > 1.0 {
+            assert_partial_path_shares(&report, &fresh.tally, fa, fs, 0.10);
+        }
+        assert!(
+            report.ess > 0.4 * report.detected_entries as f64,
+            "ess collapsed on a moderate perturbation: {} of {}",
+            report.ess,
+            report.detected_entries
+        );
+    }
+}
+
+/// The two-layer slab the voxel-equivalence suite uses: bounded at 5 mm,
+/// so every detected path is far under the roulette horizon and the
+/// unweighted statistics are cleanly λ-reweightable in both directions.
+fn bounded_slab() -> LayeredTissue {
+    LayeredTissue::stack(
+        vec![
+            ("top".into(), 2.0, OpticalProperties::new(0.05, 10.0, 0.9, 1.4)),
+            ("bottom".into(), 3.0, OpticalProperties::new(0.02, 15.0, 0.9, 1.4)),
+        ],
+        1.0,
+    )
+    .unwrap()
+}
+
+fn record_voxel_slab() -> (PathArchive, LayeredTissue, Detector) {
+    let layered = bounded_slab();
+    let detector = Detector::new(2.0, 1.0);
+    let voxel = voxelized(&layered, 0.5, 20.0, 5.0).unwrap();
+    let mut scenario = Scenario::new(voxel, Source::Delta, detector)
+        .with_photons(PHOTONS)
+        .with_tasks(8)
+        .with_seed(SEED);
+    scenario.options.archive = Some(RecordOptions::default());
+    let recorded = Sequential.run(&scenario).expect("recording run");
+    let archive = recorded.tally.archive.clone().expect("archive attached");
+    assert!(recorded.tally.detected > 400, "detected {}", recorded.tally.detected);
+    (archive, layered, detector)
+}
+
+fn fresh_voxel_slab(layered: &LayeredTissue, detector: Detector, fa: f64, fs: f64) -> RunReport {
+    let fresh_voxel = voxelized(&perturbed(layered, fa, fs), 0.5, 20.0, 5.0).unwrap();
+    Sequential
+        .run(
+            &Scenario::new(fresh_voxel, Source::Delta, detector)
+                .with_photons(PHOTONS)
+                .with_tasks(8)
+                .with_seed(SEED),
+        )
+        .expect("fresh perturbed voxel run")
+}
+
+#[test]
+fn near_absorption_perturbations_match_fresh_runs_on_a_voxel_slab() {
+    // The voxel path: record on a voxelized two-layer slab and validate
+    // against fresh voxel runs of the perturbed slab. Both directions of
+    // μa are checked here, shares included — the bounded geometry keeps
+    // roulette out of play.
+    let (archive, layered, detector) = record_voxel_slab();
+
+    for (fa, fs) in [(1.1, 1.0), (0.9, 1.0)] {
+        let report = archive
+            .evaluate(&perturbed_query(&archive.base, fa, fs))
+            .expect("perturbed query in range");
+        let fresh = fresh_voxel_slab(&layered, detector, fa, fs);
+        assert_weight_aggregates(&report, &fresh.tally, fa, fs, 0.05);
+        assert_partial_path_shares(&report, &fresh.tally, fa, fs, 0.12);
+        assert!(
+            report.ess > 0.9 * report.detected_entries as f64,
+            "ess collapsed on a near perturbation: {} of {}",
+            report.ess,
+            report.detected_entries
+        );
+    }
+}
+
+#[test]
+fn scattering_perturbations_are_variance_limited_on_the_slab() {
+    // ±10% μs on a thin slab (k̄ ≈ 130 collisions): the weight
+    // aggregates still track fresh runs, but at a visibly reduced ESS —
+    // the log-ratio variance k̄(ln 1.1)² ≈ 1 costs roughly half the
+    // effective sample. The unweighted shares are *not* asserted here:
+    // the `(μs′/μs)^k` factor makes their estimator heavy-tailed, and at
+    // this ESS the tail is undersampled in any single run.
+    let (archive, layered, detector) = record_voxel_slab();
+
+    for (fa, fs) in [(1.0, 1.1), (1.0, 0.9), (1.1, 1.1), (0.9, 0.9)] {
+        let report = archive
+            .evaluate(&perturbed_query(&archive.base, fa, fs))
+            .expect("perturbed query in range");
+        let fresh = fresh_voxel_slab(&layered, detector, fa, fs);
+        assert_weight_aggregates(&report, &fresh.tally, fa, fs, 0.15);
+        let (ess, n) = (report.ess, report.detected_entries as f64);
+        assert!(
+            ess > 0.25 * n && ess < 0.75 * n,
+            "ess at (fa {fa}, fs {fs}) should show partial degradation: {ess:.0} of {n}"
+        );
+    }
+}
+
+#[test]
+fn scattering_perturbations_degrade_ess_monotonically_on_the_head() {
+    let (archive, _) = record(adult_head(AdultHeadConfig::default()), Detector::ring(8.0, 2.0));
+    let ess_at = |fs: f64| {
+        archive.evaluate(&perturbed_query(&archive.base, 1.0, fs)).expect("query in range").ess
+    };
+    let n = archive.evaluate(&perturbed_query(&archive.base, 1.0, 1.0)).unwrap();
+
+    // Identity: every ratio is exactly 1, so ESS equals the sample count.
+    assert_eq!(n.ess, n.detected_entries as f64);
+    let n = n.detected_entries as f64;
+
+    // Detected photons on the head scatter k̄ ≈ 1900 times, so the ESS
+    // fraction falls like exp(−k̄ (ln fs)²): a 1% μs shift is still
+    // efficient, 5% loses an order of magnitude, 10% all but collapses.
+    let (tiny, small, near) = (ess_at(1.01), ess_at(1.05), ess_at(1.1));
+    assert!(tiny > 0.5 * n, "1% mu_s shift should stay efficient: ess {tiny:.0} of {n}");
+    assert!(small < 0.2 * n, "5% mu_s shift should lose most of the sample: {small:.0} of {n}");
+    assert!(near < 0.02 * n, "10% mu_s shift should collapse the sample: {near:.0} of {n}");
+    assert!(
+        tiny > small && small > near,
+        "ess must degrade with distance: {tiny:.0} > {small:.0} > {near:.0} expected"
+    );
+
+    // 3× μs is far outside the recorded path measure: a handful of
+    // short-path entries dominate the ratio sum and the effective sample
+    // collapses to O(1) — the unambiguous signal to re-trace instead of
+    // reweight.
+    let far = ess_at(3.0);
+    assert!(far < 0.005 * n, "3x mu_s should leave an O(1) sample: ess {far:.1} of {n}");
+}

@@ -1,0 +1,64 @@
+//! Path-archive reweighting: one recorded run answers a whole sweep of
+//! optical-property queries without re-tracing a photon.
+//!
+//! Records an archive on the five-layer adult head, then sweeps scalp
+//! absorption over ±30% — the kind of scan an inverse solver or a
+//! chromophore fit performs — re-scoring the archived paths for each
+//! query. One fresh Monte Carlo run takes seconds; one reweight query
+//! takes microseconds, and the report's effective sample size shows how
+//! far the archive can be trusted.
+//!
+//! Run: `cargo run --release --example reweight_sweep`
+
+use lumen::core::{Backend, Detector, Rayon, RecordOptions, Scenario, Source};
+use lumen::tissue::presets::{adult_head, AdultHeadConfig};
+use std::time::Instant;
+
+const SCALP: usize = 0; // region index of the scalp in the head stack
+
+fn main() {
+    let head = adult_head(AdultHeadConfig::default());
+    let mut scenario = Scenario::new(head, Source::Delta, Detector::ring(8.0, 2.0))
+        .with_photons(400_000)
+        .with_seed(7);
+    scenario.options.archive = Some(RecordOptions { detected_only: true });
+
+    let started = Instant::now();
+    let res = Rayon::default().run(&scenario).expect("valid scenario");
+    let recording_secs = started.elapsed().as_secs_f64();
+    let archive = res.tally.archive.as_ref().expect("archive attached");
+    println!(
+        "recorded {} detected paths from {} photons in {:.1} s\n",
+        archive.len(),
+        res.tally.launched,
+        recording_secs
+    );
+
+    println!("scalp mu_a sweep (recorded at {:.3}/mm):", archive.base[SCALP].mu_a);
+    println!("{:>8} | {:>14} | {:>12} | {:>9}", "factor", "mu_a (1/mm)", "det. weight", "ESS");
+    let started = Instant::now();
+    let mut queries = 0u32;
+    for step in 0..=12 {
+        let factor = 0.7 + 0.05 * f64::from(step);
+        let mut query = archive.base.clone();
+        query[SCALP].mu_a = archive.base[SCALP].mu_a * factor;
+        let report = archive.evaluate(&query).expect("query in range");
+        queries += 1;
+        println!(
+            "{factor:>8.2} | {:>14.4} | {:>12.4} | {:>5.0}/{}",
+            query[SCALP].mu_a, report.tally.detected_weight, report.ess, report.detected_entries
+        );
+    }
+    let sweep_secs = started.elapsed().as_secs_f64();
+    println!(
+        "\n{queries} queries in {:.1} ms ({:.0} queries/s) — the recording run would \
+         have cost {:.0} s of re-tracing",
+        sweep_secs * 1e3,
+        f64::from(queries) / sweep_secs,
+        recording_secs * f64::from(queries),
+    );
+    println!(
+        "ESS stays near the detected count across the whole band: absorption \
+         queries reweight efficiently (scattering queries are the hard ones)."
+    );
+}
