@@ -139,10 +139,14 @@ fn measure_reweight(
 
     let mut walls = Vec::with_capacity(repeats);
     for _ in 0..repeats {
+        // The batch API fans the sweep across the rayon pool; each
+        // query's report is bit-identical to a sequential `query` call
+        // (pinned by `archive_props::batch_sweep_matches_sequential_per_query`),
+        // so going wide changes the wall-clock and nothing else.
         let started = Instant::now();
         let mut checksum = 0.0f64;
-        for query in &queries {
-            let r = reweight.query(query).map_err(|e| e.to_string())?;
+        for report in reweight.query_many(&queries) {
+            let r = report.map_err(|e| e.to_string())?;
             checksum += r.tally.detected_weight;
         }
         let wall = started.elapsed().as_secs_f64();

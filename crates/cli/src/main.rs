@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! lumen run <config-file>        simulate per the config, print a report
+//! lumen hash <config-file>       print the config's canonical cache key
+//! lumen serve [addr] [opts]      run the lumend simulation service
+//! lumen query <config-file> <addr>   ask a running service (cache-aware)
 //! lumen example-config           print an annotated example config
 //! lumen presets                  list tissue presets and their layers
 //! ```
@@ -21,6 +24,21 @@ fn main() {
                 2
             }
         },
+        Some("hash") => match args.get(1) {
+            Some(path) => cmd_hash(path),
+            None => {
+                eprintln!("usage: lumen hash <config-file>");
+                2
+            }
+        },
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => match (args.get(1), args.get(2)) {
+            (Some(path), Some(addr)) => cmd_query(path, addr),
+            _ => {
+                eprintln!("usage: lumen query <config-file> <addr>");
+                2
+            }
+        },
         Some("example-config") => {
             println!("{}", EXAMPLE_CONFIG.trim_start());
             0
@@ -28,7 +46,7 @@ fn main() {
         Some("presets") => cmd_presets(),
         _ => {
             eprintln!(
-                "usage: lumen <command>\n\n  run <config-file>   simulate per the config\n  example-config      print an annotated example config\n  presets             list tissue presets"
+                "usage: lumen <command>\n\n  run <config-file>            simulate per the config\n  hash <config-file>           print the config's canonical cache key\n  serve [addr] [opts]          run the simulation service (see lumend --help)\n  query <config-file> <addr>   ask a running service\n  example-config               print an annotated example config\n  presets                      list tissue presets"
             );
             2
         }
@@ -97,6 +115,93 @@ fn cmd_run(path: &str) -> i32 {
         }
         Err(e) => {
             eprintln!("{path}: {e}");
+            1
+        }
+    }
+}
+
+/// Parse the config at `path` down to a scenario (shared by `hash`,
+/// `query`; `run` keeps its own flow for the archive-record extras).
+fn load_scenario(path: &str) -> Result<lumen_core::Scenario, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let cfg = Config::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    cfg.scenario().map_err(|e| format!("{path}: {e}"))
+}
+
+/// `lumen hash <config-file>` — the canonical cache key, one hex line.
+///
+/// The key is what `lumend` stores results under: it covers the physics
+/// and the seed but not `photons`/`tasks`, so two configs differing only
+/// in budget print the same hash (and share cached work).
+fn cmd_hash(path: &str) -> i32 {
+    match load_scenario(path) {
+        Ok(scenario) => {
+            println!("{}", lumen_service::key_hex(&lumen_service::scenario_key(&scenario)));
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+/// `lumen serve [addr] [opts]` — the in-CLI face of `lumend`.
+fn cmd_serve(args: &[String]) -> i32 {
+    match lumen_service::daemon::run(args) {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", lumen_service::daemon::USAGE);
+            2
+        }
+    }
+}
+
+/// `lumen query <config-file> <addr>` — submit the config's scenario to
+/// a running service and report how it was served.
+fn cmd_query(path: &str, addr: &str) -> i32 {
+    let scenario = match load_scenario(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let reply =
+        lumen_service::ServiceClient::connect(addr).and_then(|mut client| client.query(&scenario));
+    match reply {
+        Ok(reply) => {
+            let t = &reply.tally;
+            println!("== lumen query ==");
+            println!("key:     {}", lumen_service::key_hex(&reply.key));
+            println!(
+                "served:  {} ({} photons cached{})",
+                reply.served.as_str(),
+                reply.photons_done,
+                if reply.photons_done > scenario.photons {
+                    format!(", {} requested", scenario.photons)
+                } else {
+                    String::new()
+                },
+            );
+            println!();
+            println!("outcomes:");
+            println!("  detected        {:>12}   weight {:.6e}", t.detected, t.detected_weight);
+            println!("  reflected       {:>12}   weight {:.6e}", t.reflected, t.reflected_weight);
+            println!(
+                "  transmitted     {:>12}   weight {:.6e}",
+                t.transmitted, t.transmitted_weight
+            );
+            if t.detected > 0 {
+                println!();
+                println!("detected photons:");
+                println!("  mean pathlength {:.3} mm", t.detected_path_sum / t.detected as f64);
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("{addr}: {e}");
             1
         }
     }

@@ -108,6 +108,7 @@ impl Backend for ThreadedCluster {
             tasks: scenario.tasks,
             workers: self.workers,
             failure_rate: self.failure_plan.rate(),
+            task_offset: scenario.task_offset,
         };
         let sim = scenario.simulation();
         let DistributedReport { result, worker_stats, requeues, wall_seconds } =
@@ -214,7 +215,7 @@ impl Backend for Tcp {
             &sim,
             scenario.photons,
             scenario.tasks,
-            self.serve_options(),
+            self.serve_options().with_task_offset(scenario.task_offset),
             progress,
         )
         .map_err(net_error)?;

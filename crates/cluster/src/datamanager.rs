@@ -29,17 +29,36 @@ pub struct DataManager {
     tasks_total: usize,
     tasks_done: usize,
     requeues: u64,
+    /// First task id handed out (see [`DataManager::with_offset`]);
+    /// `completed` slot `j` holds task `task_offset + j`.
+    task_offset: u64,
 }
 
 impl DataManager {
     /// Create a manager for `total_photons` split into `n_tasks` batches,
     /// aggregating into a tally shaped like `template`.
     pub fn new(total_photons: u64, n_tasks: u64, template: Tally, n_workers: usize) -> Self {
+        Self::with_offset(total_photons, n_tasks, 0, template, n_workers)
+    }
+
+    /// Like [`DataManager::new`], but task ids start at `task_offset`
+    /// instead of zero. Workers stream RNG by task id, so an offset run
+    /// draws from streams `task_offset..task_offset + n_tasks` — the
+    /// continuation contract behind the service cache's incremental
+    /// top-up (`Scenario::task_offset` carries the same value through
+    /// the in-process backends).
+    pub fn with_offset(
+        total_photons: u64,
+        n_tasks: u64,
+        task_offset: u64,
+        template: Tally,
+        n_workers: usize,
+    ) -> Self {
         let sizes = lumen_core::parallel::batch_sizes(total_photons, n_tasks);
         let queue: VecDeque<SimTask> = sizes
             .iter()
             .enumerate()
-            .map(|(i, &photons)| SimTask { task_id: i as u64, photons })
+            .map(|(i, &photons)| SimTask { task_id: task_offset + i as u64, photons })
             .collect();
         Self {
             tasks_total: queue.len(),
@@ -50,6 +69,7 @@ impl DataManager {
             stats: vec![WorkerStats::default(); n_workers],
             tasks_done: 0,
             requeues: 0,
+            task_offset,
         }
     }
 
@@ -75,7 +95,13 @@ impl DataManager {
     /// panic over a misbehaving peer.
     pub fn complete(&mut self, worker: usize, task: SimTask, tally: &Tally) -> bool {
         self.release_lease(task);
-        let slot = &mut self.completed[task.task_id as usize];
+        let Some(slot) = task
+            .task_id
+            .checked_sub(self.task_offset)
+            .and_then(|i| self.completed.get_mut(i as usize))
+        else {
+            return false; // task id outside this run: drop, don't panic
+        };
         if slot.is_some() {
             return false;
         }
@@ -228,6 +254,26 @@ mod tests {
         assert_eq!(tally.launched, 20);
         assert_eq!(stats[0].tasks_completed, 2);
         assert_eq!(stats[1].tasks_completed, 0);
+    }
+
+    #[test]
+    fn offset_manager_hands_out_and_completes_offset_ids() {
+        let mut dm = DataManager::with_offset(40, 4, 100, template(), 1);
+        let mut ids = Vec::new();
+        let mut taken = Vec::new();
+        while let Some(t) = dm.assign() {
+            ids.push(t.task_id);
+            taken.push(t);
+        }
+        assert_eq!(ids, vec![100, 101, 102, 103]);
+        // An id outside the run (hostile or stale peer) is dropped, not a panic.
+        assert!(!dm.complete(0, SimTask { task_id: 99, photons: 10 }, &worker_tally(10)));
+        assert!(!dm.complete(0, SimTask { task_id: 104, photons: 10 }, &worker_tally(10)));
+        for t in taken {
+            assert!(dm.complete(0, t, &worker_tally(t.photons)));
+        }
+        let (tally, _, _) = dm.into_results();
+        assert_eq!(tally.launched, 40);
     }
 
     #[test]

@@ -32,12 +32,16 @@ pub struct DistributedConfig {
     /// PC being reclaimed mid-task). Failed tasks are re-queued and retried
     /// elsewhere; 0.0 disables fault injection.
     pub failure_rate: f64,
+    /// First RNG stream index: task `i` draws from stream
+    /// `task_offset + i` (mirrors `Scenario::task_offset` — a non-zero
+    /// offset runs a continuation of an earlier run on fresh streams).
+    pub task_offset: u64,
 }
 
 impl DistributedConfig {
     /// Reasonable defaults: one worker per logical CPU, 4 tasks per worker.
     pub fn new(seed: u64, workers: usize) -> Self {
-        Self { seed, tasks: (workers as u64) * 4, workers, failure_rate: 0.0 }
+        Self { seed, tasks: (workers as u64) * 4, workers, failure_rate: 0.0, task_offset: 0 }
     }
 
     /// Validate the execution parameters. `workers: 0` used to hang the
@@ -56,6 +60,11 @@ impl DistributedConfig {
                 "failure rate must be in [0, 1), got {}",
                 self.failure_rate
             )));
+        }
+        if self.task_offset.checked_add(self.tasks).is_none() {
+            return Err(EngineError::InvalidConfig(
+                "task_offset + tasks overflows the stream index space".into(),
+            ));
         }
         Ok(())
     }
@@ -105,7 +114,13 @@ pub fn run_master_worker(
 
     let started = Instant::now();
     let factory = StreamFactory::new(config.seed);
-    let mut dm = DataManager::new(n, config.tasks, sim.new_tally(), config.workers);
+    let mut dm = DataManager::with_offset(
+        n,
+        config.tasks,
+        config.task_offset,
+        sim.new_tally(),
+        config.workers,
+    );
 
     let (to_server, from_clients): (Sender<ClientMessage>, Receiver<ClientMessage>) = unbounded();
     // One private channel per worker for assignments.
@@ -237,7 +252,8 @@ mod tests {
     fn distributed_matches_rayon_driver() {
         let s = sim();
         let n = 8_000;
-        let cfg = DistributedConfig { seed: 5, tasks: 16, workers: 4, failure_rate: 0.0 };
+        let cfg =
+            DistributedConfig { seed: 5, tasks: 16, workers: 4, failure_rate: 0.0, task_offset: 0 };
         let dist = run(&s, n, cfg);
         let scenario = Scenario::from_simulation(&s, n, 5).with_tasks(16);
         let rayon = Rayon::default().run(&scenario).expect("valid scenario");
@@ -248,7 +264,8 @@ mod tests {
     fn worker_stats_account_for_all_photons() {
         let s = sim();
         let n = 10_000;
-        let cfg = DistributedConfig { seed: 1, tasks: 20, workers: 3, failure_rate: 0.0 };
+        let cfg =
+            DistributedConfig { seed: 1, tasks: 20, workers: 3, failure_rate: 0.0, task_offset: 0 };
         let rep = run(&s, n, cfg);
         let total: u64 = rep.worker_stats.iter().map(|w| w.photons).sum();
         assert_eq!(total, n);
@@ -263,20 +280,64 @@ mod tests {
         let s = sim();
         let n = 6_000;
         // 32 tasks at 50%: P(zero failures) ~ 2e-10 — cannot flake.
-        let clean =
-            run(&s, n, DistributedConfig { seed: 9, tasks: 32, workers: 3, failure_rate: 0.0 });
-        let faulty =
-            run(&s, n, DistributedConfig { seed: 9, tasks: 32, workers: 3, failure_rate: 0.5 });
+        let clean = run(
+            &s,
+            n,
+            DistributedConfig { seed: 9, tasks: 32, workers: 3, failure_rate: 0.0, task_offset: 0 },
+        );
+        let faulty = run(
+            &s,
+            n,
+            DistributedConfig { seed: 9, tasks: 32, workers: 3, failure_rate: 0.5, task_offset: 0 },
+        );
         // Physics identical: re-executed tasks rerun the same streams.
         assert_eq!(clean.result.tally, faulty.result.tally);
         assert!(faulty.requeues > 0, "50% failure rate should cause requeues");
     }
 
     #[test]
+    fn offset_run_continues_an_earlier_run_bit_identically() {
+        // Streams 0..4 run in one job, then streams 4..8 arrive as
+        // single-task continuation runs folded on in order (a left fold
+        // is prefix-extendable; merging two multi-task partial folds
+        // would differ in the last ulp). Worker count must not matter.
+        let s = sim();
+        let whole = run(
+            &s,
+            8_000,
+            DistributedConfig { seed: 7, tasks: 8, workers: 3, failure_rate: 0.0, task_offset: 0 },
+        );
+        let head = run(
+            &s,
+            4_000,
+            DistributedConfig { seed: 7, tasks: 4, workers: 2, failure_rate: 0.0, task_offset: 0 },
+        );
+        let mut merged = head.result.tally.clone();
+        for j in 4..8 {
+            let step = run(
+                &s,
+                1_000,
+                DistributedConfig {
+                    seed: 7,
+                    tasks: 1,
+                    workers: 2,
+                    failure_rate: 0.0,
+                    task_offset: j,
+                },
+            );
+            merged.merge(&step.result.tally);
+        }
+        assert_eq!(merged, whole.result.tally);
+    }
+
+    #[test]
     fn single_worker_works() {
         let s = sim();
-        let rep =
-            run(&s, 2_000, DistributedConfig { seed: 2, tasks: 4, workers: 1, failure_rate: 0.0 });
+        let rep = run(
+            &s,
+            2_000,
+            DistributedConfig { seed: 2, tasks: 4, workers: 1, failure_rate: 0.0, task_offset: 0 },
+        );
         assert_eq!(rep.result.launched(), 2_000);
         assert_eq!(rep.worker_stats[0].tasks_completed, 4);
     }
@@ -285,15 +346,25 @@ mod tests {
     fn more_tasks_than_needed_is_fine() {
         let s = sim();
         // 100 tasks for 50 photons: many zero batches are filtered out.
-        let rep =
-            run(&s, 50, DistributedConfig { seed: 3, tasks: 100, workers: 4, failure_rate: 0.0 });
+        let rep = run(
+            &s,
+            50,
+            DistributedConfig {
+                seed: 3,
+                tasks: 100,
+                workers: 4,
+                failure_rate: 0.0,
+                task_offset: 0,
+            },
+        );
         assert_eq!(rep.result.launched(), 50);
     }
 
     #[test]
     fn zero_workers_is_a_typed_error_not_a_hang() {
         let s = sim();
-        let cfg = DistributedConfig { seed: 1, tasks: 4, workers: 0, failure_rate: 0.0 };
+        let cfg =
+            DistributedConfig { seed: 1, tasks: 4, workers: 0, failure_rate: 0.0, task_offset: 0 };
         match run_master_worker(&s, 1_000, cfg, &NoProgress) {
             Err(EngineError::InvalidConfig(msg)) => assert!(msg.contains("worker"), "{msg}"),
             other => panic!("expected InvalidConfig, got {other:?}"),
@@ -302,9 +373,11 @@ mod tests {
 
     #[test]
     fn bad_failure_rate_is_rejected() {
-        let cfg = DistributedConfig { seed: 1, tasks: 4, workers: 2, failure_rate: 1.5 };
+        let cfg =
+            DistributedConfig { seed: 1, tasks: 4, workers: 2, failure_rate: 1.5, task_offset: 0 };
         assert!(matches!(cfg.validate(), Err(EngineError::InvalidConfig(_))));
-        let cfg = DistributedConfig { seed: 1, tasks: 0, workers: 2, failure_rate: 0.0 };
+        let cfg =
+            DistributedConfig { seed: 1, tasks: 0, workers: 2, failure_rate: 0.0, task_offset: 0 };
         assert!(matches!(cfg.validate(), Err(EngineError::InvalidConfig(_))));
     }
 }

@@ -217,6 +217,11 @@ pub struct ServeOptions {
     /// abandoning the run with [`NetError::Incomplete`]. Also bounds the
     /// wait for `min_clients` and a new connection's HELLO.
     pub join_grace: Duration,
+    /// First RNG stream index: task `i` draws from stream
+    /// `task_offset + i` (mirrors `Scenario::task_offset`). Clients need
+    /// no configuration — they stream by the task id in each assignment
+    /// — so a continuation run extends an earlier one transparently.
+    pub task_offset: u64,
 }
 
 impl Default for ServeOptions {
@@ -225,6 +230,7 @@ impl Default for ServeOptions {
             min_clients: 1,
             lease_timeout: Duration::from_secs(600),
             join_grace: Duration::from_secs(10),
+            task_offset: 0,
         }
     }
 }
@@ -245,6 +251,12 @@ impl ServeOptions {
     /// Builder-style empty-pool grace period.
     pub fn with_join_grace(mut self, join_grace: Duration) -> Self {
         self.join_grace = join_grace;
+        self
+    }
+
+    /// Builder-style first RNG stream index.
+    pub fn with_task_offset(mut self, task_offset: u64) -> Self {
+        self.task_offset = task_offset;
         self
     }
 
@@ -491,7 +503,12 @@ pub fn serve_with_options(
     if tasks == 0 {
         return Err(NetError::InvalidConfig("tasks must be >= 1".into()));
     }
-    let mut dm = DataManager::new(n, tasks, sim.new_tally(), 0);
+    if options.task_offset.checked_add(tasks).is_none() {
+        return Err(NetError::InvalidConfig(
+            "task_offset + tasks overflows the stream index space".into(),
+        ));
+    }
+    let mut dm = DataManager::with_offset(n, tasks, options.task_offset, sim.new_tally(), 0);
 
     let (tx, rx) = mpsc::channel::<Event>();
     let stop = Arc::new(AtomicBool::new(false));

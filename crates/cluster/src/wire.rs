@@ -25,7 +25,10 @@ use lumen_tissue::{Geometry, Layer, LayeredTissue, VoxelMaterial, VoxelTissue};
 
 /// Magic bytes identifying a lumen wire message.
 pub const MAGIC: [u8; 4] = *b"LMN1";
-/// Wire format version. v4 added path archives: tallies may carry a
+/// Wire format version. v5 added the scenario `task_offset` field (RNG
+/// stream continuation, the basis of the service cache's incremental
+/// top-up) and the service query/reply frames spoken by `lumend`
+/// (`lumen_service`). v4 added path archives: tallies may carry a
 /// [`PathArchive`] section, scenarios carry the archive `RecordOptions`,
 /// and standalone archive messages ([`encode_archive`]) feed the
 /// `reweight` backend. v3 added the `HELLO`/`PING` handshake frames to
@@ -34,7 +37,7 @@ pub const MAGIC: [u8; 4] = *b"LMN1";
 /// typed `VersionMismatch` instead of a confusing mid-run decode error.
 /// v2 added the geometry-kind tag to scenario messages (layered |
 /// voxel); v1 scenarios carried a bare layer stack.
-pub const VERSION: u8 = 4;
+pub const VERSION: u8 = 5;
 
 /// Encoding buffer.
 #[derive(Debug, Default)]
@@ -967,6 +970,7 @@ pub fn encode_scenario(s: &Scenario) -> Vec<u8> {
     e.put_u64(s.photons);
     e.put_u64(s.tasks);
     e.put_u64(s.seed);
+    e.put_u64(s.task_offset);
     e.finish()
 }
 
@@ -981,8 +985,10 @@ pub fn decode_scenario(bytes: &[u8]) -> Result<Scenario, WireError> {
     let photons = d.get_u64()?;
     let tasks = d.get_u64()?;
     let seed = d.get_u64()?;
+    let task_offset = d.get_u64()?;
     d.finish()?;
-    let scenario = Scenario { tissue, source, detector, options, photons, tasks, seed };
+    let scenario =
+        Scenario { tissue, source, detector, options, photons, tasks, seed, task_offset };
     scenario.validate().map_err(|e| WireError::Invalid(e.to_string()))?;
     Ok(scenario)
 }

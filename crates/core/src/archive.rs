@@ -508,6 +508,24 @@ impl PathArchive {
         let ess = if sum_ratio_sq > 0.0 { sum_ratio * sum_ratio / sum_ratio_sq } else { 0.0 };
         Ok(ReweightReport { tally: total, ess, detected_entries, sum_ratio })
     }
+
+    /// Evaluate a whole sweep of queries, fanning out across the rayon
+    /// pool — one [`PathArchive::evaluate`] per query, sharing the
+    /// read-only archive.
+    ///
+    /// Queries are independent (nothing is accumulated *across* them),
+    /// so each report is bit-identical to its sequential
+    /// `evaluate(query)` and results come back in query order; only the
+    /// wall-clock changes. This is the batch API the `reweight` bench
+    /// leg drives: property sweeps are the archive's whole reason to
+    /// exist, and they are embarrassingly parallel.
+    pub fn evaluate_many(
+        &self,
+        queries: &[Vec<OpticalProperties>],
+    ) -> Vec<Result<ReweightReport, String>> {
+        use rayon::prelude::*;
+        queries.par_iter().map(|query| self.evaluate(query)).collect()
+    }
 }
 
 /// A [`Backend`] that answers scenarios from a stored [`PathArchive`]
@@ -531,6 +549,16 @@ impl Reweight {
     /// [`ReweightReport`] diagnostics ([`ess`](ReweightReport::ess)).
     pub fn query(&self, query: &[OpticalProperties]) -> Result<ReweightReport, String> {
         self.archive.evaluate(query)
+    }
+
+    /// Evaluate a sweep of queries in parallel; see
+    /// [`PathArchive::evaluate_many`] for the ordering and bit-identity
+    /// contract.
+    pub fn query_many(
+        &self,
+        queries: &[Vec<OpticalProperties>],
+    ) -> Vec<Result<ReweightReport, String>> {
+        self.archive.evaluate_many(queries)
     }
 }
 

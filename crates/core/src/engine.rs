@@ -130,6 +130,13 @@ pub struct Scenario {
     pub tasks: u64,
     /// Experiment seed.
     pub seed: u64,
+    /// First RNG stream index: task `i` draws from stream
+    /// `task_offset + i`. Zero for standalone runs. A non-zero offset is
+    /// how a *continuation* run extends an earlier one — the earlier run
+    /// consumed streams `0..k`, the continuation starts at `k` — so the
+    /// two merged tallies are bit-identical to one run over all streams
+    /// (stream identity depends only on `(seed, index)`).
+    pub task_offset: u64,
 }
 
 impl Scenario {
@@ -152,6 +159,7 @@ impl Scenario {
             photons: Self::DEFAULT_PHOTONS,
             tasks: Self::DEFAULT_TASKS,
             seed: Self::DEFAULT_SEED,
+            task_offset: 0,
         }
     }
 
@@ -165,6 +173,7 @@ impl Scenario {
             photons,
             tasks: Self::DEFAULT_TASKS,
             seed,
+            task_offset: 0,
         }
     }
 
@@ -183,6 +192,13 @@ impl Scenario {
     /// Override the seed (builder style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Override the first RNG stream index (builder style). See the
+    /// [`Scenario::task_offset`] field for the continuation contract.
+    pub fn with_task_offset(mut self, task_offset: u64) -> Self {
+        self.task_offset = task_offset;
         self
     }
 
@@ -206,6 +222,11 @@ impl Scenario {
     pub fn validate(&self) -> Result<(), EngineError> {
         if self.tasks == 0 {
             return Err(EngineError::InvalidConfig("tasks must be >= 1".into()));
+        }
+        if self.task_offset.checked_add(self.tasks).is_none() {
+            return Err(EngineError::InvalidConfig(
+                "task_offset + tasks overflows the stream index space".into(),
+            ));
         }
         self.simulation().validate().map_err(EngineError::from)
     }
@@ -396,7 +417,8 @@ impl Backend for Sequential {
             .iter()
             .enumerate()
             .map(|(task_idx, &batch)| {
-                let out = run_one_task(&sim, &factory, task_idx as u64, batch);
+                let out =
+                    run_one_task(&sim, &factory, scenario.task_offset + task_idx as u64, batch);
                 done += batch;
                 progress.on_photons(done, scenario.photons);
                 out
@@ -454,7 +476,8 @@ impl Rayon {
             .par_iter()
             .enumerate()
             .map(|(task_idx, &batch)| {
-                let out = run_one_task(&sim, &factory, task_idx as u64, batch);
+                let out =
+                    run_one_task(&sim, &factory, scenario.task_offset + task_idx as u64, batch);
                 {
                     let mut done = done.lock().expect("progress lock");
                     *done += batch;
@@ -619,6 +642,33 @@ mod tests {
     fn zero_tasks_is_invalid() {
         let s = scenario().with_tasks(0);
         assert!(matches!(Sequential.run(&s), Err(EngineError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn overflowing_task_offset_is_invalid() {
+        let s = scenario().with_task_offset(u64::MAX);
+        assert!(matches!(Sequential.run(&s), Err(EngineError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn offset_continuation_extends_a_prefix_run_bit_identically() {
+        // The continuation contract behind the service cache's top-up.
+        // `merge` left-folds, and a left fold is *prefix-extendable*:
+        // fold(0..8) == fold(fold(0..4), t4, t5, t6, t7) bit for bit —
+        // so a cached prefix run extended one offset run at a time is the
+        // single full run. (Two multi-task partial folds merged together
+        // would NOT be: float addition is not associative.)
+        let full = scenario(); // 4_000 photons, 8 tasks -> 500 each
+        let head = scenario().with_photons(2_000).with_tasks(4);
+        for backend in [&Sequential as &dyn Backend, &Rayon::default()] {
+            let whole = backend.run(&full).unwrap();
+            let mut merged = backend.run(&head).unwrap().result.tally.clone();
+            for j in 4..8 {
+                let step = scenario().with_photons(500).with_tasks(1).with_task_offset(j);
+                merged.merge(&backend.run(&step).unwrap().result.tally);
+            }
+            assert_eq!(merged, whole.result.tally, "backend {}", backend.name());
+        }
     }
 
     #[test]

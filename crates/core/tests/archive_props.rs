@@ -172,6 +172,30 @@ proptest! {
 }
 
 proptest! {
+    /// The batch sweep API is a pure fan-out: `evaluate_many` answers
+    /// every query bit-identically to its sequential `evaluate`, in
+    /// query order, however the rayon pool schedules the work.
+    #[test]
+    fn batch_sweep_matches_sequential_per_query(
+        entries in proptest::collection::vec(any::<[u8; 6]>(), 1..8),
+        factors in proptest::collection::vec(any::<[u8; 2]>(), 1..12),
+    ) {
+        let archive = synthetic_archive(&entries, 0);
+        let queries: Vec<_> = factors
+            .iter()
+            .enumerate()
+            .map(|(i, f)| query_scaling(i % REGIONS, factor(f[0]), factor(f[1])))
+            .collect();
+        let batch = archive.evaluate_many(&queries);
+        prop_assert_eq!(batch.len(), queries.len());
+        for (query, got) in queries.iter().zip(&batch) {
+            let alone = archive.evaluate(query).unwrap();
+            prop_assert_eq!(got.as_ref().unwrap(), &alone);
+        }
+    }
+}
+
+proptest! {
     // Full engine runs are costly; a few sampled seeds are enough for
     // the cross-backend determinism claim (the cluster crate pins the
     // distributed leg of the same property).

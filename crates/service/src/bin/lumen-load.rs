@@ -1,0 +1,212 @@
+//! `lumen-load` — load generator for the simulation service.
+//!
+//! Drives a daemon through three phases and records latency percentiles
+//! per phase into `BENCH_service.json`:
+//!
+//! * **cold** — distinct seeds, so every request misses the cache and
+//!   traces its full budget;
+//! * **warm** — the same requests again, served straight from cache;
+//! * **top-up** — the same keys at a doubled budget, extending each
+//!   cached entry with only the missing chunks.
+//!
+//! By default an in-process daemon is spun up on an ephemeral port so
+//! the tool is self-contained (the CI perf-smoke job runs it exactly
+//! like that); point `--addr` at a running `lumend` to measure a real
+//! deployment over the wire.
+
+use lumen_core::engine::Scenario;
+use lumen_core::{Detector, Source};
+use lumen_service::{Served, ServiceClient, ServiceOptions, ServiceServer, SimulationService};
+use lumen_tissue::presets::semi_infinite_phantom;
+use std::sync::Arc;
+use std::time::Instant;
+
+const USAGE: &str = "\
+lumen-load - latency load generator for the simulation service
+
+USAGE:
+    lumen-load [OPTIONS]
+
+OPTIONS:
+    --addr <ADDR>            measure a running lumend instead of an
+                             in-process daemon on an ephemeral port
+    --requests <N>           distinct scenarios per phase [default: 12]
+    --photons <N>            cold-phase photon budget [default: 40000]
+    --chunk-photons <N>      photons per cache chunk (in-process daemon)
+                             [default: 10000]
+    --backend <SPEC>         chunk backend (in-process daemon) [default: rayon]
+    --out <PATH>             output path [default: BENCH_service.json]
+    -h, --help               print this help
+";
+
+struct Args {
+    addr: Option<String>,
+    requests: u64,
+    photons: u64,
+    chunk_photons: u64,
+    backend: String,
+    out: String,
+}
+
+fn main() {
+    match run() {
+        Ok(()) => {}
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        addr: None,
+        requests: 12,
+        photons: 40_000,
+        chunk_photons: 10_000,
+        backend: "rayon".into(),
+        out: "BENCH_service.json".into(),
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().map(String::as_str).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--addr" => args.addr = Some(value("--addr")?.to_string()),
+            "--requests" => args.requests = parse(value("--requests")?, "--requests")?,
+            "--photons" => args.photons = parse(value("--photons")?, "--photons")?,
+            "--chunk-photons" => {
+                args.chunk_photons = parse(value("--chunk-photons")?, "--chunk-photons")?;
+            }
+            "--backend" => args.backend = value("--backend")?.to_string(),
+            "--out" => args.out = value("--out")?.to_string(),
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if args.requests == 0 {
+        return Err("--requests must be >= 1".into());
+    }
+    Ok(Some(args))
+}
+
+fn run() -> Result<(), String> {
+    let Some(args) = parse_args()? else { return Ok(()) };
+
+    // In-process daemon unless pointed at a live one.
+    let server = match &args.addr {
+        Some(_) => None,
+        None => {
+            let options = ServiceOptions::default()
+                .with_backend(args.backend.clone())
+                .with_chunk_photons(args.chunk_photons);
+            let service = SimulationService::new(options).map_err(|e| e.to_string())?;
+            Some(ServiceServer::bind("127.0.0.1:0", Arc::new(service)).map_err(|e| e.to_string())?)
+        }
+    };
+    let addr = match (&args.addr, &server) {
+        (Some(addr), _) => addr.clone(),
+        (None, Some(server)) => server.local_addr().to_string(),
+        (None, None) => unreachable!("either --addr or an in-process server"),
+    };
+    let mut client = ServiceClient::connect(addr.as_str()).map_err(|e| e.to_string())?;
+
+    let scenario = |seed: u64, photons: u64| {
+        Scenario::new(
+            semi_infinite_phantom(0.1, 10.0, 0.0, 1.37),
+            Source::Delta,
+            Detector::new(1.0, 0.5),
+        )
+        .with_photons(photons)
+        .with_seed(1000 + seed)
+    };
+
+    let mut phases = Vec::new();
+    for (name, photons, expect) in [
+        ("cold", args.photons, Served::Cold),
+        ("warm", args.photons, Served::Warm),
+        ("topup", args.photons * 2, Served::TopUp),
+    ] {
+        let mut latencies_ms = Vec::with_capacity(args.requests as usize);
+        for seed in 0..args.requests {
+            let request = scenario(seed, photons);
+            let start = Instant::now();
+            let reply = client.query(&request).map_err(|e| format!("{name} query: {e}"))?;
+            latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            if reply.served != expect {
+                return Err(format!(
+                    "{name} phase seed {seed}: expected {} reply, daemon said {}",
+                    expect.as_str(),
+                    reply.served.as_str()
+                ));
+            }
+            if reply.photons_done < photons {
+                return Err(format!(
+                    "{name} phase seed {seed}: {} photons done < requested {photons}",
+                    reply.photons_done
+                ));
+            }
+        }
+        phases.push((name, latencies_ms));
+    }
+    drop(client);
+    if let Some(server) = server {
+        server.shutdown();
+    }
+
+    let json = render_json(&args, &phases);
+    std::fs::write(&args.out, &json).map_err(|e| format!("write {}: {e}", args.out))?;
+    println!("{json}");
+    println!("wrote {}", args.out);
+    Ok(())
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: cannot parse {s:?}"))
+}
+
+/// Nearest-rank percentile over an unsorted sample, in the sample's unit.
+fn percentile(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank]
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+fn render_json(args: &Args, phases: &[(&str, Vec<f64>)]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"service\",\n");
+    out.push_str(&format!("  \"requests_per_phase\": {},\n", args.requests));
+    out.push_str(&format!("  \"photons_cold\": {},\n", args.photons));
+    out.push_str(&format!("  \"photons_topup\": {},\n", args.photons * 2));
+    out.push_str(&format!("  \"chunk_photons\": {},\n", args.chunk_photons));
+    out.push_str(&format!("  \"backend\": \"{}\",\n", args.backend));
+    out.push_str(&format!("  \"in_process_daemon\": {},\n", args.addr.is_none()));
+    out.push_str("  \"phases\": {\n");
+    for (i, (name, latencies)) in phases.iter().enumerate() {
+        let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+        out.push_str(&format!("    \"{name}\": {{\n"));
+        out.push_str(&format!("      \"n\": {},\n", latencies.len()));
+        out.push_str(&format!("      \"p50_ms\": {},\n", json_f64(percentile(latencies, 0.50))));
+        out.push_str(&format!("      \"p90_ms\": {},\n", json_f64(percentile(latencies, 0.90))));
+        out.push_str(&format!("      \"p99_ms\": {},\n", json_f64(percentile(latencies, 0.99))));
+        out.push_str(&format!("      \"mean_ms\": {}\n", json_f64(mean)));
+        out.push_str(if i + 1 == phases.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}

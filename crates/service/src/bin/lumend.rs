@@ -1,0 +1,14 @@
+//! `lumend` — the persistent simulation daemon.
+//!
+//! Binds an address, serves scenario queries from the content-addressed
+//! result cache, and runs until killed. All logic lives in
+//! `lumen_service::daemon` (shared with `lumen serve`).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(msg) = lumen_service::daemon::run(&args) {
+        eprintln!("error: {msg}");
+        eprintln!("{}", lumen_service::daemon::USAGE);
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,177 @@
+//! The content-addressed result cache: LRU order under a byte budget.
+//!
+//! Each entry stores the merged tally for some number of completed
+//! *chunks* of a scenario's photon budget, plus the seed ledger that
+//! makes the entry upgradable: `(chunk_photons, chunk_tasks, chunks)`
+//! says exactly which RNG streams the tally consumed — streams
+//! `0 .. chunks * chunk_tasks` of the scenario's seed — so a top-up can
+//! continue on fresh streams with no bookkeeping beyond the chunk count.
+//!
+//! Entry sizes are measured with the wire encoding of the tally (the
+//! same bytes a reply ships), so the byte budget tracks real memory
+//! footprint including optional grids and histograms, not a struct size
+//! guess. Eviction is strict LRU, with one exception: the entry being
+//! inserted or refreshed is never evicted by its own insertion, so a
+//! single result larger than the whole budget still caches (and evicts
+//! everything else).
+
+use crate::hash::ScenarioKey;
+use lumen_cluster::wire;
+use lumen_core::tally::Tally;
+use std::collections::HashMap;
+
+/// One cached result and its upgrade ledger.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// Left fold of the per-chunk tallies, in chunk order.
+    pub tally: Tally,
+    /// Chunks completed; the cached photon budget is
+    /// `chunks * chunk_photons`.
+    pub chunks: u64,
+    /// Photons per chunk when this entry was traced.
+    pub chunk_photons: u64,
+    /// Internal task split of each chunk — with `chunks`, the seed
+    /// ledger: streams `0 .. chunks * chunk_tasks` are consumed.
+    pub chunk_tasks: u64,
+    /// Measured wire size of the tally plus key overhead.
+    pub bytes: usize,
+}
+
+impl CacheEntry {
+    /// Photons the cached tally covers.
+    pub fn photons_done(&self) -> u64 {
+        self.chunks * self.chunk_photons
+    }
+}
+
+/// LRU + byte-budget cache keyed by canonical scenario hash.
+#[derive(Debug)]
+pub struct ResultCache {
+    map: HashMap<ScenarioKey, CacheEntry>,
+    /// Access order, oldest first. Touched on every hit and insert.
+    lru: Vec<ScenarioKey>,
+    total_bytes: usize,
+    max_bytes: usize,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `max_bytes` of encoded tallies.
+    pub fn new(max_bytes: usize) -> Self {
+        Self { map: HashMap::new(), lru: Vec::new(), total_bytes: 0, max_bytes, evictions: 0 }
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &ScenarioKey) -> Option<&CacheEntry> {
+        if self.map.contains_key(key) {
+            self.touch(key);
+        }
+        self.map.get(key)
+    }
+
+    /// Store (or upgrade) the entry for `key`, then evict least-recently
+    /// used entries until the byte budget holds. The entry just written
+    /// is exempt from its own insertion's eviction pass.
+    pub fn insert(
+        &mut self,
+        key: ScenarioKey,
+        tally: Tally,
+        chunks: u64,
+        chunk_photons: u64,
+        chunk_tasks: u64,
+    ) {
+        let bytes = wire::encode_tally(&tally).len() + std::mem::size_of::<ScenarioKey>();
+        if let Some(old) = self.map.remove(&key) {
+            self.total_bytes -= old.bytes;
+        }
+        self.total_bytes += bytes;
+        self.map.insert(key, CacheEntry { tally, chunks, chunk_photons, chunk_tasks, bytes });
+        self.touch(&key);
+        while self.total_bytes > self.max_bytes && self.lru.len() > 1 {
+            let victim = self.lru.remove(0);
+            if let Some(entry) = self.map.remove(&victim) {
+                self.total_bytes -= entry.bytes;
+                self.evictions += 1;
+            }
+        }
+    }
+
+    fn touch(&mut self, key: &ScenarioKey) {
+        self.lru.retain(|k| k != key);
+        self.lru.push(*key);
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bytes currently held (wire-encoded tallies plus key overhead).
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// Entries evicted over the cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: u8) -> ScenarioKey {
+        [tag; 32]
+    }
+
+    fn tally() -> Tally {
+        let mut t = Tally::new(1, None, None);
+        t.launched = 100;
+        t
+    }
+
+    #[test]
+    fn get_refreshes_recency_and_insert_evicts_oldest() {
+        let one = wire::encode_tally(&tally()).len() + 32;
+        let mut cache = ResultCache::new(2 * one + 1); // room for two entries
+        cache.insert(key(1), tally(), 1, 100, 4);
+        cache.insert(key(2), tally(), 1, 100, 4);
+        assert_eq!(cache.len(), 2);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(3), tally(), 1, 100, 4);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn oversized_entry_still_caches_alone() {
+        let mut cache = ResultCache::new(1); // smaller than any entry
+        cache.insert(key(1), tally(), 1, 100, 4);
+        assert_eq!(cache.len(), 1, "the newest entry is never self-evicted");
+        cache.insert(key(2), tally(), 1, 100, 4);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key(2)).is_some());
+    }
+
+    #[test]
+    fn upgrading_an_entry_replaces_bytes_not_duplicates() {
+        let mut cache = ResultCache::new(usize::MAX);
+        cache.insert(key(1), tally(), 1, 100, 4);
+        let before = cache.total_bytes();
+        cache.insert(key(1), tally(), 2, 100, 4);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.total_bytes(), before, "same tally shape, same bytes");
+        assert_eq!(cache.get(&key(1)).unwrap().chunks, 2);
+        assert_eq!(cache.get(&key(1)).unwrap().photons_done(), 200);
+    }
+}

@@ -1,0 +1,40 @@
+//! Client side of the daemon protocol: connect, HELLO, query.
+
+use crate::proto::{self, KIND_ERROR, KIND_QUERY, KIND_RESULT};
+use crate::service::{QueryReply, ServiceError};
+use lumen_cluster::net::{handshake, read_frame, write_frame};
+use lumen_cluster::wire;
+use lumen_cluster::NetError;
+use lumen_core::engine::Scenario;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected daemon session. One request is in flight at a time;
+/// replies arrive in request order.
+#[derive(Debug)]
+pub struct ServiceClient {
+    stream: TcpStream,
+}
+
+impl ServiceClient {
+    /// Connect to a daemon and complete the HELLO version gate.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
+        let mut stream = TcpStream::connect(addr).map_err(NetError::Io)?;
+        stream.set_nodelay(true).ok();
+        handshake(&mut stream)?;
+        Ok(Self { stream })
+    }
+
+    /// Submit `scenario` and wait for the served result.
+    pub fn query(&mut self, scenario: &Scenario) -> Result<QueryReply, ServiceError> {
+        write_frame(&mut self.stream, KIND_QUERY, &wire::encode_scenario(scenario))?;
+        let (kind, payload) = read_frame(&mut self.stream)?;
+        match kind {
+            KIND_RESULT => Ok(proto::decode_reply(&payload).map_err(NetError::Wire)?),
+            KIND_ERROR => {
+                let msg = proto::decode_error(&payload).map_err(NetError::Wire)?;
+                Err(ServiceError::Remote(msg))
+            }
+            other => Err(ServiceError::Net(NetError::BadKind(other))),
+        }
+    }
+}

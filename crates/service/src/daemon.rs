@@ -1,0 +1,77 @@
+//! The daemon entry point shared by the `lumend` binary and
+//! `lumen serve`: parse flags, bind, announce, park.
+
+use crate::{ServiceOptions, ServiceServer, SimulationService};
+use std::sync::Arc;
+
+/// Flag reference, printed by `lumend --help` and on bad usage.
+pub const USAGE: &str = "\
+lumend - persistent simulation service daemon
+
+USAGE:
+    lumend [ADDR] [OPTIONS]
+
+ARGS:
+    ADDR                     address to bind [default: 127.0.0.1:7201]
+
+OPTIONS:
+    --backend <SPEC>         chunk backend: sequential | rayon [N] | cluster [N] | tcp <addr>
+                             [default: rayon]
+    --workers <N>            max concurrent backend runs [default: 2]
+    --chunk-photons <N>      photons per cache chunk [default: 100000]
+    --chunk-tasks <N>        task split inside one chunk [default: 64]
+    --cache-bytes <N>        result cache byte budget [default: 67108864]
+    -h, --help               print this help
+";
+
+/// Run the daemon until killed. Returns `Ok(())` only for `--help`;
+/// otherwise it either serves forever or reports a startup error.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let mut addr = String::from("127.0.0.1:7201");
+    let mut options = ServiceOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().map(String::as_str).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            "--backend" => options.backend_spec = value("--backend")?.to_string(),
+            "--workers" => options.workers = parse(value("--workers")?, "--workers")?,
+            "--chunk-photons" => {
+                options.chunk_photons = parse(value("--chunk-photons")?, "--chunk-photons")?;
+            }
+            "--chunk-tasks" => {
+                options.chunk_tasks = parse(value("--chunk-tasks")?, "--chunk-tasks")?;
+            }
+            "--cache-bytes" => {
+                options.max_cache_bytes = parse(value("--cache-bytes")?, "--cache-bytes")?;
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            positional => addr = positional.to_string(),
+        }
+    }
+
+    let service = SimulationService::new(options.clone()).map_err(|e| e.to_string())?;
+    let server =
+        ServiceServer::bind(addr.as_str(), Arc::new(service)).map_err(|e| e.to_string())?;
+    println!(
+        "lumend listening on {} (backend {}, {} workers, {} photons/chunk, {} MiB cache)",
+        server.local_addr(),
+        options.backend_spec,
+        options.workers,
+        options.chunk_photons,
+        options.max_cache_bytes / (1024 * 1024),
+    );
+    // Serve until killed; all work happens on the server's threads.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: cannot parse {s:?}"))
+}

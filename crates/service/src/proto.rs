@@ -1,0 +1,122 @@
+//! Service frames riding the cluster wire format.
+//!
+//! `lumend` speaks the same framing as the distributed runtime (4-byte
+//! LE length + kind byte + payload, HELLO version gating first), with
+//! three kinds of its own:
+//!
+//! * [`KIND_QUERY`] (client → daemon) — payload is
+//!   `wire::encode_scenario` of the requested scenario.
+//! * [`KIND_RESULT`] (daemon → client) — a [`QueryReply`]: cache key,
+//!   served tag, photons done, and the wire-encoded tally.
+//! * [`KIND_ERROR`] (daemon → client) — a typed error message; the
+//!   daemon sends this instead of dropping the connection when a
+//!   request is malformed or fails, so clients always get a diagnosis.
+//!
+//! Kind values continue the existing numbering (client-to-server kinds
+//! count up from `0x01`, server-to-client kinds from `0x81`).
+
+use crate::service::{QueryReply, Served};
+use lumen_cluster::wire::{self, Decoder, Encoder, WireError};
+
+/// Client → daemon: run (or fetch) this scenario.
+pub const KIND_QUERY: u8 = 0x05;
+/// Daemon → client: the served result.
+pub const KIND_RESULT: u8 = 0x83;
+/// Daemon → client: typed failure for the preceding request.
+pub const KIND_ERROR: u8 = 0x84;
+
+/// Encode a [`QueryReply`] for a [`KIND_RESULT`] frame.
+pub fn encode_reply(reply: &QueryReply) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_bytes(&reply.key);
+    e.put_u8(reply.served.tag());
+    e.put_u64(reply.photons_done);
+    e.put_bytes(&wire::encode_tally(&reply.tally));
+    e.finish()
+}
+
+/// Decode a [`KIND_RESULT`] payload.
+pub fn decode_reply(bytes: &[u8]) -> Result<QueryReply, WireError> {
+    let mut d = Decoder::new(bytes)?;
+    let key_bytes = d.get_bytes()?;
+    let key: [u8; 32] = key_bytes.as_slice().try_into().map_err(|_| {
+        WireError::Invalid(format!("cache key must be 32 bytes, got {}", key_bytes.len()))
+    })?;
+    let tag = d.get_u8()?;
+    let served = Served::from_tag(tag)
+        .ok_or_else(|| WireError::Invalid(format!("unknown served tag {tag}")))?;
+    let photons_done = d.get_u64()?;
+    let tally = wire::decode_tally(&d.get_bytes()?)?;
+    d.finish()?;
+    Ok(QueryReply { key, tally, photons_done, served })
+}
+
+/// Encode a daemon-side error message for a [`KIND_ERROR`] frame.
+pub fn encode_error(message: &str) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_str(message);
+    e.finish()
+}
+
+/// Decode a [`KIND_ERROR`] payload.
+pub fn decode_error(bytes: &[u8]) -> Result<String, WireError> {
+    let mut d = Decoder::new(bytes)?;
+    let message = d.get_str()?;
+    d.finish()?;
+    Ok(message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_core::tally::Tally;
+
+    fn reply() -> QueryReply {
+        let mut tally = Tally::new(2, None, None);
+        tally.launched = 12_345;
+        tally.detected = 678;
+        tally.detected_weight = 0.125;
+        QueryReply { key: [0xAB; 32], tally, photons_done: 200_000, served: Served::TopUp }
+    }
+
+    #[test]
+    fn reply_round_trips() {
+        let r = reply();
+        let decoded = decode_reply(&encode_reply(&r)).expect("round trip");
+        assert_eq!(decoded, r);
+    }
+
+    #[test]
+    fn error_round_trips() {
+        let msg = "backend failed: out of photons";
+        assert_eq!(decode_error(&encode_error(msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncated_reply_is_rejected_not_panicking() {
+        let bytes = encode_reply(&reply());
+        for cut in 0..bytes.len() {
+            assert!(decode_reply(&bytes[..cut]).is_err(), "prefix of {cut} bytes must not decode");
+        }
+    }
+
+    #[test]
+    fn bad_served_tag_is_rejected() {
+        let r = reply();
+        let mut bytes = encode_reply(&r);
+        // The tag byte sits right after the header and the length-prefixed
+        // 32-byte key: 5 (header) + 8 (len) + 32 (key).
+        bytes[5 + 8 + 32] = 9;
+        assert!(matches!(decode_reply(&bytes), Err(WireError::Invalid(_))));
+    }
+
+    #[test]
+    fn short_key_is_rejected() {
+        let mut e = Encoder::new();
+        e.put_bytes(&[1, 2, 3]);
+        e.put_u8(0);
+        e.put_u64(0);
+        e.put_bytes(&wire::encode_tally(&Tally::new(1, None, None)));
+        assert!(matches!(decode_reply(&e.finish()), Err(WireError::Invalid(_))));
+    }
+}

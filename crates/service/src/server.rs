@@ -1,0 +1,184 @@
+//! `lumend`'s TCP front end: one daemon, many query connections.
+//!
+//! Mirrors the cluster runtime's server shape (`lumen_cluster::net`): a
+//! non-blocking accept loop polling a stop flag, one detached thread per
+//! connection, and the same HELLO version gate — the server always
+//! answers with its own [`wire::VERSION`] before rejecting a mismatch,
+//! so an out-of-date client can diagnose itself.
+//!
+//! Connection threads are fault-isolated: a malformed frame earns a
+//! typed [`KIND_ERROR`] reply and a closed
+//! connection, and a client that disconnects mid-response kills only its
+//! own thread. The shared [`SimulationService`] (cache, in-flight
+//! claims, worker pool) outlives any connection.
+
+use crate::proto::{self, KIND_ERROR, KIND_QUERY, KIND_RESULT};
+use crate::service::{ServiceError, SimulationService};
+use lumen_cluster::net::{read_frame, write_frame, KIND_HELLO, KIND_PING};
+use lumen_cluster::wire::{self, WireError};
+use lumen_cluster::NetError;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Accept-loop poll interval while checking the stop flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+/// Idle-read poll interval on connection threads, and the handshake
+/// grace period: a connection that never says HELLO is cut after this.
+const READ_POLL: Duration = Duration::from_millis(250);
+/// How long a frame may take to finish arriving once its first byte is
+/// here; a peer that stalls mid-frame past this is dropped.
+const STALL_GUARD: Duration = Duration::from_secs(10);
+
+/// A running daemon; dropping it (or calling [`ServiceServer::shutdown`])
+/// stops the accept loop and releases the port.
+#[derive(Debug)]
+pub struct ServiceServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServiceServer {
+    /// Bind `addr` and start serving `service` in background threads.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<SimulationService>,
+    ) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let service = Arc::clone(&service);
+                            let stop = Arc::clone(&stop);
+                            // Detached: bounded by the stop flag via the
+                            // read timeout, or by its socket closing.
+                            thread::spawn(move || connection_loop(stream, service, stop));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        Ok(Self { addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and wind down connection threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServiceServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Serve one connection until it closes, errs, or the daemon stops.
+fn connection_loop(mut stream: TcpStream, service: Arc<SimulationService>, stop: Arc<AtomicBool>) {
+    stream.set_nodelay(true).ok();
+    // The handshake gets the stall guard as its grace period — a silent
+    // connection can never pin a thread longer than that.
+    stream.set_read_timeout(Some(STALL_GUARD)).ok();
+    if handshake_server(&mut stream).is_err() {
+        // The rejected peer already holds our version; just close.
+        return;
+    }
+    stream.set_read_timeout(Some(READ_POLL)).ok();
+    while !stop.load(Ordering::Relaxed) {
+        // Idle-poll with `peek` so a timeout can never fire mid-frame and
+        // desync the framing: `read_frame` only runs once bytes are
+        // actually waiting (under a generous stall guard).
+        match stream.peek(&mut [0u8; 1]) {
+            Ok(0) => return, // orderly close
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue; // idle: poll the stop flag again
+            }
+            Err(_) => return,
+        }
+        stream.set_read_timeout(Some(STALL_GUARD)).ok();
+        let result = read_frame(&mut stream);
+        stream.set_read_timeout(Some(READ_POLL)).ok();
+        let (kind, payload) = match result {
+            Ok(frame) => frame,
+            Err(_) => return, // closed, stalled mid-frame, or malformed framing
+        };
+        let outcome = match kind {
+            KIND_PING => write_frame(&mut stream, KIND_PING, &payload),
+            KIND_QUERY => answer_query(&mut stream, &service, &payload),
+            other => {
+                // Typed rejection, then close: an unknown kind means the
+                // peer and daemon disagree about the protocol.
+                let msg = format!("unsupported frame kind 0x{other:02x}");
+                let _ = write_frame(&mut stream, KIND_ERROR, &proto::encode_error(&msg));
+                return;
+            }
+        };
+        if outcome.is_err() {
+            // Client went away (possibly mid-response). Only this
+            // connection dies; the service and other clients carry on.
+            return;
+        }
+    }
+}
+
+/// Decode, serve, and answer one QUERY frame. `Err` only for socket
+/// failures — request-level problems become [`KIND_ERROR`] frames.
+fn answer_query(
+    stream: &mut TcpStream,
+    service: &SimulationService,
+    payload: &[u8],
+) -> Result<(), NetError> {
+    let reply = wire::decode_scenario(payload)
+        .map_err(|e| ServiceError::InvalidConfig(format!("malformed scenario: {e}")))
+        .and_then(|scenario| service.query(&scenario));
+    match reply {
+        Ok(reply) => write_frame(stream, KIND_RESULT, &proto::encode_reply(&reply)),
+        Err(e) => write_frame(stream, KIND_ERROR, &proto::encode_error(&e.to_string())),
+    }
+}
+
+/// Server half of the HELLO gate (same contract as the cluster server:
+/// answer with our version first, then reject a mismatch).
+fn handshake_server(stream: &mut TcpStream) -> Result<(), NetError> {
+    let (kind, payload) = read_frame(stream)?;
+    if kind != KIND_HELLO {
+        return Err(NetError::BadKind(kind));
+    }
+    let theirs = *payload.first().ok_or(NetError::Wire(WireError::Truncated))?;
+    write_frame(stream, KIND_HELLO, &[wire::VERSION])?;
+    if theirs != wire::VERSION {
+        return Err(NetError::VersionMismatch { ours: wire::VERSION, theirs });
+    }
+    Ok(())
+}

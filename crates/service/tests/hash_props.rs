@@ -1,0 +1,119 @@
+//! Property tests for the canonical scenario hash — the cache's
+//! correctness hinges on two facts proven here over random scenarios:
+//!
+//! * **Stability**: the key ignores exactly the execution parameters
+//!   (`photons`, `tasks`, `task_offset`), so any budget of the same
+//!   physics lands on the same cache entry — that is what makes warm
+//!   hits and top-ups possible.
+//! * **Sensitivity**: *any* physics change — optics, geometry, source,
+//!   detector, engine options, or seed — moves the key, so two different
+//!   experiments can never alias to one entry.
+
+use lumen_core::engine::Scenario;
+use lumen_core::{Detector, Source};
+use lumen_service::{key_hex, scenario_key};
+use lumen_tissue::presets::semi_infinite_phantom;
+use proptest::prelude::*;
+
+/// A scenario drawn from the given physics knobs (budget/split left at
+/// their defaults; the properties vary those separately).
+fn scenario(mu_a: f64, mu_s: f64, g: f64, separation: f64, radius: f64, seed: u64) -> Scenario {
+    Scenario::new(
+        semi_infinite_phantom(mu_a, mu_s, g, 1.37),
+        Source::Delta,
+        Detector::new(separation, radius),
+    )
+    .with_seed(seed)
+}
+
+proptest! {
+    #[test]
+    fn key_ignores_budget_and_decomposition(
+        mu_a in 0.01f64..1.0,
+        sep in 0.5f64..5.0,
+        seed in any::<u64>(),
+        photons in 1u64..1_000_000_000,
+        tasks in 1u64..10_000,
+        offset in 0u64..1_000_000,
+    ) {
+        let base = scenario(mu_a, 10.0, 0.0, sep, 0.5, seed);
+        let key = scenario_key(&base);
+        let rehomed = base.with_photons(photons).with_tasks(tasks).with_task_offset(offset);
+        prop_assert_eq!(scenario_key(&rehomed), key);
+    }
+
+    #[test]
+    fn key_is_deterministic_across_clones(
+        mu_a in 0.01f64..1.0,
+        mu_s in 1.0f64..50.0,
+        seed in any::<u64>(),
+    ) {
+        let s = scenario(mu_a, mu_s, 0.0, 1.0, 0.5, seed);
+        prop_assert_eq!(scenario_key(&s), scenario_key(&s.clone()));
+        prop_assert_eq!(key_hex(&scenario_key(&s)), key_hex(&scenario_key(&s)));
+    }
+
+    #[test]
+    fn key_moves_with_the_seed(seed in any::<u64>()) {
+        let a = scenario(0.1, 10.0, 0.0, 1.0, 0.5, seed);
+        let b = scenario(0.1, 10.0, 0.0, 1.0, 0.5, seed.wrapping_add(1));
+        prop_assert_ne!(scenario_key(&a), scenario_key(&b));
+    }
+
+    #[test]
+    fn key_moves_with_the_optics(
+        mu_a in 0.01f64..1.0,
+        mu_s in 1.0f64..50.0,
+        bump in 1e-9f64..1e-3,
+    ) {
+        let a = scenario(mu_a, mu_s, 0.0, 1.0, 0.5, 42);
+        let b = scenario(mu_a + bump, mu_s, 0.0, 1.0, 0.5, 42);
+        let c = scenario(mu_a, mu_s + bump, 0.0, 1.0, 0.5, 42);
+        let d = scenario(mu_a, mu_s, 0.0 + bump, 1.0, 0.5, 42);
+        prop_assert_ne!(scenario_key(&a), scenario_key(&b));
+        prop_assert_ne!(scenario_key(&a), scenario_key(&c));
+        prop_assert_ne!(scenario_key(&a), scenario_key(&d));
+    }
+
+    #[test]
+    fn key_moves_with_detector_and_source(
+        sep in 0.5f64..5.0,
+        radius in 0.1f64..1.0,
+        bump in 1e-9f64..1e-3,
+    ) {
+        let a = scenario(0.1, 10.0, 0.0, sep, radius, 42);
+        let b = scenario(0.1, 10.0, 0.0, sep + bump, radius, 42);
+        let c = scenario(0.1, 10.0, 0.0, sep, radius + bump, 42);
+        prop_assert_ne!(scenario_key(&a), scenario_key(&b));
+        prop_assert_ne!(scenario_key(&a), scenario_key(&c));
+
+        let mut d = scenario(0.1, 10.0, 0.0, sep, radius, 42);
+        d.source = Source::Gaussian { radius: 0.2 };
+        let mut e = scenario(0.1, 10.0, 0.0, sep, radius, 42);
+        e.source = Source::Uniform { radius: 0.2 };
+        prop_assert_ne!(scenario_key(&a), scenario_key(&d));
+        prop_assert_ne!(scenario_key(&d), scenario_key(&e));
+    }
+
+    #[test]
+    fn key_moves_with_engine_options(max_interactions in 1u32..1_000_000) {
+        let a = scenario(0.1, 10.0, 0.0, 1.0, 0.5, 42);
+        let mut b = a.clone();
+        b.options.max_interactions = b.options.max_interactions.wrapping_add(max_interactions);
+        prop_assert_ne!(scenario_key(&a), scenario_key(&b));
+    }
+}
+
+#[test]
+fn detector_gating_and_ring_are_key_relevant() {
+    let base = scenario(0.1, 10.0, 0.0, 1.0, 0.5, 42);
+    let key = scenario_key(&base);
+
+    let mut ring = base.clone();
+    ring.detector.ring = true;
+    assert_ne!(scenario_key(&ring), key);
+
+    let mut na = base.clone();
+    na.detector.min_exit_cos = Some(0.9);
+    assert_ne!(scenario_key(&na), key);
+}

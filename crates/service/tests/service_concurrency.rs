@@ -1,0 +1,296 @@
+//! Chaos suite for the service daemon: concurrent clients, hostile
+//! frames, version skew, byte-budget pressure, and mid-response
+//! disconnects. Every test runs under a watchdog (the same "never a
+//! hang" guarantee as the cluster runtime's chaos suite) and asserts
+//! either a correct served result or a typed rejection — never a
+//! duplicated trace, a poisoned daemon, or a silent partial answer.
+
+use lumen_cluster::net::{handshake, read_frame, write_frame, KIND_HELLO};
+use lumen_cluster::wire;
+use lumen_core::engine::Scenario;
+use lumen_core::{Detector, Source};
+use lumen_service::proto::{self, KIND_ERROR, KIND_QUERY, KIND_RESULT};
+use lumen_service::{Served, ServiceClient, ServiceOptions, ServiceServer, SimulationService};
+use lumen_tissue::presets::semi_infinite_phantom;
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Abort with a named panic (not a CI timeout) if `f` does not finish in
+/// time.
+fn watchdog<T: Send + 'static>(
+    name: &str,
+    limit: Duration,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = mpsc::channel();
+    let body = thread::spawn(move || {
+        tx.send(f()).ok();
+    });
+    match rx.recv_timeout(limit) {
+        Ok(v) => {
+            body.join().ok();
+            v
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("watchdog: `{name}` still running after {limit:?} — the daemon hung")
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => match body.join() {
+            Err(cause) => std::panic::resume_unwind(cause),
+            Ok(()) => panic!("watchdog: `{name}` exited without a result"),
+        },
+    }
+}
+
+fn scenario(seed: u64, photons: u64) -> Scenario {
+    Scenario::new(
+        semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
+        Source::Delta,
+        Detector::new(1.0, 0.5),
+    )
+    .with_photons(photons)
+    .with_seed(seed)
+}
+
+fn service(chunk_photons: u64, max_cache_bytes: usize) -> Arc<SimulationService> {
+    Arc::new(
+        SimulationService::new(
+            ServiceOptions::default()
+                .with_backend("sequential")
+                .with_chunk_photons(chunk_photons)
+                .with_chunk_tasks(4)
+                .with_max_cache_bytes(max_cache_bytes)
+                .with_workers(4),
+        )
+        .expect("valid options"),
+    )
+}
+
+const LIMIT: Duration = Duration::from_secs(120);
+
+#[test]
+fn concurrent_same_key_requests_trace_once() {
+    watchdog("same-key dedup", LIMIT, || {
+        let svc = service(5_000, usize::MAX);
+        let clients = 8;
+        let replies: Vec<_> = (0..clients)
+            .map(|_| {
+                let svc = Arc::clone(&svc);
+                thread::spawn(move || svc.query(&scenario(3, 15_000)).expect("query"))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect();
+
+        // All clients see the same bytes...
+        let bytes = wire::encode_tally(&replies[0].tally);
+        for reply in &replies {
+            assert_eq!(wire::encode_tally(&reply.tally), bytes);
+            assert_eq!(reply.photons_done, 15_000);
+        }
+        // ...and the photons were traced exactly once: 3 chunks, 1 cold
+        // serve, everyone else warm off the in-flight claim.
+        let stats = svc.stats();
+        assert_eq!(stats.chunks_traced, 3, "concurrent same-key queries must not re-trace");
+        assert_eq!(stats.cold, 1);
+        assert_eq!(stats.warm, clients - 1);
+    })
+}
+
+#[test]
+fn distinct_keys_trace_concurrently_and_independently() {
+    watchdog("distinct keys", LIMIT, || {
+        let svc = service(5_000, usize::MAX);
+        let replies: Vec<_> = (0..6u64)
+            .map(|seed| {
+                let svc = Arc::clone(&svc);
+                thread::spawn(move || svc.query(&scenario(seed, 5_000)).expect("query"))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect();
+        for (i, a) in replies.iter().enumerate() {
+            assert_eq!(a.served, Served::Cold);
+            for b in &replies[i + 1..] {
+                assert_ne!(a.key, b.key, "distinct seeds must hash apart");
+            }
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.cold, 6);
+        assert_eq!(stats.chunks_traced, 6);
+        assert_eq!(stats.entries, 6);
+    })
+}
+
+#[test]
+fn byte_budget_evicts_lru_but_never_corrupts() {
+    watchdog("eviction", LIMIT, || {
+        // Small budget: a handful of entries at most.
+        let svc = service(2_000, 2_048);
+        let total_seeds = 12u64;
+        for seed in 0..total_seeds {
+            let reply = svc.query(&scenario(seed, 2_000)).expect("cold query");
+            assert_eq!(reply.served, Served::Cold);
+        }
+        let stats = svc.stats();
+        assert!(stats.evictions > 0, "12 entries cannot fit in 2 KiB");
+        assert!(stats.entries < total_seeds, "cache must stay under budget");
+        assert!(stats.cached_bytes <= 2_048, "byte budget is a hard cap");
+
+        // The newest key survived and serves warm, byte-identical.
+        let last = svc.query(&scenario(total_seeds - 1, 2_000)).expect("warm query");
+        assert_eq!(last.served, Served::Warm);
+        // The oldest was evicted: served again, correctly, as a cold miss.
+        let first = svc.query(&scenario(0, 2_000)).expect("re-trace");
+        assert_eq!(first.served, Served::Cold);
+        assert_eq!(first.photons_done, 2_000);
+    })
+}
+
+#[test]
+fn version_mismatch_is_answered_then_rejected() {
+    watchdog("version mismatch", LIMIT, || {
+        let server =
+            ServiceServer::bind("127.0.0.1:0", service(5_000, usize::MAX)).expect("bind daemon");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        write_frame(&mut stream, KIND_HELLO, &[wire::VERSION + 1]).expect("send bad hello");
+        // The daemon answers with its own version before hanging up, so
+        // the outdated peer can diagnose itself...
+        let (kind, payload) = read_frame(&mut stream).expect("hello reply");
+        assert_eq!(kind, KIND_HELLO);
+        assert_eq!(payload, vec![wire::VERSION]);
+        // ...then closes: the next read finds EOF, and no query is served.
+        assert!(read_frame(&mut stream).is_err(), "mismatched connection must be closed");
+
+        // A well-versioned client on the same daemon is unaffected.
+        let mut ok = ServiceClient::connect(server.local_addr()).expect("good client");
+        let reply = ok.query(&scenario(1, 5_000)).expect("query after rejection");
+        assert_eq!(reply.served, Served::Cold);
+        server.shutdown();
+    })
+}
+
+#[test]
+fn malformed_and_unknown_frames_earn_typed_errors() {
+    watchdog("malformed frames", LIMIT, || {
+        let server =
+            ServiceServer::bind("127.0.0.1:0", service(5_000, usize::MAX)).expect("bind daemon");
+
+        // A QUERY whose payload is not a scenario: typed ERROR frame, not
+        // a dropped connection and not a panic.
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        handshake(&mut stream).expect("hello");
+        write_frame(&mut stream, KIND_QUERY, b"not a scenario").expect("send garbage");
+        let (kind, payload) = read_frame(&mut stream).expect("error reply");
+        assert_eq!(kind, KIND_ERROR);
+        let message = proto::decode_error(&payload).expect("decodable error");
+        assert!(message.contains("malformed scenario"), "got: {message}");
+
+        // An unknown frame kind: typed ERROR, then the connection closes.
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        handshake(&mut stream).expect("hello");
+        write_frame(&mut stream, 0x7F, &[]).expect("send unknown kind");
+        let (kind, payload) = read_frame(&mut stream).expect("error reply");
+        assert_eq!(kind, KIND_ERROR);
+        assert!(proto::decode_error(&payload).expect("decodable").contains("0x7f"));
+        assert!(read_frame(&mut stream).is_err(), "unknown-kind connection must close");
+
+        // An invalid scenario (decodes fine, fails validation) also comes
+        // back typed, and the client maps it to ServiceError::Remote.
+        let mut client = ServiceClient::connect(server.local_addr()).expect("client");
+        let mut bad = scenario(1, 5_000);
+        bad.detector.radius = -1.0;
+        let err = client.query(&bad).expect_err("invalid scenario must be rejected");
+        assert!(matches!(err, lumen_service::ServiceError::Remote(_)), "got: {err}");
+        server.shutdown();
+    })
+}
+
+#[test]
+fn daemon_survives_client_disconnect_mid_request() {
+    watchdog("mid-request disconnect", LIMIT, || {
+        let server =
+            ServiceServer::bind("127.0.0.1:0", service(5_000, usize::MAX)).expect("bind daemon");
+
+        // Fire a query and slam the connection without reading the reply:
+        // the daemon's write fails into a dead socket, killing only that
+        // connection's thread.
+        {
+            let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+            handshake(&mut stream).expect("hello");
+            write_frame(&mut stream, KIND_QUERY, &wire::encode_scenario(&scenario(9, 20_000)))
+                .expect("send query");
+            stream.shutdown(std::net::Shutdown::Both).ok();
+        } // dropped before the reply exists
+
+        // Half a frame, then disconnect: the framing layer on the server
+        // sees a truncated read and drops the connection quietly.
+        {
+            use std::io::Write;
+            let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+            handshake(&mut stream).expect("hello");
+            stream.write_all(&[0xFF, 0xFF]).expect("half a length prefix");
+        }
+
+        // The daemon is intact: a fresh client gets a full answer, warm
+        // if the abandoned query's trace completed and was cached anyway.
+        let mut client = ServiceClient::connect(server.local_addr()).expect("client");
+        let reply = client.query(&scenario(9, 20_000)).expect("query after chaos");
+        assert_eq!(reply.photons_done, 20_000);
+        assert!(matches!(reply.served, Served::Cold | Served::Warm));
+        server.shutdown();
+    })
+}
+
+#[test]
+fn warm_hits_are_faster_than_cold_misses() {
+    watchdog("warm latency", LIMIT, || {
+        let server =
+            ServiceServer::bind("127.0.0.1:0", service(50_000, usize::MAX)).expect("bind daemon");
+        let mut client = ServiceClient::connect(server.local_addr()).expect("client");
+        let request = scenario(5, 200_000);
+
+        let cold_start = Instant::now();
+        let cold = client.query(&request).expect("cold query");
+        let cold_elapsed = cold_start.elapsed();
+        assert_eq!(cold.served, Served::Cold);
+
+        // Best-of-three to keep scheduler noise out of the comparison.
+        let mut warm_elapsed = Duration::MAX;
+        for _ in 0..3 {
+            let warm_start = Instant::now();
+            let warm = client.query(&request).expect("warm query");
+            warm_elapsed = warm_elapsed.min(warm_start.elapsed());
+            assert_eq!(warm.served, Served::Warm);
+        }
+        assert!(
+            warm_elapsed < cold_elapsed,
+            "warm hit ({warm_elapsed:?}) must beat tracing 200k photons ({cold_elapsed:?})"
+        );
+        server.shutdown();
+    })
+}
+
+#[test]
+fn query_before_hello_is_rejected() {
+    watchdog("no hello", LIMIT, || {
+        let server =
+            ServiceServer::bind("127.0.0.1:0", service(5_000, usize::MAX)).expect("bind daemon");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        // Skip the handshake entirely: the gate closes the connection
+        // without serving (it may answer HELLO with its version first —
+        // what matters is that no RESULT ever arrives).
+        write_frame(&mut stream, KIND_QUERY, &wire::encode_scenario(&scenario(2, 5_000)))
+            .expect("send early query");
+        // Drain until the daemon tears the connection down: whatever
+        // frames arrive (a courtesy HELLO at most), never a RESULT.
+        while let Ok((kind, _)) = read_frame(&mut stream) {
+            assert_ne!(kind, KIND_RESULT, "ungated query must not be served");
+        }
+        server.shutdown();
+    })
+}

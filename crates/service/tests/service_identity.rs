@@ -1,0 +1,112 @@
+//! The cache-identity invariants, at the scale the acceptance criteria
+//! name: a repeated request returns a byte-identical tally, and topping
+//! up 10^5 → 10^6 photons produces the same bytes as asking the service
+//! for 10^6 cold — the cache is an optimization, never an approximation.
+//!
+//! Byte-identity is asserted on `wire::encode_tally`, the exact bytes a
+//! daemon ships to clients.
+
+use lumen_cluster::wire;
+use lumen_core::engine::Scenario;
+use lumen_core::{Detector, Source};
+use lumen_service::{Served, ServiceOptions, SimulationService};
+use lumen_tissue::presets::semi_infinite_phantom;
+
+fn scenario(photons: u64) -> Scenario {
+    Scenario::new(
+        semi_infinite_phantom(0.1, 10.0, 0.0, 1.37),
+        Source::Delta,
+        Detector::new(1.0, 0.5),
+    )
+    .with_photons(photons)
+    .with_seed(7)
+}
+
+fn service() -> SimulationService {
+    SimulationService::new(
+        ServiceOptions::default().with_backend("rayon").with_chunk_photons(100_000),
+    )
+    .expect("valid options")
+}
+
+#[test]
+fn repeat_request_returns_byte_identical_tally() {
+    let svc = service();
+    let first = svc.query(&scenario(100_000)).expect("cold query");
+    assert_eq!(first.served, Served::Cold);
+    let second = svc.query(&scenario(100_000)).expect("warm query");
+    assert_eq!(second.served, Served::Warm);
+    assert_eq!(
+        wire::encode_tally(&first.tally),
+        wire::encode_tally(&second.tally),
+        "warm hit must ship the same bytes"
+    );
+    assert_eq!(first.key, second.key);
+    assert_eq!(first.photons_done, second.photons_done);
+}
+
+#[test]
+fn topup_to_a_million_matches_the_cold_million_run() {
+    // Path A: 10^5 cold, then top up to 10^6 (nine more chunks).
+    let upgraded = service();
+    let small = upgraded.query(&scenario(100_000)).expect("cold 1e5");
+    assert_eq!(small.served, Served::Cold);
+    let topped = upgraded.query(&scenario(1_000_000)).expect("top-up to 1e6");
+    assert_eq!(topped.served, Served::TopUp);
+
+    // Path B: a fresh service asked for 10^6 straight away.
+    let cold = service();
+    let full = cold.query(&scenario(1_000_000)).expect("cold 1e6");
+    assert_eq!(full.served, Served::Cold);
+
+    assert_eq!(topped.photons_done, 1_000_000);
+    assert_eq!(full.photons_done, 1_000_000);
+    assert_eq!(
+        wire::encode_tally(&topped.tally),
+        wire::encode_tally(&full.tally),
+        "incremental top-up must be bit-identical to the single full-budget run"
+    );
+
+    // And the upgraded entry serves the full budget warm from then on.
+    let warm = upgraded.query(&scenario(1_000_000)).expect("warm 1e6");
+    assert_eq!(warm.served, Served::Warm);
+    assert_eq!(wire::encode_tally(&warm.tally), wire::encode_tally(&full.tally));
+}
+
+#[test]
+fn multi_step_topup_path_is_path_independent() {
+    // 1e5 → 3e5 → 6e5 in two top-ups lands on the same bytes as one
+    // cold 6e5 run: the entry is a pure function of (key, chunks).
+    let stepped = service();
+    for budget in [100_000, 300_000, 600_000] {
+        stepped.query(&scenario(budget)).expect("stepped query");
+    }
+    let stepped_final = stepped.query(&scenario(600_000)).expect("warm 6e5");
+    assert_eq!(stepped_final.served, Served::Warm);
+
+    let direct = service();
+    let direct_final = direct.query(&scenario(600_000)).expect("cold 6e5");
+
+    assert_eq!(
+        wire::encode_tally(&stepped_final.tally),
+        wire::encode_tally(&direct_final.tally),
+        "any top-up path to the same budget must give the same bytes"
+    );
+}
+
+#[test]
+fn backend_choice_does_not_change_the_bytes() {
+    // The chunk decomposition, not the execution substrate, defines the
+    // result: sequential and rayon services cache identical entries.
+    let seq = SimulationService::new(
+        ServiceOptions::default().with_backend("sequential").with_chunk_photons(50_000),
+    )
+    .expect("valid options");
+    let par = SimulationService::new(
+        ServiceOptions::default().with_backend("rayon").with_chunk_photons(50_000),
+    )
+    .expect("valid options");
+    let a = seq.query(&scenario(200_000)).expect("sequential run");
+    let b = par.query(&scenario(200_000)).expect("rayon run");
+    assert_eq!(wire::encode_tally(&a.tally), wire::encode_tally(&b.tally));
+}

@@ -49,10 +49,17 @@
 //! cluster simulator is `lumen::cluster::SimulatedCluster`. `examples/`
 //! in the repository walks through every paper scenario, starting with
 //! `cargo run --release --example quickstart`.
+//!
+//! To keep results *between* invocations, [`service`] wraps any backend
+//! in the `lumend` daemon: scenario requests are answered from a
+//! content-addressed result cache, and a request for more photons of
+//! already-cached physics is topped up incrementally on fresh RNG
+//! substreams, bit-identical to a cold full-budget run.
 
 pub use lumen_analysis as analysis;
 pub use lumen_cluster as cluster;
 pub use lumen_core as core;
 pub use lumen_photon as photon;
+pub use lumen_service as service;
 pub use lumen_tissue as tissue;
 pub use mcrng;

@@ -71,6 +71,7 @@ fn deprecated_shims_still_work() {
             tasks: 8,
             workers: 3,
             failure_rate: 0.0,
+            task_offset: 0,
         },
     );
     assert_eq!(old.tally, old_dist.result.tally);
