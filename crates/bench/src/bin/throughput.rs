@@ -14,20 +14,24 @@
 //! ```
 //!
 //! Defaults: 200k photons, 3 repeats (best wall time wins), all presets,
-//! `sequential,rayon,cluster,tcp` backends, output
-//! `BENCH_throughput.json` in the current directory. The `tcp` leg runs
+//! `sequential,rayon,cluster,tcp,tcp16` backends, output
+//! `BENCH_throughput.json` in the current directory. The `tcp` legs run
 //! the real elastic wire runtime loopback: the server binds an ephemeral
-//! port and two in-process `run_client` loops connect to it, so the
-//! recorded number includes framing, tally serialization, and the lease
-//! bookkeeping. The JSON is hand-rolled because the workspace's offline
-//! `serde` shim does not serialize.
+//! port and in-process `run_client` loops connect to it, so the recorded
+//! number includes framing, tally serialization, and the lease
+//! bookkeeping. `tcp` is the historical two-client point; `tcpN` (any
+//! N ≥ 1, e.g. `tcp16`) fans N clients at the single poll loop — the
+//! multi-client point that shows what connection multiplexing buys.
+//! The JSON is hand-rolled because the workspace's offline `serde` shim
+//! does not serialize.
 
 use lumen_bench::throughput_presets;
 use lumen_core::engine::Scenario;
 use std::fmt::Write as _;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-/// In-process client loops the loopback `tcp` leg runs.
+/// In-process client loops the plain `tcp` leg runs (the historical
+/// configuration, kept so the trajectory stays comparable across PRs).
 const TCP_CLIENTS: usize = 2;
 
 struct Args {
@@ -43,7 +47,13 @@ impl Args {
         let mut args = Args {
             photons: 200_000,
             repeats: 3,
-            backends: vec!["sequential".into(), "rayon".into(), "cluster".into(), "tcp".into()],
+            backends: vec![
+                "sequential".into(),
+                "rayon".into(),
+                "cluster".into(),
+                "tcp".into(),
+                "tcp16".into(),
+            ],
             presets: throughput_presets().iter().map(|(n, _)| n.to_string()).collect(),
             out: "BENCH_throughput.json".into(),
         };
@@ -177,13 +187,13 @@ struct Cell {
     photons_per_second: f64,
 }
 
-/// One timed run of the loopback `tcp` leg: bind an ephemeral port, point
-/// `TCP_CLIENTS` in-process client loops at it, and serve the scenario
+/// One timed run of a loopback `tcp` leg: bind an ephemeral port, point
+/// `n_clients` in-process client loops at it, and serve the scenario
 /// over real sockets. Returns the launched photon count. The listener is
 /// bound once and handed to the server directly (no probe/rebind port
 /// race), and the client threads are always joined, even when the server
 /// leg fails.
-fn run_tcp_once(scenario: &Scenario) -> Result<u64, String> {
+fn run_tcp_once(scenario: &Scenario, n_clients: usize) -> Result<u64, String> {
     use lumen_cluster::ServeOptions;
 
     let listener = std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
@@ -191,7 +201,7 @@ fn run_tcp_once(scenario: &Scenario) -> Result<u64, String> {
 
     let sim = scenario.simulation();
     let seed = scenario.seed;
-    let clients: Vec<_> = (0..TCP_CLIENTS)
+    let clients: Vec<_> = (0..n_clients)
         .map(|_| {
             let sim = sim.clone();
             let addr = addr.clone();
@@ -212,7 +222,7 @@ fn run_tcp_once(scenario: &Scenario) -> Result<u64, String> {
         &sim,
         scenario.photons,
         scenario.tasks,
-        ServeOptions::default().with_min_clients(TCP_CLIENTS),
+        ServeOptions::default().with_min_clients(n_clients),
         &lumen_core::engine::NoProgress,
     );
     // Join the clients first (a failed server closes their sockets, so
@@ -232,20 +242,26 @@ fn run_tcp_once(scenario: &Scenario) -> Result<u64, String> {
     Ok(report.result.launched())
 }
 
-fn measure(name: &str, spec: &str, scenario: &Scenario, repeats: usize) -> Result<Cell, String> {
-    let is_tcp = spec.split_whitespace().next() == Some("tcp");
-    if is_tcp && spec != "tcp" {
-        // The tcp leg is the fixed loopback configuration; silently
-        // measuring something other than the requested spec would
-        // mislabel the JSON record.
-        return Err(format!(
-            "the tcp leg takes no arguments (fixed {TCP_CLIENTS}-client loopback); got `{spec}`"
-        ));
+/// Parse a loopback-leg spec: `tcp` is the historical
+/// [`TCP_CLIENTS`]-client point, `tcpN` (e.g. `tcp16`) fans N clients at
+/// the poll loop. Anything else (including `tcp 3`-style arguments) is
+/// rejected so a typo cannot silently mislabel the JSON record.
+fn tcp_clients_from_spec(spec: &str) -> Result<Option<usize>, String> {
+    let Some(rest) = spec.strip_prefix("tcp") else { return Ok(None) };
+    if rest.is_empty() {
+        return Ok(Some(TCP_CLIENTS));
     }
-    let backend = if is_tcp {
-        None
-    } else {
-        Some(lumen_cluster::backend::from_spec(spec).map_err(|e| e.to_string())?)
+    match rest.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(Some(n)),
+        _ => Err(format!("the tcp leg is `tcp` or `tcpN` with N >= 1 clients; got `{spec}`")),
+    }
+}
+
+fn measure(name: &str, spec: &str, scenario: &Scenario, repeats: usize) -> Result<Cell, String> {
+    let tcp_clients = tcp_clients_from_spec(spec)?;
+    let backend = match tcp_clients {
+        Some(_) => None,
+        None => Some(lumen_cluster::backend::from_spec(spec).map_err(|e| e.to_string())?),
     };
     let mut walls = Vec::with_capacity(repeats);
     for _ in 0..repeats {
@@ -253,9 +269,10 @@ fn measure(name: &str, spec: &str, scenario: &Scenario, repeats: usize) -> Resul
         // that is the latency a caller actually observes. The report's own
         // wall clock agrees to within microseconds.
         let started = Instant::now();
-        let launched = match &backend {
-            Some(b) => b.run(scenario).map_err(|e| e.to_string())?.launched(),
-            None => run_tcp_once(scenario)?,
+        let launched = match (&backend, tcp_clients) {
+            (Some(b), _) => b.run(scenario).map_err(|e| e.to_string())?.launched(),
+            (None, Some(n)) => run_tcp_once(scenario, n)?,
+            (None, None) => unreachable!("spec is either a backend or a tcp leg"),
         };
         let wall = started.elapsed().as_secs_f64();
         assert_eq!(launched, scenario.photons, "backend dropped photons");

@@ -8,14 +8,22 @@
 //! out-of-band, which is the idiomatic Rust equivalent).
 //!
 //! The paper's whole point is Monte Carlo on *non-dedicated* clusters
-//! where workers come and go, so the server is elastic: a background
-//! accept thread admits clients at any time (late joiners are handed work
-//! immediately), every assignment is a **lease** with a deadline, and a
-//! lease that misses its deadline is revoked and re-queued exactly like a
+//! where workers come and go, so the server is elastic: clients are
+//! admitted at any time (late joiners are handed work immediately),
+//! every assignment is a **lease** with a deadline, and a lease that
+//! misses its deadline is revoked and re-queued exactly like a
 //! disconnect — same `task_id`, hence the same RNG substream, hence a
 //! bit-identical final tally no matter how many times a batch is re-run.
 //! The server returns `Ok` **iff** every task completed; any abnormal
 //! termination is a typed [`NetError`] (never a silently partial tally).
+//!
+//! Since the transport-core rework the server is a single
+//! [`lumen_net::EventLoop`] readiness loop rather than a
+//! thread-per-connection pool: one thread owns every socket *and* the
+//! lease table, each connection advances an explicit state machine
+//! (handshaking → pooled → leased, with a run-level draining mode), and
+//! the pool scales to hundreds of multiplexed clients with no lock
+//! contention. Clients ([`run_client`]) remain plain blocking loops.
 //!
 //! Framing: every message is a 4-byte little-endian length followed by a
 //! kind byte and a [`crate::wire`]-encoded payload. A connection opens
@@ -31,15 +39,12 @@ use crate::protocol::SimTask;
 use crate::protocol::WorkerStats;
 use crate::wire::{self, WireError};
 use lumen_core::engine::{NoProgress, Progress};
-use lumen_core::tally::Tally;
 use lumen_core::{Simulation, SimulationResult};
+use lumen_net::{EventLoop, Flow, Handler, Ops, Token};
 use mcrng::StreamFactory;
 use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
-use std::thread;
+use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
 /// Client → server: "I am idle; give me work."
@@ -63,12 +68,15 @@ pub const KIND_ASSIGN: u8 = 0x81;
 /// Server → client: no more work; terminate the worker loop.
 pub const KIND_SHUTDOWN: u8 = 0x82;
 
-/// Largest accepted frame (64 MiB) — a 50³ grid of f64 is ~1 MB, so this
-/// leaves ample headroom while bounding a hostile length prefix.
-const MAX_FRAME: u32 = 64 * 1024 * 1024;
+/// Largest accepted frame — shared with the transport core so the
+/// blocking helpers and the poll loop can never disagree on the cap.
+const MAX_FRAME: u32 = lumen_net::frame::MAX_FRAME;
 
-/// How often the accept thread polls its non-blocking listener.
-const ACCEPT_POLL: Duration = Duration::from_millis(20);
+/// After every task completes, how long the server waits for still-open
+/// clients to request (and be sent) their clean `KIND_SHUTDOWN` before
+/// cutting whatever remains. Responsive clients drain within one
+/// round-trip; this only bounds the unresponsive.
+const DRAIN_WINDOW: Duration = Duration::from_secs(2);
 
 /// Errors from the networked protocol.
 #[derive(Debug)]
@@ -137,16 +145,23 @@ impl std::fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
-/// Write one framed message.
+/// Write one framed message as a **single** write: length, kind, and
+/// payload are assembled into one contiguous buffer first, so a frame
+/// costs one syscall (and, with `TCP_NODELAY`, at most one packet)
+/// instead of the three the original length/kind/payload sequence paid.
 pub fn write_frame(stream: &mut TcpStream, kind: u8, payload: &[u8]) -> Result<(), NetError> {
-    let len = 1 + payload.len();
-    if len as u64 > MAX_FRAME as u64 {
-        return Err(NetError::BadFrame(len as u32));
-    }
-    stream.write_all(&(len as u32).to_le_bytes())?;
-    stream.write_all(&[kind])?;
-    stream.write_all(payload)?;
-    stream.flush()?;
+    write_frame_to(stream, kind, payload)
+}
+
+/// [`write_frame`] over any writer — the blocking half of the shared
+/// frame layer ([`lumen_net::frame`]), and the seam the frame-atomicity
+/// regression test observes.
+pub fn write_frame_to<W: Write>(w: &mut W, kind: u8, payload: &[u8]) -> Result<(), NetError> {
+    let mut buf = Vec::with_capacity(5 + payload.len());
+    lumen_net::frame::encode_frame_into(&mut buf, kind, payload)
+        .map_err(|_| NetError::BadFrame((1 + payload.len()) as u32))?;
+    w.write_all(&buf)?;
+    w.flush()?;
     Ok(())
 }
 
@@ -322,157 +337,316 @@ pub fn serve_with_progress(
     serve_with_options(listener, sim, n, tasks, options, progress)
 }
 
-/// Messages the accept/proxy threads feed the DataManager event loop.
-enum Event {
-    /// A connection completed its HELLO handshake and wants a worker id.
-    Joined {
-        reply_tx: mpsc::Sender<Option<SimTask>>,
-        stream: TcpStream,
-        id_tx: mpsc::Sender<usize>,
-    },
-    Request {
-        worker: usize,
-    },
-    Complete {
-        worker: usize,
-        tally: Box<Tally>,
-    },
-    Disconnected {
-        worker: usize,
-    },
+/// One connection's protocol state — the explicit state machine the
+/// transport core runs each client through. Draining is a run-level mode
+/// (see [`ClusterServer::draining`]), not a per-connection state: once
+/// every task completes, *every* state answers with `KIND_SHUTDOWN`.
+#[derive(Debug, Clone, Copy)]
+enum Client {
+    /// Accepted, HELLO not yet completed; cut at `deadline` (the join
+    /// grace), so a silent connection can never pin server resources.
+    Handshaking { deadline: Instant },
+    /// In the pool without a lease. `parked` means its work request sits
+    /// in the wait queue (queue empty, or the start gate still closed);
+    /// `idle_since` is when it last went leaseless — a client that
+    /// neither requests nor holds work for a whole lease period is a
+    /// zombie and gets cut.
+    Pooled { worker: usize, idle_since: Instant, parked: bool },
+    /// Holds `task` until `deadline`; past it the lease is revoked, the
+    /// task re-queued, and the connection cut.
+    Leased { worker: usize, task: SimTask, deadline: Instant },
 }
 
-/// Event-loop record for one connected client.
-struct Proxy {
-    reply_tx: mpsc::Sender<Option<SimTask>>,
-    /// Clone of the client's socket, so the event loop can cut a
-    /// connection (lease revocation, stale completion) from outside the
-    /// proxy thread.
-    stream: TcpStream,
-    /// The outstanding task and its deadline, if one is leased.
-    lease: Option<(SimTask, Instant)>,
-    /// When this client last went leaseless (joined, or completed a
-    /// task). A connected client that neither holds a lease nor parks a
-    /// request past the lease deadline is a zombie and gets cut — so no
-    /// connection state can stall the run unboundedly.
-    idle_since: Instant,
+/// The DataManager protocol as a [`Handler`] on the shared poll loop:
+/// one thread owns every connection *and* the lease table, so there is
+/// no lock to contend on and no per-client thread to leak.
+struct ClusterServer<'a> {
+    dm: DataManager,
+    clients: HashMap<Token, Client>,
+    /// Parked requests, released LIFO as work re-queues or the gate opens.
+    waiting: Vec<Token>,
+    joined_total: usize,
+    photons_done: u64,
+    photons_total: u64,
+    options: ServeOptions,
+    started: Instant,
+    /// The pool has been empty since this instant (None while non-empty).
+    empty_since: Option<Instant>,
+    progress: &'a dyn Progress,
+    /// Abandonment outcome; set ⇒ the loop stops on the next tick.
+    failed: Option<NetError>,
+    /// Every task completed at some instant; drain SHUTDOWNs until here.
+    draining: Option<Instant>,
 }
 
-/// One connection's server-side thread: handshake, then translate frames
-/// into events for the DataManager loop and replies back into frames.
-fn proxy_loop(mut stream: TcpStream, tx: mpsc::Sender<Event>, handshake_timeout: Duration) {
-    stream.set_nonblocking(false).ok();
-    stream.set_nodelay(true).ok();
-    // The handshake runs under a read timeout so a silent connection can
-    // never pin server resources past the grace period.
-    stream.set_read_timeout(Some(handshake_timeout)).ok();
-    let hello = (|| -> Result<(), NetError> {
-        let (kind, payload) = read_frame(&mut stream)?;
-        if kind != KIND_HELLO {
-            return Err(NetError::BadKind(kind));
-        }
-        let theirs = *payload.first().ok_or(NetError::Wire(WireError::Truncated))?;
-        // Always answer with our version so the peer can diagnose itself.
-        write_frame(&mut stream, KIND_HELLO, &[wire::VERSION])?;
-        if theirs != wire::VERSION {
-            return Err(NetError::VersionMismatch { ours: wire::VERSION, theirs });
-        }
-        Ok(())
-    })();
-    if hello.is_err() {
-        // Never joined the pool; nothing to surrender. The connection
-        // simply closes (the rejected peer already has our version).
-        return;
+impl ClusterServer<'_> {
+    /// Clients past the handshake — the "pool" whose emptiness starts
+    /// the abandonment clock.
+    fn pool_len(&self) -> usize {
+        self.clients.values().filter(|c| !matches!(c, Client::Handshaking { .. })).count()
     }
-    stream.set_read_timeout(None).ok();
 
-    // Register with the event loop, which assigns dense worker ids (so
-    // per-worker stats cover exactly the clients actually served).
-    let (reply_tx, reply_rx) = mpsc::channel::<Option<SimTask>>();
-    let (id_tx, id_rx) = mpsc::channel::<usize>();
-    let Ok(stream_clone) = stream.try_clone() else { return };
-    if tx.send(Event::Joined { reply_tx, stream: stream_clone, id_tx }).is_err() {
-        // The run already ended; tell the late client to go home.
-        write_frame(&mut stream, KIND_SHUTDOWN, &[]).ok();
-        return;
+    fn note_pool_change(&mut self, now: Instant) {
+        let len = self.pool_len();
+        self.progress.on_clients(len);
+        if len == 0 {
+            self.empty_since = Some(now);
+        }
     }
-    let Ok(worker) = id_rx.recv() else {
-        write_frame(&mut stream, KIND_SHUTDOWN, &[]).ok();
-        return;
-    };
 
-    let run = (|| -> Result<(), NetError> {
-        loop {
-            let (kind, payload) = read_frame(&mut stream)?;
-            match kind {
+    /// Cut `token` on our initiative (revocation, zombie, violation) and
+    /// reap its protocol state.
+    fn depart(&mut self, ops: &mut Ops<'_>, token: Token, now: Instant) {
+        ops.close(token);
+        self.reap(ops, token, now);
+    }
+
+    /// Forget `token`, surrendering its lease back to the queue — the
+    /// requeue keeps the same `task_id`, so the re-execution draws the
+    /// identical RNG substream and the final tally stays bit-identical.
+    fn reap(&mut self, ops: &mut Ops<'_>, token: Token, now: Instant) {
+        let Some(state) = self.clients.remove(&token) else { return };
+        // Purge the departed client from the wait queue so a later
+        // requeue can never hand a task to a dead connection.
+        self.waiting.retain(|&t| t != token);
+        match state {
+            Client::Handshaking { .. } => {}
+            Client::Pooled { .. } => self.note_pool_change(now),
+            Client::Leased { worker, task, .. } => {
+                self.dm.fail(worker, task);
+                self.progress.on_task_retry(task.task_id);
+                self.drain_waiting(ops, now);
+                self.note_pool_change(now);
+            }
+        }
+    }
+
+    /// Answer `token`'s work request: lease the next queued task, or park
+    /// the request until one re-queues.
+    fn hand_out(&mut self, ops: &mut Ops<'_>, token: Token, now: Instant) {
+        let Some(&Client::Pooled { worker, idle_since, .. }) = self.clients.get(&token) else {
+            return;
+        };
+        match self.dm.assign() {
+            Some(task) => {
+                // A hand-off onto a dying socket is safe: the write error
+                // surfaces as a close event, whose reap re-queues `task`.
+                ops.send(token, KIND_ASSIGN, &wire::encode_task(&task));
+                let deadline = now + self.options.lease_timeout;
+                self.clients.insert(token, Client::Leased { worker, task, deadline });
+            }
+            None => {
+                self.clients.insert(token, Client::Pooled { worker, idle_since, parked: true });
+                if !self.waiting.contains(&token) {
+                    self.waiting.push(token);
+                }
+            }
+        }
+    }
+
+    /// Wake parked clients while queued work remains.
+    fn drain_waiting(&mut self, ops: &mut Ops<'_>, now: Instant) {
+        while !self.dm.queue_empty() {
+            let Some(token) = self.waiting.pop() else { return };
+            if let Some(&Client::Pooled { worker, idle_since, .. }) = self.clients.get(&token) {
+                self.clients.insert(token, Client::Pooled { worker, idle_since, parked: false });
+                self.hand_out(ops, token, now);
+            }
+        }
+    }
+
+    /// Send a clean shutdown and close once it flushes.
+    fn dismiss(&mut self, ops: &mut Ops<'_>, token: Token) {
+        self.clients.remove(&token);
+        ops.send(token, KIND_SHUTDOWN, &[]);
+        ops.finish(token);
+    }
+
+    /// Every task completed: release parked clients with a clean
+    /// `KIND_SHUTDOWN` now; busy clients collect theirs with their next
+    /// request, bounded by [`DRAIN_WINDOW`].
+    fn begin_drain(&mut self, ops: &mut Ops<'_>, now: Instant) {
+        self.draining = Some(now + DRAIN_WINDOW);
+        for token in std::mem::take(&mut self.waiting) {
+            if self.clients.contains_key(&token) {
+                self.dismiss(ops, token);
+            }
+        }
+    }
+}
+
+impl Handler for ClusterServer<'_> {
+    fn on_open(&mut self, _ops: &mut Ops<'_>, token: Token) {
+        let deadline = Instant::now() + self.options.join_grace;
+        self.clients.insert(token, Client::Handshaking { deadline });
+    }
+
+    fn on_frame(&mut self, ops: &mut Ops<'_>, token: Token, kind: u8, payload: Vec<u8>) {
+        let now = Instant::now();
+        let Some(state) = self.clients.get(&token).copied() else {
+            ops.close(token);
+            return;
+        };
+        match state {
+            Client::Handshaking { .. } if kind == KIND_HELLO => {
+                let Some(&theirs) = payload.first() else {
+                    self.depart(ops, token, now);
+                    return;
+                };
+                // Always answer with our version *before* any rejection,
+                // so a mismatched peer can diagnose itself.
+                ops.send(token, KIND_HELLO, &[wire::VERSION]);
+                if theirs != wire::VERSION {
+                    self.clients.remove(&token);
+                    ops.finish(token);
+                    return;
+                }
+                if self.draining.is_some() {
+                    // The run already ended; tell the late client to go
+                    // home (it never joins, so it is never counted).
+                    self.dismiss(ops, token);
+                    return;
+                }
+                // Dense worker ids, so per-worker stats cover exactly the
+                // clients actually served.
+                let worker = self.dm.register_worker();
+                self.joined_total += 1;
+                self.empty_since = None;
+                self.clients
+                    .insert(token, Client::Pooled { worker, idle_since: now, parked: false });
+                self.progress.on_clients(self.pool_len());
+                if self.joined_total == self.options.min_clients {
+                    // Gate opens: release requests parked before quorum.
+                    self.drain_waiting(ops, now);
+                }
+            }
+            Client::Handshaking { .. } => self.depart(ops, token, now),
+            Client::Pooled { worker, idle_since, parked } => match kind {
+                KIND_REQUEST if self.draining.is_some() => self.dismiss(ops, token),
                 KIND_REQUEST => {
-                    tx.send(Event::Request { worker }).ok();
-                    match reply_rx.recv().unwrap_or(None) {
-                        Some(task) => {
-                            write_frame(&mut stream, KIND_ASSIGN, &wire::encode_task(&task))?;
-                        }
-                        None => {
-                            write_frame(&mut stream, KIND_SHUTDOWN, &[])?;
-                            return Ok(());
+                    if self.joined_total >= self.options.min_clients {
+                        self.hand_out(ops, token, now);
+                    } else {
+                        let state = Client::Pooled { worker, idle_since, parked: true };
+                        self.clients.insert(token, state);
+                        if !parked {
+                            self.waiting.push(token);
                         }
                     }
                 }
-                KIND_COMPLETE => {
-                    let tally = wire::decode_tally(&payload)?;
-                    tx.send(Event::Complete { worker, tally: Box::new(tally) }).ok();
+                KIND_PING => {
+                    ops.send(token, KIND_PING, &payload);
                 }
-                KIND_PING => write_frame(&mut stream, KIND_PING, &payload)?,
-                other => return Err(NetError::BadKind(other)),
+                // A COMPLETE without a lease is the stale completion of a
+                // revoked task (or a protocol violation): the task
+                // already went back to the queue, so merging this tally
+                // would double-count its photons. Drop it, cut the peer.
+                _ => self.depart(ops, token, now),
+            },
+            Client::Leased { worker, task, .. } => match kind {
+                KIND_COMPLETE => match wire::decode_tally(&payload) {
+                    Ok(tally) => {
+                        self.dm.complete(worker, task, &tally);
+                        self.photons_done += task.photons;
+                        self.progress.on_photons(self.photons_done, self.photons_total);
+                        self.clients.insert(
+                            token,
+                            Client::Pooled { worker, idle_since: now, parked: false },
+                        );
+                        if self.dm.finished() {
+                            self.begin_drain(ops, now);
+                        }
+                    }
+                    // Malformed tally: surrender the lease, cut the peer.
+                    Err(_) => self.depart(ops, token, now),
+                },
+                KIND_PING => {
+                    ops.send(token, KIND_PING, &payload);
+                }
+                _ => self.depart(ops, token, now),
+            },
+        }
+    }
+
+    fn on_close(&mut self, ops: &mut Ops<'_>, token: Token) {
+        // A reclaimed/crashed client surrenders its lease; another client
+        // will re-run the identical photons (same stream index).
+        self.reap(ops, token, Instant::now());
+    }
+
+    fn on_tick(&mut self, ops: &mut Ops<'_>, now: Instant) -> Flow {
+        if let Some(deadline) = self.draining {
+            // Stop as soon as every client has collected its SHUTDOWN
+            // (or the drain window closes on the unresponsive).
+            return if ops.is_empty() || now >= deadline { Flow::Stop } else { Flow::Continue };
+        }
+
+        // Abandon (typed, never a hang): the gate never opened, or the
+        // whole pool vanished and nobody re-joined within the grace.
+        let gate_stalled = self.joined_total < self.options.min_clients
+            && now.duration_since(self.started) >= self.options.join_grace;
+        let pool_stalled =
+            self.empty_since.is_some_and(|t| now.duration_since(t) >= self.options.join_grace);
+        if gate_stalled || pool_stalled {
+            self.failed = Some(NetError::Incomplete {
+                photons_done: self.photons_done,
+                photons_total: self.photons_total,
+                requeues: self.dm.requeues(),
+            });
+            return Flow::Stop;
+        }
+
+        // Deadline enforcement. Revoking a lease requeues now (a parked
+        // client can start immediately) and cuts the holder, turning the
+        // laggard into an ordinary disconnect — if its COMPLETE was
+        // already in flight, the cut drops it before it can be read, so
+        // photons are never double-counted. A connected client that
+        // neither requests work nor holds a lease for a whole lease
+        // period is a zombie and is cut for the same reason (parked
+        // clients are exempt — they are waiting on *us*).
+        let expired: Vec<Token> = self
+            .clients
+            .iter()
+            .filter(|(_, state)| match **state {
+                Client::Handshaking { deadline } | Client::Leased { deadline, .. } => {
+                    now >= deadline
+                }
+                Client::Pooled { idle_since, parked, .. } => {
+                    !parked && now.duration_since(idle_since) >= self.options.lease_timeout
+                }
+            })
+            .map(|(&t, _)| t)
+            .collect();
+        for token in expired {
+            self.depart(ops, token, now);
+        }
+        Flow::Continue
+    }
+
+    fn next_wake(&mut self, _now: Instant) -> Option<Instant> {
+        if let Some(deadline) = self.draining {
+            return Some(deadline);
+        }
+        let mut horizon: Option<Instant> = None;
+        let mut note = |t: Instant| horizon = Some(horizon.map_or(t, |h| h.min(t)));
+        if self.joined_total < self.options.min_clients {
+            note(self.started + self.options.join_grace);
+        }
+        if let Some(t) = self.empty_since {
+            note(t + self.options.join_grace);
+        }
+        for state in self.clients.values() {
+            match *state {
+                Client::Handshaking { deadline } | Client::Leased { deadline, .. } => {
+                    note(deadline);
+                }
+                Client::Pooled { idle_since, parked, .. } if !parked => {
+                    note(idle_since + self.options.lease_timeout);
+                }
+                Client::Pooled { .. } => {}
             }
         }
-    })();
-    if run.is_err() {
-        // Connection lost or protocol violation: surrender the lease.
-        tx.send(Event::Disconnected { worker }).ok();
-    }
-}
-
-/// Hand the next queued task to `worker`, stamping a lease deadline. If
-/// the worker's proxy died between queueing its request and this reply,
-/// the task goes straight back to the queue (another client will re-run
-/// the identical photons) and the dead proxy is dropped.
-fn hand_out(
-    dm: &mut DataManager,
-    proxies: &mut HashMap<usize, Proxy>,
-    waiting: &mut Vec<usize>,
-    worker: usize,
-    lease_timeout: Duration,
-    progress: &dyn Progress,
-) {
-    let Some(p) = proxies.get_mut(&worker) else { return };
-    match dm.assign() {
-        Some(task) => {
-            if p.reply_tx.send(Some(task)).is_ok() {
-                p.lease = Some((task, Instant::now() + lease_timeout));
-            } else {
-                dm.fail(worker, task);
-                progress.on_task_retry(task.task_id);
-                proxies.remove(&worker);
-            }
-        }
-        None => waiting.push(worker),
-    }
-}
-
-/// Wake parked workers while queued work remains.
-fn drain_waiting(
-    dm: &mut DataManager,
-    proxies: &mut HashMap<usize, Proxy>,
-    waiting: &mut Vec<usize>,
-    lease_timeout: Duration,
-    progress: &dyn Progress,
-) {
-    loop {
-        if dm.queue_empty() {
-            return;
-        }
-        let Some(w) = waiting.pop() else { return };
-        hand_out(dm, proxies, waiting, w, lease_timeout, progress);
+        horizon
     }
 }
 
@@ -508,230 +682,40 @@ pub fn serve_with_options(
             "task_offset + tasks overflows the stream index space".into(),
         ));
     }
-    let mut dm = DataManager::with_offset(n, tasks, options.task_offset, sim.new_tally(), 0);
+    let dm = DataManager::with_offset(n, tasks, options.task_offset, sim.new_tally(), 0);
 
-    let (tx, rx) = mpsc::channel::<Event>();
-    let stop = Arc::new(AtomicBool::new(false));
-
-    // Background accept thread: clients may join at any time. The
-    // listener polls non-blocking so the thread can observe `stop` and
-    // release the port when the run ends.
-    listener.set_nonblocking(true)?;
-    let accept_thread = {
-        let tx = tx.clone();
-        let stop = Arc::clone(&stop);
-        let handshake_timeout = options.join_grace;
-        thread::spawn(move || {
-            while !stop.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let tx = tx.clone();
-                        // Proxy threads are detached: each is bounded by
-                        // the handshake timeout, a queued shutdown reply,
-                        // or its socket being cut, so none can outlive
-                        // the run by more than one client round-trip.
-                        thread::spawn(move || proxy_loop(stream, tx, handshake_timeout));
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        thread::sleep(ACCEPT_POLL);
-                    }
-                    Err(_) => break,
-                }
-            }
-        })
-    };
-    drop(tx);
-
-    let mut proxies: HashMap<usize, Proxy> = HashMap::new();
-    let mut waiting: Vec<usize> = Vec::new();
-    let mut joined_total = 0usize;
-    let mut photons_done = 0u64;
+    let mut events = EventLoop::new(listener)?;
     let started = Instant::now();
-    // The pool has been empty since this instant (None while non-empty).
-    let mut empty_since = Some(started);
-    let lease_timeout = options.lease_timeout;
-
-    let outcome = loop {
-        if dm.finished() {
-            break Ok(());
-        }
-        let now = Instant::now();
-
-        // Abandon (typed, never a hang): the gate never opened, or the
-        // whole pool vanished and nobody re-joined within the grace.
-        let gate_stalled =
-            joined_total < options.min_clients && now.duration_since(started) >= options.join_grace;
-        let pool_stalled = empty_since.is_some_and(|t| now.duration_since(t) >= options.join_grace);
-        if gate_stalled || pool_stalled {
-            break Err(NetError::Incomplete {
-                photons_done,
-                photons_total: n,
-                requeues: dm.requeues(),
-            });
-        }
-
-        // Sleep until the next actionable instant: an event, the nearest
-        // lease deadline, or a stall-detection horizon.
-        let mut horizon = now + Duration::from_millis(500);
-        for p in proxies.values() {
-            if let Some((_, deadline)) = p.lease {
-                horizon = horizon.min(deadline);
-            }
-        }
-        if let Some(t) = empty_since {
-            horizon = horizon.min(t + options.join_grace);
-        }
-        if joined_total < options.min_clients {
-            horizon = horizon.min(started + options.join_grace);
-        }
-        let wait = horizon.saturating_duration_since(now).max(Duration::from_millis(1));
-
-        match rx.recv_timeout(wait) {
-            Ok(Event::Joined { reply_tx, stream, id_tx }) => {
-                let worker = dm.register_worker();
-                // A fresh Instant, not the pre-wait `now`: the loop may
-                // have slept up to 500 ms before this event, and a stale
-                // stamp could backdate a sub-second idle deadline enough
-                // to cut a healthy client before its first request.
-                let joined_at = Instant::now();
-                proxies
-                    .insert(worker, Proxy { reply_tx, stream, lease: None, idle_since: joined_at });
-                joined_total += 1;
-                empty_since = None;
-                progress.on_clients(proxies.len());
-                // The id reply releases the proxy into its frame loop.
-                id_tx.send(worker).ok();
-                if joined_total == options.min_clients {
-                    // Gate opens: release requests parked before quorum.
-                    drain_waiting(&mut dm, &mut proxies, &mut waiting, lease_timeout, progress);
-                }
-            }
-            Ok(Event::Request { worker }) => {
-                if joined_total >= options.min_clients {
-                    hand_out(&mut dm, &mut proxies, &mut waiting, worker, lease_timeout, progress);
-                } else {
-                    waiting.push(worker);
-                }
-            }
-            Ok(Event::Complete { worker, tally }) => {
-                if let Some(p) = proxies.get_mut(&worker) {
-                    match p.lease.take() {
-                        Some((task, _)) => {
-                            p.idle_since = Instant::now();
-                            dm.complete(worker, task, &tally);
-                            photons_done += task.photons;
-                            progress.on_photons(photons_done, n);
-                        }
-                        None => {
-                            // Stale completion of a revoked lease (or a
-                            // protocol violation): the task already went
-                            // back to the queue, so merging this tally
-                            // would double-count its photons. Drop it and
-                            // cut the connection.
-                            p.stream.shutdown(Shutdown::Both).ok();
-                        }
-                    }
-                }
-            }
-            Ok(Event::Disconnected { worker }) => {
-                // Purge the departed worker from the wait queue so a
-                // later requeue can never hand a task to a dead proxy.
-                waiting.retain(|&w| w != worker);
-                if let Some(mut p) = proxies.remove(&worker) {
-                    progress.on_clients(proxies.len());
-                    if let Some((task, _)) = p.lease.take() {
-                        // A reclaimed/crashed client surrenders its
-                        // lease; another client will re-run the identical
-                        // photons (same stream index).
-                        dm.fail(worker, task);
-                        progress.on_task_retry(task.task_id);
-                        drain_waiting(&mut dm, &mut proxies, &mut waiting, lease_timeout, progress);
-                    }
-                }
-                if proxies.is_empty() {
-                    empty_since = Some(Instant::now());
-                }
-            }
-            Err(mpsc::RecvTimeoutError::Timeout) => {}
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                // The accept thread holds a sender for the run's whole
-                // lifetime, so this means it died — abandon, typed.
-                break Err(NetError::Incomplete {
-                    photons_done,
-                    photons_total: n,
-                    requeues: dm.requeues(),
-                });
-            }
-        }
-
-        // Revoke leases past their deadline: requeue now (a parked client
-        // can start immediately) and cut the holder's connection, which
-        // turns the laggard into an ordinary disconnect. If its COMPLETE
-        // was already in flight, the cleared lease makes the event loop
-        // drop the stale tally above — photons are never double-counted.
-        let now = Instant::now();
-        let mut revoked = false;
-        for (&worker, p) in proxies.iter_mut() {
-            if p.lease.is_some_and(|(_, deadline)| now >= deadline) {
-                if let Some((task, _)) = p.lease.take() {
-                    p.stream.shutdown(Shutdown::Both).ok();
-                    dm.fail(worker, task);
-                    progress.on_task_retry(task.task_id);
-                    revoked = true;
-                }
-            } else if p.lease.is_none()
-                && now.duration_since(p.idle_since) >= lease_timeout
-                && !waiting.contains(&worker)
-            {
-                // A connected client that has neither requested work nor
-                // held a lease for a whole lease period is a zombie
-                // (parked workers are exempt — they are waiting on *us*).
-                // Cut it so the run cannot be held open indefinitely by a
-                // connection that will never contribute.
-                p.stream.shutdown(Shutdown::Both).ok();
-            }
-        }
-        if revoked {
-            drain_waiting(&mut dm, &mut proxies, &mut waiting, lease_timeout, progress);
-        }
+    let mut server = ClusterServer {
+        dm,
+        clients: HashMap::new(),
+        waiting: Vec::new(),
+        joined_total: 0,
+        photons_done: 0,
+        photons_total: n,
+        options,
+        started,
+        empty_since: Some(started),
+        progress,
+        failed: None,
+        draining: None,
     };
+    events.run(&mut server)?;
+    // Dropping the loop closes the listener and cuts every socket still
+    // open (clients that never collected their SHUTDOWN, abandoned runs).
+    drop(events);
 
-    // Wind down: stop admitting connections, release parked clients, and
-    // queue a shutdown reply for every proxy's next (or pending) request.
-    // Live clients then exit via a clean KIND_SHUTDOWN; proxies of dead
-    // clients error out on their own.
-    stop.store(true, Ordering::Relaxed);
-    for w in waiting.drain(..) {
-        if let Some(p) = proxies.get(&w) {
-            p.reply_tx.send(None).ok();
-        }
+    if let Some(err) = server.failed {
+        return Err(err);
     }
-    drop(rx);
-    for p in proxies.values() {
-        p.reply_tx.send(None).ok();
-    }
-    accept_thread.join().ok();
-    // Proxies of responsive clients wake on the queued reply within
-    // microseconds and write their SHUTDOWN; after a short drain, cut any
-    // socket still in the map so a silent client cannot leak its proxy
-    // thread and fd past this call in a long-lived process.
-    thread::sleep(Duration::from_millis(50));
-    for p in proxies.values() {
-        p.stream.shutdown(Shutdown::Both).ok();
-    }
-
-    match outcome {
-        Ok(()) => {
-            let (tally, worker_stats, requeues) = dm.into_results();
-            Ok(NetReport {
-                result: SimulationResult::new(tally, Vec::new()),
-                worker_stats,
-                requeues,
-                clients_served: joined_total,
-            })
-        }
-        Err(e) => Err(e),
-    }
+    let clients_served = server.joined_total;
+    let (tally, worker_stats, requeues) = server.dm.into_results();
+    Ok(NetReport {
+        result: SimulationResult::new(tally, Vec::new()),
+        worker_stats,
+        requeues,
+        clients_served,
+    })
 }
 
 /// The client loop: connect to the server, exchange HELLOs, request
@@ -740,7 +724,10 @@ pub fn serve_with_options(
 /// completed.
 pub fn run_client(addr: &str, sim: &Simulation, seed: u64) -> Result<u64, NetError> {
     let mut stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true).ok();
+    // A failed socket-option set is a broken connection, not a shrug:
+    // surface it instead of running the whole protocol on a socket whose
+    // configuration silently differs from what the code assumes.
+    stream.set_nodelay(true)?;
     handshake(&mut stream)?;
     let factory = StreamFactory::new(seed);
     let mut completed = 0u64;
@@ -771,6 +758,7 @@ mod tests {
     use lumen_core::engine::{Backend, Rayon, Scenario};
     use lumen_core::{Detector, Source};
     use lumen_tissue::presets::semi_infinite_phantom;
+    use std::thread;
 
     fn sim() -> Simulation {
         Simulation::new(
@@ -836,6 +824,39 @@ mod tests {
         let rayon_res = rayon_reference(&s, n, seed, 4);
         assert_eq!(report.result.tally, rayon_res.tally);
         assert!(report.result.tally.path_grid.is_some());
+    }
+
+    #[test]
+    fn write_frame_is_a_single_contiguous_write() {
+        // Regression: the original implementation issued three separate
+        // writes per frame (length, kind, payload) — three syscalls and,
+        // with TCP_NODELAY, up to three packets. The frame must hit the
+        // writer as one contiguous buffer in one call.
+        struct CountingWriter {
+            writes: Vec<Vec<u8>>,
+        }
+        impl Write for CountingWriter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.writes.push(buf.to_vec());
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut w = CountingWriter { writes: Vec::new() };
+        write_frame_to(&mut w, 0x42, b"payload").unwrap();
+        assert_eq!(w.writes.len(), 1, "one frame must be exactly one write call");
+        let bytes = &w.writes[0];
+        assert_eq!(&bytes[..4], &8u32.to_le_bytes(), "4-byte LE length prefix");
+        assert_eq!(bytes[4], 0x42, "kind byte follows the length");
+        assert_eq!(&bytes[5..], b"payload");
+
+        let mut w = CountingWriter { writes: Vec::new() };
+        write_frame_to(&mut w, KIND_REQUEST, &[]).unwrap();
+        assert_eq!(w.writes.len(), 1, "empty-payload frames too");
+        assert_eq!(w.writes[0], vec![1, 0, 0, 0, KIND_REQUEST]);
     }
 
     #[test]

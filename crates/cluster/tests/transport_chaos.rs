@@ -1,0 +1,157 @@
+//! Scale leg for the shared transport core: one poll loop, one thread,
+//! a hundred-plus concurrent clients — joiners, quitters, and stallers
+//! all at once. The thread-per-connection runtime capped out at thread
+//! limits; the readiness loop must take the same churn at 100+ sockets
+//! and still produce a tally **bit-identical to `Sequential`**, because
+//! requeue determinism (same `task_id` ⇒ same RNG substream) does not
+//! care how many connections multiplex over one loop.
+
+use lumen_cluster::net::{handshake, write_frame, KIND_ASSIGN, KIND_REQUEST};
+use lumen_cluster::{run_client, serve_with_options, NetError, NetReport, ServeOptions};
+use lumen_core::engine::{Backend, Scenario, Sequential};
+use lumen_core::{Detector, Simulation, Source};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Well-behaved clients that run tasks to completion.
+const GOOD: usize = 96;
+/// Clients that take one task each and sit on the lease until revoked.
+const STALLERS: usize = 8;
+/// Clients that handshake into the pool and immediately vanish.
+const QUITTERS: usize = 8;
+
+/// Abort the test (with a named panic, not a CI timeout) if `f` does not
+/// finish within `limit`.
+fn watchdog<T: Send + 'static>(
+    name: &str,
+    limit: Duration,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = mpsc::channel();
+    let body = thread::spawn(move || {
+        tx.send(f()).ok();
+    });
+    match rx.recv_timeout(limit) {
+        Ok(v) => {
+            body.join().ok();
+            v
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("watchdog: `{name}` still running after {limit:?} — the server hung")
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => match body.join() {
+            Err(cause) => std::panic::resume_unwind(cause),
+            Ok(()) => panic!("watchdog: `{name}` exited without a result"),
+        },
+    }
+}
+
+fn sim() -> Simulation {
+    Simulation::new(
+        lumen_tissue::presets::semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
+        Source::Delta,
+        Detector::new(1.0, 0.5),
+    )
+}
+
+fn connect(addr: &str) -> TcpStream {
+    for _ in 0..500 {
+        if let Ok(c) = TcpStream::connect(addr) {
+            return c;
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+    panic!("could not connect to {addr}");
+}
+
+/// A client loop that rides out transient failures (a spurious lease
+/// revocation under scheduler pressure cuts the socket mid-run): retry
+/// until the server is gone. The authoritative assertions live on the
+/// server's report, not on any individual client's fate.
+fn spawn_resilient_client(addr: &str, s: &Simulation, seed: u64) -> thread::JoinHandle<u64> {
+    let addr = addr.to_string();
+    let s = s.clone();
+    thread::spawn(move || {
+        let deadline = Instant::now() + Duration::from_secs(90);
+        loop {
+            match run_client(&addr, &s, seed) {
+                Ok(n) => return n,
+                Err(_) if Instant::now() < deadline => thread::sleep(Duration::from_millis(10)),
+                Err(_) => return 0,
+            }
+        }
+    })
+}
+
+#[test]
+fn hundred_plus_clients_with_churn_produce_sequential_bits() {
+    watchdog("hundred_plus_clients", Duration::from_secs(120), || {
+        let s = sim();
+        let (n, tasks, seed) = (24_000, 192, 77);
+        let options = ServeOptions::default().with_lease_timeout(Duration::from_millis(800));
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = {
+            let s = s.clone();
+            thread::spawn(move || -> Result<NetReport, NetError> {
+                serve_with_options(listener, &s, n, tasks, options, &lumen_core::engine::NoProgress)
+            })
+        };
+
+        // Stallers: join, take one task each, never complete it. Their
+        // leases must be revoked and the identical batches re-run.
+        let stallers: Vec<TcpStream> = (0..STALLERS)
+            .map(|_| {
+                let mut stream = connect(&addr);
+                handshake(&mut stream).expect("staller handshake");
+                write_frame(&mut stream, KIND_REQUEST, &[]).expect("staller request");
+                let (kind, _) =
+                    lumen_cluster::net::read_frame(&mut stream).expect("staller assignment");
+                assert_eq!(kind, KIND_ASSIGN);
+                stream // held open, silent, until the run is over
+            })
+            .collect();
+
+        // Quitters: handshake into the pool, then vanish without ever
+        // requesting work — pure connection churn.
+        for _ in 0..QUITTERS {
+            let mut stream = connect(&addr);
+            handshake(&mut stream).expect("quitter handshake");
+            drop(stream);
+        }
+
+        // The workforce: enough concurrent connections that a
+        // thread-per-socket server would be juggling 100+ threads; the
+        // poll loop runs them all from one.
+        let good: Vec<_> = (0..GOOD).map(|_| spawn_resilient_client(&addr, &s, seed)).collect();
+
+        let report = server.join().expect("server thread").expect("serve ok");
+        drop(stallers);
+        let completed: u64 = good.into_iter().map(|h| h.join().expect("good client")).sum();
+
+        // Every batch ran somewhere; the stalled ones ran twice, with the
+        // stale lease dropped — so the bits match a sequential run.
+        let scenario = Scenario::from_simulation(&s, n, seed).with_tasks(tasks);
+        let reference = Sequential.run(&scenario).expect("valid scenario").result.tally;
+        assert_eq!(report.result.tally, reference, "churn must not change the physics");
+        assert_eq!(report.result.launched(), n, "every photon exactly once");
+        assert!(
+            report.requeues >= STALLERS as u64,
+            "each staller held a lease that had to be revoked (requeues = {})",
+            report.requeues
+        );
+        assert!(
+            report.clients_served >= GOOD + STALLERS + QUITTERS,
+            "all {} connections passed the HELLO gate (served = {})",
+            GOOD + STALLERS + QUITTERS,
+            report.clients_served
+        );
+        // Client-side counts miss any session cut by a spurious
+        // revocation (the server still tallied its batches), so this is
+        // deliberately loose; `launched() == n` above is the strict one.
+        assert!(completed >= tasks / 2, "the workforce did the bulk of the work");
+    });
+}

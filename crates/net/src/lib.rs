@@ -1,0 +1,708 @@
+//! # lumen-net — the poll-based multiplexed transport core
+//!
+//! One thread, one `poll(2)` readiness loop, hundreds of framed TCP
+//! connections. Both networked runtimes in the workspace — the cluster
+//! DataManager server (`lumen_cluster::net`) and the `lumend` simulation
+//! service (`lumen_service::server`) — are handlers plugged into this
+//! loop, replacing their original thread-per-connection blocking designs
+//! whose per-socket threads and shared lease-table lock capped the pool
+//! at a handful of clients.
+//!
+//! The layering follows the small-state-machine discipline of protocol
+//! stacks built as composable kernel modules: each layer owns exactly
+//! one concern and exposes a narrow seam.
+//!
+//! * [`sys`] — a minimal `poll(2)` binding (declared directly; the
+//!   offline workspace carries no libc crate).
+//! * [`frame`] — the shared frame codec: single-buffer encoding and
+//!   incremental, split-tolerant decoding of the
+//!   `4-byte LE length | kind | payload` wire format.
+//! * [`EventLoop`] + [`Handler`] — the readiness loop: non-blocking
+//!   accept, per-connection read/write buffers, frame assembly and
+//!   flushing, deadline-driven ticks, and a cross-thread [`Waker`] so
+//!   worker threads can hand results back to the loop.
+//!
+//! Policy stays out of this crate entirely: protocol kinds, handshakes,
+//! lease tables, and caches belong to the handlers. The loop guarantees
+//! only mechanics — every complete frame is delivered exactly once in
+//! arrival order, every connection death is reported exactly once, and
+//! no callback ever blocks on a socket.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod frame;
+pub mod sys;
+
+use frame::FrameDecoder;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Identifies one live connection within its [`EventLoop`]. Tokens are
+/// never reused within a loop's lifetime, so a stale token held across a
+/// disconnect simply stops resolving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+impl std::fmt::Display for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "conn#{}", self.0)
+    }
+}
+
+/// What the loop should do after a tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Keep serving.
+    Continue,
+    /// Exit [`EventLoop::run`] now (remaining connections close when the
+    /// loop is dropped).
+    Stop,
+}
+
+/// The protocol brain driven by an [`EventLoop`]. All callbacks run on
+/// the loop thread; none may block. State machines live here — the loop
+/// only moves bytes.
+pub trait Handler {
+    /// A connection was accepted and configured (non-blocking, nodelay).
+    /// Connections whose setup fails are closed before ever reaching the
+    /// handler — a socket with a broken option set must not be served.
+    fn on_open(&mut self, ops: &mut Ops<'_>, token: Token);
+
+    /// One complete frame arrived. Frames are delivered in arrival
+    /// order; a handler closing `token` mid-batch drops the rest.
+    fn on_frame(&mut self, ops: &mut Ops<'_>, token: Token, kind: u8, payload: Vec<u8>);
+
+    /// The connection died remotely (EOF, I/O error, or a frame-layer
+    /// violation). Called exactly once per connection, and never for
+    /// closes the handler itself initiated via [`Ops::close`] /
+    /// [`Ops::finish`].
+    fn on_close(&mut self, ops: &mut Ops<'_>, token: Token);
+
+    /// The [`Waker`] fired (at least once since the last delivery —
+    /// wakes coalesce, so drain the whole completion queue).
+    fn on_wake(&mut self, _ops: &mut Ops<'_>) {}
+
+    /// Runs once per loop iteration, after I/O. Deadline work (lease
+    /// revocation, stall guards, shutdown flags) belongs here.
+    fn on_tick(&mut self, ops: &mut Ops<'_>, now: Instant) -> Flow;
+
+    /// The next instant [`Handler::on_tick`] must run even without I/O;
+    /// the loop also ticks at least every ~50 ms regardless.
+    fn next_wake(&mut self, _now: Instant) -> Option<Instant> {
+        None
+    }
+}
+
+/// Handle worker threads use to interrupt a sleeping [`EventLoop`]
+/// (loopback socket pair under the hood — portable, poll-able). Wakes
+/// coalesce; [`Waker::wake`] never blocks.
+#[derive(Debug)]
+pub struct Waker {
+    tx: TcpStream,
+}
+
+impl Waker {
+    /// Signal the loop; its handler's [`Handler::on_wake`] runs on the
+    /// next iteration.
+    pub fn wake(&self) {
+        // Non-blocking: a full buffer means wake bytes are already
+        // pending, so dropping this one loses nothing.
+        let _ = (&self.tx).write(&[1]);
+    }
+
+    /// An independent handle to the same loop.
+    pub fn try_clone(&self) -> std::io::Result<Waker> {
+        Ok(Waker { tx: self.tx.try_clone()? })
+    }
+}
+
+/// One connection's loop-side record.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    outbox: Vec<u8>,
+    cursor: usize,
+    /// Locally initiated teardown: close once the outbox flushes, and
+    /// suppress the `on_close` callback (the handler already knows).
+    finishing: bool,
+    /// A write failed outside the loop's sweep; close (with callback
+    /// unless `finishing`) on the next iteration.
+    dead: bool,
+    /// Last instant bytes arrived (or the accept instant).
+    last_read: Instant,
+}
+
+impl Conn {
+    /// Push buffered bytes to the socket; `Err` only for fatal failures
+    /// (`WouldBlock` leaves the remainder for the next readiness event).
+    fn flush(&mut self) -> std::io::Result<()> {
+        while self.cursor < self.outbox.len() {
+            match self.stream.write(&self.outbox[self.cursor..]) {
+                Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.cursor += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.cursor == self.outbox.len() {
+            self.outbox.clear();
+            self.cursor = 0;
+        } else if self.cursor > 64 * 1024 {
+            self.outbox.drain(..self.cursor);
+            self.cursor = 0;
+        }
+        Ok(())
+    }
+
+    fn has_pending(&self) -> bool {
+        self.cursor < self.outbox.len()
+    }
+}
+
+/// The connection-table view handlers mutate during callbacks: queue
+/// frames, close peers, inspect staleness. All operations are
+/// non-blocking and tolerate stale tokens (returning `false`/`None`).
+#[derive(Debug)]
+pub struct Ops<'a> {
+    conns: &'a mut HashMap<usize, Conn>,
+}
+
+impl Ops<'_> {
+    /// Queue one frame on `token` and eagerly flush what the socket will
+    /// take. Returns `false` if the token is gone, the connection is
+    /// already finishing, or the payload exceeds the frame cap; a
+    /// mid-flush socket error marks the connection dead (reported via
+    /// [`Handler::on_close`] on the next iteration).
+    pub fn send(&mut self, token: Token, kind: u8, payload: &[u8]) -> bool {
+        let Some(conn) = self.conns.get_mut(&token.0) else { return false };
+        if conn.finishing || conn.dead {
+            return false;
+        }
+        if frame::encode_frame_into(&mut conn.outbox, kind, payload).is_err() {
+            return false;
+        }
+        if conn.flush().is_err() {
+            conn.dead = true;
+        }
+        true
+    }
+
+    /// Close `token` now (both directions, no `on_close` callback).
+    pub fn close(&mut self, token: Token) {
+        if let Some(conn) = self.conns.remove(&token.0) {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Close `token` once its queued frames have flushed (no `on_close`
+    /// callback). Reads are ignored from here on: the connection exists
+    /// only to drain its goodbye.
+    pub fn finish(&mut self, token: Token) {
+        let should_close = match self.conns.get_mut(&token.0) {
+            None => return,
+            Some(conn) => {
+                conn.finishing = true;
+                if conn.flush().is_err() {
+                    conn.dead = true;
+                }
+                !conn.has_pending() || conn.dead
+            }
+        };
+        if should_close {
+            self.close(token);
+        }
+    }
+
+    /// Is `token` still in the table?
+    pub fn is_open(&self, token: Token) -> bool {
+        self.conns.contains_key(&token.0)
+    }
+
+    /// Is a frame partially assembled on `token`? (Fuel for stall
+    /// guards: idle is fine, stuck mid-frame is not.)
+    pub fn mid_frame(&self, token: Token) -> bool {
+        self.conns.get(&token.0).is_some_and(|c| c.decoder.mid_frame())
+    }
+
+    /// Time since bytes last arrived on `token` (since accept if none
+    /// ever did).
+    pub fn read_idle(&self, token: Token, now: Instant) -> Option<Duration> {
+        self.conns.get(&token.0).map(|c| now.saturating_duration_since(c.last_read))
+    }
+
+    /// The peer address, if the token is live and the socket can name it.
+    pub fn peer_addr(&self, token: Token) -> Option<SocketAddr> {
+        self.conns.get(&token.0).and_then(|c| c.stream.peer_addr().ok())
+    }
+
+    /// Live connections (finishing ones included).
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// No live connections?
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+}
+
+#[cfg(unix)]
+fn raw_fd<T: std::os::unix::io::AsRawFd>(t: &T) -> i32 {
+    t.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd<T>(_t: &T) -> i32 {
+    0
+}
+
+/// The loop ticks at least this often even with no I/O and no handler
+/// deadline, so coarse conditions (a shutdown flag, say) are observed
+/// promptly.
+const MAX_TICK: Duration = Duration::from_millis(50);
+
+/// Read-scratch size; reads drain the socket buffer in chunks this big.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// The readiness loop: owns the listener, the connection table, and the
+/// optional waker, and drives a [`Handler`] until it says [`Flow::Stop`].
+#[derive(Debug)]
+pub struct EventLoop {
+    listener: TcpListener,
+    conns: HashMap<usize, Conn>,
+    next_token: usize,
+    waker_rx: Option<TcpStream>,
+    waker_tx: Option<TcpStream>,
+}
+
+impl EventLoop {
+    /// Take ownership of a bound listener (switched to non-blocking).
+    pub fn new(listener: TcpListener) -> std::io::Result<Self> {
+        listener.set_nonblocking(true)?;
+        Ok(Self { listener, conns: HashMap::new(), next_token: 0, waker_rx: None, waker_tx: None })
+    }
+
+    /// The listener's bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A [`Waker`] for this loop. The first call sets up the loopback
+    /// wake channel; every call returns an independent handle.
+    pub fn waker(&mut self) -> std::io::Result<Waker> {
+        if self.waker_tx.is_none() {
+            let gate = TcpListener::bind("127.0.0.1:0")?;
+            let tx = TcpStream::connect(gate.local_addr()?)?;
+            let (rx, _) = gate.accept()?;
+            rx.set_nonblocking(true)?;
+            tx.set_nonblocking(true)?;
+            tx.set_nodelay(true)?;
+            self.waker_rx = Some(rx);
+            self.waker_tx = Some(tx);
+        }
+        Ok(Waker { tx: self.waker_tx.as_ref().expect("waker channel").try_clone()? })
+    }
+
+    /// Drive `handler` until it returns [`Flow::Stop`]. `Err` only for
+    /// unrecoverable loop failures (the listener or poll itself); any
+    /// still-open connections close when the `EventLoop` drops.
+    pub fn run<H: Handler>(&mut self, handler: &mut H) -> std::io::Result<()> {
+        loop {
+            self.sweep_dead(handler);
+
+            let now = Instant::now();
+            let timeout = handler
+                .next_wake(now)
+                .map(|at| at.saturating_duration_since(now))
+                .unwrap_or(MAX_TICK)
+                .min(MAX_TICK);
+
+            // Registration order: listener, waker, then connections in a
+            // captured order (the table may mutate during callbacks).
+            let mut fds = vec![sys::PollFd::new(raw_fd(&self.listener), sys::POLLIN)];
+            if let Some(rx) = &self.waker_rx {
+                fds.push(sys::PollFd::new(raw_fd(rx), sys::POLLIN));
+            }
+            let base = fds.len();
+            let order: Vec<usize> = self.conns.keys().copied().collect();
+            for &t in &order {
+                let conn = &self.conns[&t];
+                let mut events = if conn.finishing { 0 } else { sys::POLLIN };
+                if conn.has_pending() {
+                    events |= sys::POLLOUT;
+                }
+                fds.push(sys::PollFd::new(raw_fd(&conn.stream), events));
+            }
+
+            sys::poll_fds(&mut fds, timeout)?;
+            let now = Instant::now();
+
+            if fds[0].ready(sys::POLLIN) {
+                self.accept_ready(handler, now);
+            }
+            if self.waker_rx.is_some() && fds[base - 1].ready(sys::POLLIN) && self.drain_waker() {
+                handler.on_wake(&mut Ops { conns: &mut self.conns });
+            }
+
+            for (i, &t) in order.iter().enumerate() {
+                let ready = fds[base + i];
+                if ready.ready(sys::POLLIN) {
+                    self.read_ready(handler, t, now);
+                }
+                if ready.ready(sys::POLLOUT) {
+                    self.flush_ready(handler, t);
+                }
+            }
+
+            match handler.on_tick(&mut Ops { conns: &mut self.conns }, now) {
+                Flow::Continue => {}
+                Flow::Stop => return Ok(()),
+            }
+        }
+    }
+
+    /// Close connections whose eager flush failed mid-callback,
+    /// reporting remote deaths to the handler.
+    fn sweep_dead<H: Handler>(&mut self, handler: &mut H) {
+        let dead: Vec<usize> = self.conns.iter().filter(|(_, c)| c.dead).map(|(&t, _)| t).collect();
+        for t in dead {
+            self.close_remote(handler, t);
+        }
+    }
+
+    /// Remove `t` and fire `on_close` unless the teardown was local.
+    fn close_remote<H: Handler>(&mut self, handler: &mut H, t: usize) {
+        if let Some(conn) = self.conns.remove(&t) {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            if !conn.finishing {
+                handler.on_close(&mut Ops { conns: &mut self.conns }, Token(t));
+            }
+        }
+    }
+
+    fn accept_ready<H: Handler>(&mut self, handler: &mut H, now: Instant) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    // A connection whose option setup fails is closed on
+                    // the spot: serving a socket with (say) a broken
+                    // non-blocking flag would hand the loop a stream
+                    // that can stall every other client.
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        let _ = stream.shutdown(Shutdown::Both);
+                        continue;
+                    }
+                    let t = self.next_token;
+                    self.next_token += 1;
+                    self.conns.insert(
+                        t,
+                        Conn {
+                            stream,
+                            decoder: FrameDecoder::new(),
+                            outbox: Vec::new(),
+                            cursor: 0,
+                            finishing: false,
+                            dead: false,
+                            last_read: now,
+                        },
+                    );
+                    handler.on_open(&mut Ops { conns: &mut self.conns }, Token(t));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// True if any wake bytes were pending.
+    fn drain_waker(&mut self) -> bool {
+        let Some(rx) = &mut self.waker_rx else { return false };
+        let mut scratch = [0u8; 256];
+        let mut woke = false;
+        loop {
+            match rx.read(&mut scratch) {
+                Ok(0) => break, // waker writer gone; treat as drained
+                Ok(_) => woke = true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        woke
+    }
+
+    fn read_ready<H: Handler>(&mut self, handler: &mut H, t: usize, now: Instant) {
+        let mut gone = false;
+        {
+            let Some(conn) = self.conns.get_mut(&t) else { return };
+            let mut scratch = [0u8; READ_CHUNK];
+            loop {
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => {
+                        gone = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.decoder.extend(&scratch[..n]);
+                        conn.last_read = now;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        gone = true;
+                        break;
+                    }
+                }
+            }
+        }
+        // Deliver complete frames one at a time, re-borrowing between
+        // callbacks (the handler may close this or any other token).
+        loop {
+            let frame = match self.conns.get_mut(&t) {
+                None => return, // handler closed it mid-batch
+                Some(conn) => match conn.decoder.next_frame() {
+                    Ok(Some(f)) => f,
+                    Ok(None) => break,
+                    Err(_) => {
+                        // Frame-layer violation: the stream is no longer
+                        // frame-aligned; it cannot be served further.
+                        self.close_remote(handler, t);
+                        return;
+                    }
+                },
+            };
+            handler.on_frame(&mut Ops { conns: &mut self.conns }, Token(t), frame.0, frame.1);
+        }
+        if gone {
+            self.close_remote(handler, t);
+        }
+    }
+
+    fn flush_ready<H: Handler>(&mut self, handler: &mut H, t: usize) {
+        let (failed, done) = match self.conns.get_mut(&t) {
+            None => return,
+            Some(conn) => match conn.flush() {
+                Ok(()) => (false, conn.finishing && !conn.has_pending()),
+                Err(_) => (true, false),
+            },
+        };
+        if failed {
+            self.close_remote(handler, t);
+        } else if done {
+            // A locally finished connection has drained its goodbye.
+            if let Some(conn) = self.conns.remove(&t) {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    /// Echoes every frame back, closes on kind 0xFF, stops when idle
+    /// after having served at least one connection.
+    struct Echo {
+        served: usize,
+        stop_when_empty: bool,
+        woke: Arc<AtomicBool>,
+    }
+
+    impl Handler for Echo {
+        fn on_open(&mut self, _ops: &mut Ops<'_>, _token: Token) {
+            self.served += 1;
+        }
+        fn on_frame(&mut self, ops: &mut Ops<'_>, token: Token, kind: u8, payload: Vec<u8>) {
+            if kind == 0xFF {
+                ops.close(token);
+            } else {
+                assert!(ops.send(token, kind, &payload));
+            }
+        }
+        fn on_close(&mut self, _ops: &mut Ops<'_>, _token: Token) {}
+        fn on_wake(&mut self, _ops: &mut Ops<'_>) {
+            self.woke.store(true, Ordering::Relaxed);
+        }
+        fn on_tick(&mut self, ops: &mut Ops<'_>, _now: Instant) -> Flow {
+            if self.stop_when_empty && self.served > 0 && ops.is_empty() {
+                Flow::Stop
+            } else {
+                Flow::Continue
+            }
+        }
+    }
+
+    fn blocking_frame_roundtrip(stream: &mut TcpStream, kind: u8, payload: &[u8]) -> (u8, Vec<u8>) {
+        stream.write_all(&frame::encode_frame(kind, payload).unwrap()).unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut scratch = [0u8; 4096];
+        loop {
+            if let Some(f) = dec.next_frame().unwrap() {
+                return f;
+            }
+            let n = stream.read(&mut scratch).unwrap();
+            assert!(n > 0, "peer closed mid-frame");
+            dec.extend(&scratch[..n]);
+        }
+    }
+
+    #[test]
+    fn echo_serves_many_blocking_clients_from_one_loop() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let woke = Arc::new(AtomicBool::new(false));
+        let mut el = EventLoop::new(listener).unwrap();
+        let server = {
+            let woke = Arc::clone(&woke);
+            std::thread::spawn(move || {
+                let mut h = Echo { served: 0, stop_when_empty: true, woke };
+                el.run(&mut h).unwrap();
+                h.served
+            })
+        };
+
+        let clients: Vec<_> = (0..24u8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut s = TcpStream::connect(addr).unwrap();
+                    for round in 0..3u8 {
+                        let payload = vec![i; 10 + round as usize];
+                        let (kind, echoed) = blocking_frame_roundtrip(&mut s, i, &payload);
+                        assert_eq!((kind, echoed), (i, payload));
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        assert_eq!(server.join().unwrap(), 24);
+        assert!(!woke.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn waker_interrupts_an_idle_loop() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut el = EventLoop::new(listener).unwrap();
+        let waker = el.waker().unwrap();
+        let woke = Arc::new(AtomicBool::new(false));
+
+        struct StopOnWake(Arc<AtomicBool>);
+        impl Handler for StopOnWake {
+            fn on_open(&mut self, _: &mut Ops<'_>, _: Token) {}
+            fn on_frame(&mut self, _: &mut Ops<'_>, _: Token, _: u8, _: Vec<u8>) {}
+            fn on_close(&mut self, _: &mut Ops<'_>, _: Token) {}
+            fn on_wake(&mut self, _: &mut Ops<'_>) {
+                self.0.store(true, Ordering::Relaxed);
+            }
+            fn on_tick(&mut self, _: &mut Ops<'_>, _: Instant) -> Flow {
+                if self.0.load(Ordering::Relaxed) {
+                    Flow::Stop
+                } else {
+                    Flow::Continue
+                }
+            }
+        }
+
+        let server = {
+            let woke = Arc::clone(&woke);
+            std::thread::spawn(move || el.run(&mut StopOnWake(woke)).unwrap())
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        waker.wake();
+        server.join().unwrap();
+        assert!(woke.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn frame_violation_reports_close_exactly_once() {
+        struct Track {
+            closes: usize,
+            opened: bool,
+        }
+        impl Handler for Track {
+            fn on_open(&mut self, _: &mut Ops<'_>, _: Token) {
+                self.opened = true;
+            }
+            fn on_frame(&mut self, _: &mut Ops<'_>, _: Token, _: u8, _: Vec<u8>) {
+                panic!("a zero-length frame must never be delivered");
+            }
+            fn on_close(&mut self, _: &mut Ops<'_>, _: Token) {
+                self.closes += 1;
+            }
+            fn on_tick(&mut self, ops: &mut Ops<'_>, _: Instant) -> Flow {
+                if self.opened && ops.is_empty() {
+                    Flow::Stop
+                } else {
+                    Flow::Continue
+                }
+            }
+        }
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut el = EventLoop::new(listener).unwrap();
+        let server = std::thread::spawn(move || {
+            let mut h = Track { closes: 0, opened: false };
+            el.run(&mut h).unwrap();
+            h.closes
+        });
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&0u32.to_le_bytes()).unwrap();
+        // Keep the socket open: the close must come from the violation,
+        // not from EOF.
+        assert_eq!(server.join().unwrap(), 1);
+        drop(s);
+    }
+
+    #[test]
+    fn finish_flushes_the_goodbye_before_closing() {
+        struct SendAndFinish;
+        impl Handler for SendAndFinish {
+            fn on_open(&mut self, ops: &mut Ops<'_>, token: Token) {
+                let big = vec![7u8; 512 * 1024];
+                assert!(ops.send(token, 0x55, &big));
+                ops.finish(token);
+            }
+            fn on_frame(&mut self, _: &mut Ops<'_>, _: Token, _: u8, _: Vec<u8>) {}
+            fn on_close(&mut self, _: &mut Ops<'_>, _: Token) {
+                panic!("finish() must not fire on_close");
+            }
+            fn on_tick(&mut self, ops: &mut Ops<'_>, _: Instant) -> Flow {
+                if ops.is_empty() {
+                    Flow::Stop
+                } else {
+                    Flow::Continue
+                }
+            }
+        }
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut el = EventLoop::new(listener).unwrap();
+        let server = std::thread::spawn(move || el.run(&mut SendAndFinish).unwrap());
+        let mut s = TcpStream::connect(addr).unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut scratch = [0u8; 8192];
+        let frame = loop {
+            if let Some(f) = dec.next_frame().unwrap() {
+                break f;
+            }
+            let n = s.read(&mut scratch).unwrap();
+            assert!(n > 0, "whole frame must arrive before the close");
+            dec.extend(&scratch[..n]);
+        };
+        assert_eq!(frame.0, 0x55);
+        assert_eq!(frame.1.len(), 512 * 1024);
+        assert_eq!(s.read(&mut scratch).unwrap(), 0, "clean close after the goodbye");
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,115 @@
+//! Minimal `poll(2)` binding — the only operating-system interface the
+//! readiness loop needs.
+//!
+//! The workspace builds fully offline, so rather than depending on the
+//! `libc` crate this module declares the one symbol it uses directly:
+//! `poll` is in every libc that `std` already links against on unix. On
+//! non-unix targets a sleep-based fallback reports every descriptor
+//! ready, which degrades the event loop to a bounded-rate scan of
+//! non-blocking sockets — less efficient, still correct, because every
+//! read/write path tolerates `WouldBlock`.
+
+use std::time::Duration;
+
+/// Readable-data readiness (input flag, and returned in `revents`).
+pub const POLLIN: i16 = 0x001;
+/// Writable readiness (output flag, and returned in `revents`).
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (only ever returned in `revents`).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (only ever returned in `revents`).
+pub const POLLHUP: i16 = 0x010;
+/// Descriptor not open (only ever returned in `revents`).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One descriptor's poll registration, layout-compatible with the C
+/// `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The raw descriptor to watch.
+    pub fd: i32,
+    /// Requested readiness ([`POLLIN`] | [`POLLOUT`]).
+    pub events: i16,
+    /// Readiness reported back by the kernel.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A registration watching `fd` for `events`.
+    pub fn new(fd: i32, events: i16) -> Self {
+        Self { fd, events, revents: 0 }
+    }
+
+    /// Did the kernel report any of `mask` (or an error/hangup, which
+    /// always counts as actionable — the subsequent read surfaces it)?
+    pub fn ready(&self, mask: i16) -> bool {
+        self.revents & (mask | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+/// Block until at least one registered descriptor is ready or `timeout`
+/// expires. Returns the number of ready descriptors (0 on timeout).
+/// `EINTR` is reported as a timeout so callers simply re-run their loop.
+#[cfg(unix)]
+pub fn poll_fds(fds: &mut [PollFd], timeout: Duration) -> std::io::Result<usize> {
+    use std::os::raw::{c_int, c_ulong};
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+    // Round sub-millisecond timeouts up so a short deadline sleeps
+    // instead of spinning; cap at i32::MAX ms (~24 days) for the FFI.
+    let millis = timeout.as_micros().div_ceil(1000).min(c_int::MAX as u128) as c_int;
+    for fd in fds.iter_mut() {
+        fd.revents = 0;
+    }
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, millis) };
+    if rc >= 0 {
+        return Ok(rc as usize);
+    }
+    let err = std::io::Error::last_os_error();
+    if err.kind() == std::io::ErrorKind::Interrupted {
+        Ok(0)
+    } else {
+        Err(err)
+    }
+}
+
+/// Fallback scan: sleep briefly and report everything ready, degrading
+/// the loop to a bounded-rate poll of non-blocking sockets.
+#[cfg(not(unix))]
+pub fn poll_fds(fds: &mut [PollFd], timeout: Duration) -> std::io::Result<usize> {
+    std::thread::sleep(timeout.min(Duration::from_millis(2)));
+    for fd in fds.iter_mut() {
+        fd.revents = fd.events;
+    }
+    Ok(fds.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    #[cfg(unix)]
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    #[cfg(unix)]
+    fn poll_times_out_on_idle_socket_and_wakes_on_data() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        let mut fds = [PollFd::new(server.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Duration::from_millis(10)).unwrap();
+        assert_eq!(n, 0, "no data yet: poll must time out");
+        assert!(!fds[0].ready(POLLIN));
+
+        client.write_all(b"x").unwrap();
+        let n = poll_fds(&mut fds, Duration::from_secs(5)).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].ready(POLLIN));
+    }
+}

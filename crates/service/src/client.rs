@@ -19,7 +19,9 @@ impl ServiceClient {
     /// Connect to a daemon and complete the HELLO version gate.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
         let mut stream = TcpStream::connect(addr).map_err(NetError::Io)?;
-        stream.set_nodelay(true).ok();
+        // A failed socket option is a broken connection in the making:
+        // surface it now rather than serving queries with surprise latency.
+        stream.set_nodelay(true).map_err(NetError::Io)?;
         handshake(&mut stream)?;
         Ok(Self { stream })
     }

@@ -1,77 +1,112 @@
 //! `lumend`'s TCP front end: one daemon, many query connections.
 //!
-//! Mirrors the cluster runtime's server shape (`lumen_cluster::net`): a
-//! non-blocking accept loop polling a stop flag, one detached thread per
-//! connection, and the same HELLO version gate — the server always
-//! answers with its own [`wire::VERSION`] before rejecting a mismatch,
-//! so an out-of-date client can diagnose itself.
+//! Built on the shared transport core ([`lumen_net::EventLoop`]), the
+//! same readiness loop that runs the cluster runtime: a single poll
+//! thread owns every connection (hundreds multiplex fine — there is no
+//! thread per socket to run out of), and the HELLO version gate matches
+//! the cluster server's contract — the daemon always answers with its
+//! own [`wire::VERSION`] before rejecting a mismatch, so an out-of-date
+//! client can diagnose itself.
 //!
-//! Connection threads are fault-isolated: a malformed frame earns a
-//! typed [`KIND_ERROR`] reply and a closed
-//! connection, and a client that disconnects mid-response kills only its
-//! own thread. The shared [`SimulationService`] (cache, in-flight
-//! claims, worker pool) outlives any connection.
+//! Queries are the one thing that must *not* run on the poll thread — a
+//! trace blocks for seconds — so the loop dispatches decoded scenarios
+//! to a small executor pool ([`ServiceOptions::workers`](crate::service::ServiceOptions::workers)
+//! threads) and results come back through a completion channel plus a
+//! [`lumen_net::Waker`]. Each dispatched query carries a cancel flag the
+//! loop raises the instant the querying connection dies, so a client
+//! disconnect can burn at most one chunk of worker-pool budget instead
+//! of tracing a full scenario nobody will read.
+//!
+//! Connections are fault-isolated: a malformed query earns a typed
+//! [`KIND_ERROR`] reply on a connection that stays open, an unknown
+//! frame kind earns one on a connection that then closes, and a client
+//! that disconnects mid-response cancels only its own query. The shared
+//! [`SimulationService`] (cache, in-flight claims, worker pool) outlives
+//! any connection.
 
 use crate::proto::{self, KIND_ERROR, KIND_QUERY, KIND_RESULT};
-use crate::service::{ServiceError, SimulationService};
-use lumen_cluster::net::{read_frame, write_frame, KIND_HELLO, KIND_PING};
-use lumen_cluster::wire::{self, WireError};
+use crate::service::{QueryReply, ServiceError, SimulationService};
+use lumen_cluster::net::{KIND_HELLO, KIND_PING};
+use lumen_cluster::wire;
 use lumen_cluster::NetError;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use lumen_core::engine::Scenario;
+use lumen_net::{EventLoop, Flow, Handler, Ops, Token, Waker};
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Accept-loop poll interval while checking the stop flag.
-const ACCEPT_POLL: Duration = Duration::from_millis(20);
-/// Idle-read poll interval on connection threads, and the handshake
-/// grace period: a connection that never says HELLO is cut after this.
-const READ_POLL: Duration = Duration::from_millis(250);
-/// How long a frame may take to finish arriving once its first byte is
-/// here; a peer that stalls mid-frame past this is dropped.
+/// Handshake grace period, and how long a frame may take to finish
+/// arriving once its first byte is here: a connection that is silent
+/// pre-HELLO or stalls mid-frame past this is cut.
 const STALL_GUARD: Duration = Duration::from_secs(10);
 
+/// One query handed to the executor pool.
+struct Job {
+    token: Token,
+    generation: u64,
+    scenario: Scenario,
+    cancel: Arc<AtomicBool>,
+}
+
+/// One finished query coming back to the poll loop.
+struct Completion {
+    token: Token,
+    generation: u64,
+    result: Result<QueryReply, ServiceError>,
+}
+
 /// A running daemon; dropping it (or calling [`ServiceServer::shutdown`])
-/// stops the accept loop and releases the port.
+/// stops the poll loop, cancels in-flight queries, and releases the port.
 #[derive(Debug)]
 pub struct ServiceServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    waker: Waker,
+    loop_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
 }
 
 impl ServiceServer {
-    /// Bind `addr` and start serving `service` in background threads.
+    /// Bind `addr` and start serving `service`: one poll-loop thread for
+    /// all connections, [`ServiceOptions::workers`](crate::service::ServiceOptions::workers)
+    /// executor threads for the traces.
     pub fn bind(
         addr: impl ToSocketAddrs,
         service: Arc<SimulationService>,
     ) -> Result<Self, NetError> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
+        let mut events = EventLoop::new(listener)?;
+        let waker = events.waker()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let accept_thread = {
+
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let (done_tx, done_rx) = mpsc::channel::<Completion>();
+        let jobs = Arc::new(Mutex::new(job_rx));
+        let mut worker_threads = Vec::with_capacity(service.options().workers);
+        for _ in 0..service.options().workers {
+            let jobs = Arc::clone(&jobs);
+            let service = Arc::clone(&service);
+            let done_tx = done_tx.clone();
+            let waker = waker.try_clone()?;
+            worker_threads.push(thread::spawn(move || worker_loop(jobs, service, done_tx, waker)));
+        }
+
+        let loop_thread = {
             let stop = Arc::clone(&stop);
             thread::spawn(move || {
-                while !stop.load(Ordering::Relaxed) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            let service = Arc::clone(&service);
-                            let stop = Arc::clone(&stop);
-                            // Detached: bounded by the stop flag via the
-                            // read timeout, or by its socket closing.
-                            thread::spawn(move || connection_loop(stream, service, stop));
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            thread::sleep(ACCEPT_POLL);
-                        }
-                        Err(_) => break,
-                    }
-                }
+                let mut daemon =
+                    Daemon { peers: HashMap::new(), job_tx, done_rx, next_generation: 0, stop };
+                // Loop failures (a dying listener) end the daemon; the
+                // bound `ServiceServer` still shuts down cleanly.
+                let _ = events.run(&mut daemon);
             })
         };
-        Ok(Self { addr, stop, accept_thread: Some(accept_thread) })
+
+        Ok(Self { addr, stop, waker, loop_thread: Some(loop_thread), worker_threads })
     }
 
     /// The bound address (useful with port 0).
@@ -79,14 +114,21 @@ impl ServiceServer {
         self.addr
     }
 
-    /// Stop accepting and wind down connection threads.
+    /// Stop serving: close every connection, cancel in-flight queries,
+    /// and join the loop and executor threads.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        if let Some(handle) = self.accept_thread.take() {
+        self.waker.wake();
+        if let Some(handle) = self.loop_thread.take() {
+            let _ = handle.join();
+        }
+        // The loop thread dropped the job sender and cancelled every
+        // dispatched query, so the workers drain and exit promptly.
+        for handle in self.worker_threads.drain(..) {
             let _ = handle.join();
         }
     }
@@ -98,87 +140,223 @@ impl Drop for ServiceServer {
     }
 }
 
-/// Serve one connection until it closes, errs, or the daemon stops.
-fn connection_loop(mut stream: TcpStream, service: Arc<SimulationService>, stop: Arc<AtomicBool>) {
-    stream.set_nodelay(true).ok();
-    // The handshake gets the stall guard as its grace period — a silent
-    // connection can never pin a thread longer than that.
-    stream.set_read_timeout(Some(STALL_GUARD)).ok();
-    if handshake_server(&mut stream).is_err() {
-        // The rejected peer already holds our version; just close.
-        return;
-    }
-    stream.set_read_timeout(Some(READ_POLL)).ok();
-    while !stop.load(Ordering::Relaxed) {
-        // Idle-poll with `peek` so a timeout can never fire mid-frame and
-        // desync the framing: `read_frame` only runs once bytes are
-        // actually waiting (under a generous stall guard).
-        match stream.peek(&mut [0u8; 1]) {
-            Ok(0) => return, // orderly close
-            Ok(_) => {}
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                continue; // idle: poll the stop flag again
-            }
+/// Executor thread: pull queries, run them against the shared service
+/// (cancellable), hand results back to the poll loop.
+fn worker_loop(
+    jobs: Arc<Mutex<mpsc::Receiver<Job>>>,
+    service: Arc<SimulationService>,
+    done_tx: mpsc::Sender<Completion>,
+    waker: Waker,
+) {
+    loop {
+        // Hold the receiver lock only while waiting for one job; traces
+        // run unlocked so the pool actually executes in parallel.
+        let job = match jobs.lock() {
+            Ok(rx) => match rx.recv() {
+                Ok(job) => job,
+                Err(_) => return, // daemon gone
+            },
             Err(_) => return,
-        }
-        stream.set_read_timeout(Some(STALL_GUARD)).ok();
-        let result = read_frame(&mut stream);
-        stream.set_read_timeout(Some(READ_POLL)).ok();
-        let (kind, payload) = match result {
-            Ok(frame) => frame,
-            Err(_) => return, // closed, stalled mid-frame, or malformed framing
         };
-        let outcome = match kind {
-            KIND_PING => write_frame(&mut stream, KIND_PING, &payload),
-            KIND_QUERY => answer_query(&mut stream, &service, &payload),
-            other => {
-                // Typed rejection, then close: an unknown kind means the
-                // peer and daemon disagree about the protocol.
-                let msg = format!("unsupported frame kind 0x{other:02x}");
-                let _ = write_frame(&mut stream, KIND_ERROR, &proto::encode_error(&msg));
-                return;
-            }
-        };
-        if outcome.is_err() {
-            // Client went away (possibly mid-response). Only this
-            // connection dies; the service and other clients carry on.
+        let result = service.query_with_cancel(&job.scenario, &job.cancel);
+        if done_tx
+            .send(Completion { token: job.token, generation: job.generation, result })
+            .is_err()
+        {
             return;
         }
+        waker.wake();
     }
 }
 
-/// Decode, serve, and answer one QUERY frame. `Err` only for socket
-/// failures — request-level problems become [`KIND_ERROR`] frames.
-fn answer_query(
-    stream: &mut TcpStream,
-    service: &SimulationService,
-    payload: &[u8],
-) -> Result<(), NetError> {
-    let reply = wire::decode_scenario(payload)
-        .map_err(|e| ServiceError::InvalidConfig(format!("malformed scenario: {e}")))
-        .and_then(|scenario| service.query(&scenario));
-    match reply {
-        Ok(reply) => write_frame(stream, KIND_RESULT, &proto::encode_reply(&reply)),
-        Err(e) => write_frame(stream, KIND_ERROR, &proto::encode_error(&e.to_string())),
+/// One connection's protocol state.
+#[derive(Debug)]
+enum Peer {
+    /// Accepted, HELLO pending; cut at `deadline`.
+    Hello { deadline: Instant },
+    /// Handshaken and idle.
+    Ready,
+    /// A query is with the executor pool. Further queries queue here and
+    /// are answered in order; `cancel` aborts the trace if the
+    /// connection dies first.
+    Busy { generation: u64, cancel: Arc<AtomicBool>, queued: VecDeque<Vec<u8>> },
+}
+
+/// The daemon protocol as a [`Handler`] on the shared poll loop.
+struct Daemon {
+    peers: HashMap<Token, Peer>,
+    job_tx: mpsc::Sender<Job>,
+    done_rx: mpsc::Receiver<Completion>,
+    next_generation: u64,
+    stop: Arc<AtomicBool>,
+}
+
+impl Daemon {
+    /// Decode and dispatch one query, carrying over `queued` follow-ups.
+    /// Malformed payloads are answered inline (typed, connection stays
+    /// open) and the next queued query is tried.
+    fn start_query(
+        &mut self,
+        ops: &mut Ops<'_>,
+        token: Token,
+        payload: Vec<u8>,
+        mut queued: VecDeque<Vec<u8>>,
+    ) {
+        let mut next = Some(payload);
+        while let Some(bytes) = next.take() {
+            match wire::decode_scenario(&bytes) {
+                Err(e) => {
+                    let msg = format!("malformed scenario: {e}");
+                    ops.send(token, KIND_ERROR, &proto::encode_error(&msg));
+                    next = queued.pop_front();
+                }
+                Ok(scenario) => {
+                    self.next_generation += 1;
+                    let generation = self.next_generation;
+                    let cancel = Arc::new(AtomicBool::new(false));
+                    let job = Job { token, generation, scenario, cancel: Arc::clone(&cancel) };
+                    if self.job_tx.send(job).is_err() {
+                        // Executor pool gone: the daemon is shutting down.
+                        ops.close(token);
+                        self.peers.remove(&token);
+                        return;
+                    }
+                    self.peers.insert(token, Peer::Busy { generation, cancel, queued });
+                    return;
+                }
+            }
+        }
+        self.peers.insert(token, Peer::Ready);
     }
 }
 
-/// Server half of the HELLO gate (same contract as the cluster server:
-/// answer with our version first, then reject a mismatch).
-fn handshake_server(stream: &mut TcpStream) -> Result<(), NetError> {
-    let (kind, payload) = read_frame(stream)?;
-    if kind != KIND_HELLO {
-        return Err(NetError::BadKind(kind));
+impl Handler for Daemon {
+    fn on_open(&mut self, _ops: &mut Ops<'_>, token: Token) {
+        self.peers.insert(token, Peer::Hello { deadline: Instant::now() + STALL_GUARD });
     }
-    let theirs = *payload.first().ok_or(NetError::Wire(WireError::Truncated))?;
-    write_frame(stream, KIND_HELLO, &[wire::VERSION])?;
-    if theirs != wire::VERSION {
-        return Err(NetError::VersionMismatch { ours: wire::VERSION, theirs });
+
+    fn on_frame(&mut self, ops: &mut Ops<'_>, token: Token, kind: u8, payload: Vec<u8>) {
+        match self.peers.get_mut(&token) {
+            None => ops.close(token),
+            Some(Peer::Hello { .. }) => {
+                // The gate: anything but a well-formed HELLO closes the
+                // connection without serving. A mismatched version is
+                // answered with ours first, so the peer can diagnose
+                // itself.
+                let version = (kind == KIND_HELLO).then(|| payload.first().copied()).flatten();
+                match version {
+                    Some(theirs) => {
+                        ops.send(token, KIND_HELLO, &[wire::VERSION]);
+                        if theirs == wire::VERSION {
+                            self.peers.insert(token, Peer::Ready);
+                        } else {
+                            self.peers.remove(&token);
+                            ops.finish(token);
+                        }
+                    }
+                    None => {
+                        self.peers.remove(&token);
+                        ops.close(token);
+                    }
+                }
+            }
+            Some(Peer::Ready) => match kind {
+                KIND_PING => {
+                    ops.send(token, KIND_PING, &payload);
+                }
+                KIND_QUERY => self.start_query(ops, token, payload, VecDeque::new()),
+                other => {
+                    // Typed rejection, then close: an unknown kind means
+                    // the peer and daemon disagree about the protocol.
+                    let msg = format!("unsupported frame kind 0x{other:02x}");
+                    ops.send(token, KIND_ERROR, &proto::encode_error(&msg));
+                    self.peers.remove(&token);
+                    ops.finish(token);
+                }
+            },
+            Some(Peer::Busy { cancel, queued, .. }) => match kind {
+                KIND_PING => {
+                    ops.send(token, KIND_PING, &payload);
+                }
+                KIND_QUERY => queued.push_back(payload),
+                other => {
+                    cancel.store(true, Ordering::Relaxed);
+                    let msg = format!("unsupported frame kind 0x{other:02x}");
+                    ops.send(token, KIND_ERROR, &proto::encode_error(&msg));
+                    self.peers.remove(&token);
+                    ops.finish(token);
+                }
+            },
+        }
     }
-    Ok(())
+
+    fn on_close(&mut self, _ops: &mut Ops<'_>, token: Token) {
+        // The instant a querying client dies, its trace is told to stop:
+        // this is what keeps a disconnect from burning minutes of
+        // worker-pool budget on an answer nobody will read.
+        if let Some(Peer::Busy { cancel, .. }) = self.peers.remove(&token) {
+            cancel.store(true, Ordering::Relaxed);
+        }
+    }
+
+    fn on_wake(&mut self, ops: &mut Ops<'_>) {
+        while let Ok(done) = self.done_rx.try_recv() {
+            let queued = match self.peers.get_mut(&done.token) {
+                Some(Peer::Busy { generation, queued, .. }) if *generation == done.generation => {
+                    std::mem::take(queued)
+                }
+                // Connection gone (its cancel produced this completion)
+                // or superseded: nobody is waiting for these bytes.
+                _ => continue,
+            };
+            match done.result {
+                Ok(reply) => {
+                    ops.send(done.token, KIND_RESULT, &proto::encode_reply(&reply));
+                }
+                Err(e) => {
+                    ops.send(done.token, KIND_ERROR, &proto::encode_error(&e.to_string()));
+                }
+            }
+            let mut queued = queued;
+            match queued.pop_front() {
+                Some(next) => self.start_query(ops, done.token, next, queued),
+                None => {
+                    self.peers.insert(done.token, Peer::Ready);
+                }
+            }
+        }
+    }
+
+    fn on_tick(&mut self, ops: &mut Ops<'_>, now: Instant) -> Flow {
+        if self.stop.load(Ordering::Relaxed) {
+            // Cancel every in-flight trace so the executor pool drains
+            // promptly, then stop (dropping the loop cuts the sockets).
+            for peer in self.peers.values() {
+                if let Peer::Busy { cancel, .. } = peer {
+                    cancel.store(true, Ordering::Relaxed);
+                }
+            }
+            return Flow::Stop;
+        }
+        // Stall guards: a silent pre-HELLO connection, or one stuck
+        // mid-frame past the guard, is cut. (A handshaken connection
+        // idling *between* frames is fine — sessions are long-lived.)
+        let cut: Vec<Token> = self
+            .peers
+            .iter()
+            .filter(|(&token, peer)| match peer {
+                Peer::Hello { deadline } => now >= *deadline,
+                _ => {
+                    ops.mid_frame(token)
+                        && ops.read_idle(token, now).is_some_and(|idle| idle >= STALL_GUARD)
+                }
+            })
+            .map(|(&token, _)| token)
+            .collect();
+        for token in cut {
+            self.peers.remove(&token);
+            ops.close(token);
+        }
+        Flow::Continue
+    }
 }

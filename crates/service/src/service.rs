@@ -19,18 +19,23 @@
 //!
 //! # Concurrency
 //!
-//! Requests arrive from many connection threads. A per-key in-flight
-//! set (mutex + condvar) ensures two clients asking for the same
-//! uncached scenario trace it once: the second blocks until the first
-//! stores, then is served warm from cache. Distinct keys trace
-//! concurrently, bounded by a counting semaphore of
-//! [`ServiceOptions::workers`] backend runs.
+//! Requests arrive from many threads (the daemon's executor pool, or
+//! library callers). A per-key in-flight set (mutex + condvar) ensures
+//! two clients asking for the same uncached scenario trace it once:
+//! the second blocks until the first stores, then is served warm from
+//! cache. Distinct keys trace concurrently, bounded by a counting
+//! semaphore of [`ServiceOptions::workers`] backend runs. A query can
+//! be abandoned cooperatively ([`SimulationService::query_with_cancel`]):
+//! the cancel flag is checked before the permit and before every
+//! chunk, and a cancelled fold is discarded whole — never cached — so
+//! cache contents can never depend on how far an abandoned query got.
 
 use crate::cache::ResultCache;
 use crate::hash::{scenario_key, ScenarioKey};
 use lumen_core::engine::{EngineError, Scenario};
 use lumen_core::tally::Tally;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex};
 
 /// Tuning knobs for [`SimulationService`].
@@ -183,6 +188,9 @@ pub enum ServiceError {
     Net(lumen_cluster::NetError),
     /// The remote daemon answered with a typed error frame.
     Remote(String),
+    /// The query's cancel flag was raised (its client disconnected)
+    /// before tracing finished; remaining chunks were skipped.
+    Cancelled,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -192,6 +200,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Backend(reason) => write!(f, "backend failed: {reason}"),
             ServiceError::Net(e) => write!(f, "net: {e}"),
             ServiceError::Remote(reason) => write!(f, "daemon error: {reason}"),
+            ServiceError::Cancelled => write!(f, "query cancelled before tracing finished"),
         }
     }
 }
@@ -216,8 +225,12 @@ pub struct ServiceStats {
     /// Cache-extension replies.
     pub topup: u64,
     /// Chunks actually traced (the "work done" measure: concurrent
-    /// same-key requests trace each chunk exactly once).
+    /// same-key requests trace each chunk exactly once; chunks traced by
+    /// a query that was later cancelled count too).
     pub chunks_traced: u64,
+    /// Queries abandoned via their cancel flag (dead clients detected
+    /// before or during tracing, their remaining chunks skipped).
+    pub cancelled: u64,
     /// Entries evicted by the byte budget.
     pub evictions: u64,
     /// Live cache entries.
@@ -241,6 +254,7 @@ struct Counts {
     warm: u64,
     topup: u64,
     chunks_traced: u64,
+    cancelled: u64,
 }
 
 /// The persistent simulation service (in-process core; `crate::server`
@@ -298,6 +312,20 @@ impl SimulationService {
     /// see [`scenario_key`]). Only the physics, seed, and photon budget
     /// matter.
     pub fn query(&self, scenario: &Scenario) -> Result<QueryReply, ServiceError> {
+        self.query_with_cancel(scenario, &AtomicBool::new(false))
+    }
+
+    /// [`SimulationService::query`] with a cancel flag, checked before
+    /// the trace and between chunks. Raising it (the daemon does so the
+    /// instant a querying client disconnects) abandons the remaining
+    /// chunks with [`ServiceError::Cancelled`] instead of burning
+    /// worker-pool budget on an answer nobody will read. Warm cache hits
+    /// still serve — only tracing is cancellable work.
+    pub fn query_with_cancel(
+        &self,
+        scenario: &Scenario,
+        cancel: &AtomicBool,
+    ) -> Result<QueryReply, ServiceError> {
         scenario.validate().map_err(|e| ServiceError::InvalidConfig(e.to_string()))?;
         let key = scenario_key(scenario);
         let want_chunks = scenario.photons.div_ceil(self.options.chunk_photons).max(1);
@@ -324,7 +352,7 @@ impl SimulationService {
                             served: Served::Warm,
                         };
                         drop(st);
-                        self.note(Served::Warm, 0);
+                        self.note(Served::Warm);
                         return Ok(reply);
                     }
                 }
@@ -342,7 +370,7 @@ impl SimulationService {
 
         // Trace the missing chunks outside the state lock, bounded by
         // the worker pool; always release the in-flight claim.
-        let traced = self.trace_chunks(scenario, &mut acc, have_chunks, want_chunks);
+        let traced = self.trace_chunks(scenario, &mut acc, have_chunks, want_chunks, cancel);
         let mut st = self.state.lock().expect("service state");
         st.inflight.remove(&key);
         let outcome = match traced {
@@ -366,25 +394,41 @@ impl SimulationService {
         };
         drop(st);
         self.state_cv.notify_all();
-        if let Ok(reply) = &outcome {
-            self.note(reply.served, want_chunks - have_chunks);
+        match &outcome {
+            Ok(reply) => self.note(reply.served),
+            Err(ServiceError::Cancelled) => self.note_cancelled(),
+            Err(_) => {}
         }
         outcome
     }
 
     /// Left-fold chunks `have..want` onto `acc` (see the module docs for
     /// why this is the only merge order that preserves bit-identity).
+    /// The cancel flag is checked before every chunk, so a dead client
+    /// costs at most one chunk of wasted tracing; a cancelled fold is
+    /// discarded whole (never cached) so the outcome of a query can
+    /// never depend on how far an abandoned one happened to get.
     fn trace_chunks(
         &self,
         scenario: &Scenario,
         acc: &mut Tally,
         have: u64,
         want: u64,
+        cancel: &AtomicBool,
     ) -> Result<(), ServiceError> {
+        if cancel.load(Ordering::Relaxed) {
+            return Err(ServiceError::Cancelled);
+        }
         let _permit = self.acquire_permit();
         let backend =
             lumen_cluster::backend::from_spec(&self.options.backend_spec).map_err(engine_error)?;
         for chunk in have..want {
+            // Re-check between the cache-claim/permit wait and each
+            // backend run: disconnects land mid-trace, not politely
+            // before it.
+            if cancel.load(Ordering::Relaxed) {
+                return Err(ServiceError::Cancelled);
+            }
             let piece = scenario
                 .clone()
                 .with_photons(self.options.chunk_photons)
@@ -392,6 +436,7 @@ impl SimulationService {
                 .with_task_offset(chunk * self.options.chunk_tasks);
             let report = backend.run(&piece).map_err(engine_error)?;
             acc.merge(&report.result.tally);
+            self.note_chunk();
         }
         Ok(())
     }
@@ -405,7 +450,7 @@ impl SimulationService {
         Permit { service: self }
     }
 
-    fn note(&self, served: Served, chunks_traced: u64) {
+    fn note(&self, served: Served) {
         let mut c = self.counts.lock().expect("service counts");
         c.queries += 1;
         match served {
@@ -413,7 +458,16 @@ impl SimulationService {
             Served::Warm => c.warm += 1,
             Served::TopUp => c.topup += 1,
         }
-        c.chunks_traced += chunks_traced;
+    }
+
+    /// One chunk actually traced — counted as the work happens, so the
+    /// ledger is accurate even for queries that later cancel or fail.
+    fn note_chunk(&self) {
+        self.counts.lock().expect("service counts").chunks_traced += 1;
+    }
+
+    fn note_cancelled(&self) {
+        self.counts.lock().expect("service counts").cancelled += 1;
     }
 
     /// Snapshot the service counters and cache state.
@@ -426,6 +480,7 @@ impl SimulationService {
             warm: c.warm,
             topup: c.topup,
             chunks_traced: c.chunks_traced,
+            cancelled: c.cancelled,
             evictions: st.cache.evictions(),
             entries: st.cache.len() as u64,
             cached_bytes: st.cache.total_bytes() as u64,

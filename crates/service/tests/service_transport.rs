@@ -1,0 +1,172 @@
+//! Transport-core legs for the daemon: dead-client cancellation (a
+//! disconnect mid-trace must stop burning worker-pool budget within one
+//! chunk) and the 100+-concurrent-client scale test the old
+//! thread-per-connection front end could not express. All replies stay
+//! byte-deterministic — an answer from a daemon juggling a hundred
+//! sockets is bit-identical to one computed by a private service
+//! instance, and a cancelled fold is discarded whole, never cached.
+
+use lumen_cluster::net::{handshake, write_frame};
+use lumen_cluster::wire;
+use lumen_core::engine::Scenario;
+use lumen_core::{Detector, Source};
+use lumen_service::proto::KIND_QUERY;
+use lumen_service::{Served, ServiceClient, ServiceOptions, ServiceServer, SimulationService};
+use lumen_tissue::presets::semi_infinite_phantom;
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Abort with a named panic (not a CI timeout) if `f` does not finish in
+/// time.
+fn watchdog<T: Send + 'static>(
+    name: &str,
+    limit: Duration,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = mpsc::channel();
+    let body = thread::spawn(move || {
+        tx.send(f()).ok();
+    });
+    match rx.recv_timeout(limit) {
+        Ok(v) => {
+            body.join().ok();
+            v
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("watchdog: `{name}` still running after {limit:?} — the daemon hung")
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => match body.join() {
+            Err(cause) => std::panic::resume_unwind(cause),
+            Ok(()) => panic!("watchdog: `{name}` exited without a result"),
+        },
+    }
+}
+
+fn scenario(seed: u64, photons: u64) -> Scenario {
+    Scenario::new(
+        semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
+        Source::Delta,
+        Detector::new(1.0, 0.5),
+    )
+    .with_photons(photons)
+    .with_seed(seed)
+}
+
+fn service(chunk_photons: u64) -> Arc<SimulationService> {
+    Arc::new(
+        SimulationService::new(
+            ServiceOptions::default()
+                .with_backend("sequential")
+                .with_chunk_photons(chunk_photons)
+                .with_chunk_tasks(4)
+                .with_workers(4),
+        )
+        .expect("valid options"),
+    )
+}
+
+const LIMIT: Duration = Duration::from_secs(120);
+
+#[test]
+fn dead_client_cancels_its_trace_within_a_chunk_or_two() {
+    watchdog("dead-client cancellation", LIMIT, || {
+        // 400 chunks of work: a full trace takes many seconds, so if the
+        // daemon kept tracing for the corpse, the budget below would be
+        // blown by orders of magnitude.
+        let svc = service(10_000);
+        let server = ServiceServer::bind("127.0.0.1:0", Arc::clone(&svc)).expect("bind daemon");
+
+        {
+            let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+            handshake(&mut stream).expect("hello");
+            write_frame(&mut stream, KIND_QUERY, &wire::encode_scenario(&scenario(31, 4_000_000)))
+                .expect("send doomed query");
+        } // client dies before the first chunk is done
+
+        // The close event reaches the poll loop within milliseconds and
+        // raises the job's cancel flag; the executor checks it before
+        // every chunk. Wait for the cancellation to be accounted.
+        let mut cancelled = 0;
+        for _ in 0..1_000 {
+            cancelled = svc.stats().cancelled;
+            if cancelled >= 1 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(cancelled, 1, "the abandoned query must be cancelled, not traced out");
+        let stats = svc.stats();
+        assert!(
+            stats.chunks_traced < 40,
+            "cancellation must stop the fold early: {} of 400 chunks traced",
+            stats.chunks_traced
+        );
+        assert_eq!(stats.entries, 0, "a cancelled fold is discarded whole, never cached");
+
+        // The daemon is healthy: a live client still gets full service.
+        let mut client = ServiceClient::connect(server.local_addr()).expect("client");
+        let reply = client.query(&scenario(1, 10_000)).expect("query after cancellation");
+        assert_eq!(reply.served, Served::Cold);
+        assert_eq!(reply.photons_done, 10_000);
+        server.shutdown();
+    })
+}
+
+#[test]
+fn hundred_plus_clients_share_one_loop_and_one_trace_per_key() {
+    watchdog("hundred-client daemon", LIMIT, || {
+        const CLIENTS: usize = 104;
+        const KEYS: u64 = 8;
+
+        let svc = service(2_000);
+        let server = ServiceServer::bind("127.0.0.1:0", Arc::clone(&svc)).expect("bind daemon");
+        let addr = server.local_addr();
+
+        // 104 concurrent connections, 13 per key: the poll loop carries
+        // them all on one thread while the in-flight claim table makes
+        // sure each key's 4_000 photons are traced exactly once.
+        let replies: Vec<(u64, Vec<u8>)> = (0..CLIENTS)
+            .map(|i| {
+                let seed = i as u64 % KEYS;
+                thread::spawn(move || {
+                    let mut client = loop {
+                        match ServiceClient::connect(addr) {
+                            Ok(c) => break c,
+                            Err(_) => thread::sleep(Duration::from_millis(5)),
+                        }
+                    };
+                    let reply = client.query(&scenario(seed, 4_000)).expect("query");
+                    assert_eq!(reply.photons_done, 4_000);
+                    (seed, wire::encode_tally(&reply.tally))
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect();
+
+        // Every answer is bit-identical to a private service instance's
+        // answer for the same key: a hundred multiplexed connections do
+        // not change the bytes.
+        let reference = service(2_000);
+        for (seed, bytes) in &replies {
+            let expect = reference.query(&scenario(*seed, 4_000)).expect("reference query");
+            assert_eq!(
+                bytes,
+                &wire::encode_tally(&expect.tally),
+                "seed {seed} served different bytes under load"
+            );
+        }
+
+        // Exactly one trace per key, no matter how many sockets asked:
+        // 8 keys x 2 chunks, 8 cold serves, 96 warm.
+        let stats = svc.stats();
+        assert_eq!(stats.chunks_traced, KEYS * 2, "load must not cause duplicate tracing");
+        assert_eq!(stats.cold, KEYS);
+        assert_eq!(stats.warm as usize, CLIENTS - KEYS as usize);
+        server.shutdown();
+    })
+}
