@@ -14,8 +14,12 @@
 //! ```
 //!
 //! Defaults: 200k photons, 3 repeats (best wall time wins), all presets,
-//! `sequential,rayon,cluster,tcp,tcp16` backends, output
-//! `BENCH_throughput.json` in the current directory. The `tcp` legs run
+//! `sequential,rayon,fast,fast-rayon,cluster,tcp,tcp16` backends, output
+//! `BENCH_throughput.json` in the current directory. The `fast` and
+//! `fast-rayon` legs run the same sequential/rayon engines with the
+//! scenario's precision tier set to `Fast` (the batched SoA kernel), so
+//! the exact-vs-fast ratio per preset is the tier ablation recorded in
+//! `docs/PERFORMANCE.md`. The `tcp` legs run
 //! the real elastic wire runtime loopback: the server binds an ephemeral
 //! port and in-process `run_client` loops connect to it, so the recorded
 //! number includes framing, tally serialization, and the lease
@@ -27,6 +31,7 @@
 
 use lumen_bench::throughput_presets;
 use lumen_core::engine::Scenario;
+use lumen_core::Precision;
 use std::fmt::Write as _;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
@@ -50,6 +55,8 @@ impl Args {
             backends: vec![
                 "sequential".into(),
                 "rayon".into(),
+                "fast".into(),
+                "fast-rayon".into(),
                 "cluster".into(),
                 "tcp".into(),
                 "tcp16".into(),
@@ -257,11 +264,29 @@ fn tcp_clients_from_spec(spec: &str) -> Result<Option<usize>, String> {
     }
 }
 
+/// Split a bench leg spec into the engine spec resolved via
+/// `backend::from_spec` and the precision tier stamped on the scenario:
+/// `fast` is the sequential engine on the fast tier, `fast-rayon` the
+/// rayon pool on it. The tier is set on the scenario itself (not smuggled
+/// through a wrapper backend), so the scenario a fast leg executes is
+/// exactly the one the service layer would hash and cache.
+fn precision_from_spec(spec: &str) -> (&str, Precision) {
+    match spec {
+        "fast" => ("sequential", Precision::Fast),
+        "fast-rayon" => ("rayon", Precision::Fast),
+        other => (other, Precision::Exact),
+    }
+}
+
 fn measure(name: &str, spec: &str, scenario: &Scenario, repeats: usize) -> Result<Cell, String> {
-    let tcp_clients = tcp_clients_from_spec(spec)?;
+    let (engine_spec, precision) = precision_from_spec(spec);
+    let mut scenario = scenario.clone();
+    scenario.options.precision = precision;
+    let scenario = &scenario;
+    let tcp_clients = tcp_clients_from_spec(engine_spec)?;
     let backend = match tcp_clients {
         Some(_) => None,
-        None => Some(lumen_cluster::backend::from_spec(spec).map_err(|e| e.to_string())?),
+        None => Some(lumen_cluster::backend::from_spec(engine_spec).map_err(|e| e.to_string())?),
     };
     let mut walls = Vec::with_capacity(repeats);
     for _ in 0..repeats {

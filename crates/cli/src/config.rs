@@ -22,7 +22,7 @@
 //! spec; unknown keys are named errors, not silent no-ops.
 
 use lumen_core::{
-    Detector, GateWindow, Geometry, GridSpec, RecordOptions, Scenario, Simulation,
+    Detector, GateWindow, Geometry, GridSpec, Precision, RecordOptions, Scenario, Simulation,
     SimulationOptions, Source, Vec3, VoxelTissue,
 };
 use lumen_tissue::presets::{
@@ -48,6 +48,7 @@ pub const KNOWN_KEYS: &[&str] = &[
     "tasks",
     "backend",
     "archive_record",
+    "precision",
 ];
 
 /// A parsed configuration file: ordered key → value map.
@@ -190,6 +191,22 @@ impl Config {
         Ok(Some((path.to_string(), RecordOptions { detected_only })))
     }
 
+    /// The `precision` key: `exact` (default) or `fast`. Selects the
+    /// transport kernel tier — `fast` runs the batched SoA kernel with
+    /// polynomial approximations (see the engine's `Precision` docs for
+    /// the reproducibility trade-off and the options it rejects).
+    pub fn precision(&self) -> Result<Precision, ConfigError> {
+        match self.get("precision") {
+            None | Some("exact") => Ok(Precision::Exact),
+            Some("fast") => Ok(Precision::Fast),
+            Some(other) => Err(ConfigError::BadValue {
+                key: "precision".into(),
+                value: other.into(),
+                expected: "`exact` or `fast`",
+            }),
+        }
+    }
+
     /// Build the full [`Scenario`] — the config format maps onto it 1:1.
     pub fn scenario(&self) -> Result<Scenario, ConfigError> {
         let sim = self.build_simulation()?;
@@ -211,6 +228,7 @@ impl Config {
         if let Some((_, record)) = self.archive_record()? {
             options.archive = Some(record);
         }
+        options.precision = self.precision()?;
         let sim = Simulation { tissue, source, detector, options };
         sim.validate().map_err(|e| ConfigError::BadValue {
             key: "simulation".into(),
@@ -625,6 +643,32 @@ path_histogram = 500 25
             Config::parse("tissue = white_matter\ndetector = disc 6 1\nphotons = 10").unwrap();
         assert_eq!(absent.archive_record().unwrap(), None);
         assert_eq!(absent.build_simulation().unwrap().options.archive, None);
+    }
+
+    #[test]
+    fn precision_key_selects_the_tier() {
+        let fast = Config::parse(
+            "tissue = white_matter\ndetector = disc 6 1\nphotons = 10\nprecision = fast",
+        )
+        .unwrap();
+        assert_eq!(fast.precision().unwrap(), Precision::Fast);
+        assert_eq!(fast.build_simulation().unwrap().options.precision, Precision::Fast);
+
+        let exact = Config::parse(
+            "tissue = white_matter\ndetector = disc 6 1\nphotons = 10\nprecision = exact",
+        )
+        .unwrap();
+        assert_eq!(exact.precision().unwrap(), Precision::Exact);
+
+        let default =
+            Config::parse("tissue = white_matter\ndetector = disc 6 1\nphotons = 10").unwrap();
+        assert_eq!(default.build_simulation().unwrap().options.precision, Precision::Exact);
+
+        let bad = Config::parse(
+            "tissue = white_matter\ndetector = disc 6 1\nphotons = 10\nprecision = sloppy",
+        )
+        .unwrap();
+        assert!(matches!(bad.precision(), Err(ConfigError::BadValue { .. })));
     }
 
     #[test]

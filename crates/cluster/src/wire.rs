@@ -18,14 +18,18 @@ use lumen_core::engine::Scenario;
 use lumen_core::radial::{CylinderGrid, RadialProfile, RadialSpec};
 use lumen_core::tally::{GridSpec, PathHistogram, Tally, VisitGrid};
 use lumen_core::{
-    BoundaryMode, Detector, GateWindow, OpticalProperties, RouletteConfig, SimulationOptions,
-    Source, Vec3,
+    BoundaryMode, Detector, GateWindow, OpticalProperties, Precision, RouletteConfig,
+    SimulationOptions, Source, Vec3,
 };
 use lumen_tissue::{Geometry, Layer, LayeredTissue, VoxelMaterial, VoxelTissue};
 
 /// Magic bytes identifying a lumen wire message.
 pub const MAGIC: [u8; 4] = *b"LMN1";
-/// Wire format version. v5 added the scenario `task_offset` field (RNG
+/// Wire format version. v6 added the engine `precision` tier byte to
+/// encoded simulation options: the fast tier is not bit-compatible with
+/// the exact tier, so the tier must travel with the scenario (and hence
+/// reach the canonical scenario hash — a `Fast` result can never satisfy
+/// an `Exact` query). v5 added the scenario `task_offset` field (RNG
 /// stream continuation, the basis of the service cache's incremental
 /// top-up) and the service query/reply frames spoken by `lumend`
 /// (`lumen_service`). v4 added path archives: tallies may carry a
@@ -37,7 +41,7 @@ pub const MAGIC: [u8; 4] = *b"LMN1";
 /// typed `VersionMismatch` instead of a confusing mid-run decode error.
 /// v2 added the geometry-kind tag to scenario messages (layered |
 /// voxel); v1 scenarios carried a bare layer stack.
-pub const VERSION: u8 = 5;
+pub const VERSION: u8 = 6;
 
 /// Encoding buffer.
 #[derive(Debug, Default)]
@@ -919,6 +923,12 @@ fn put_options(e: &mut Encoder, o: &SimulationOptions) {
     });
     e.put_u64(o.record_paths as u64);
     put_option(e, o.archive.as_ref(), |e, rec| e.put_u8(u8::from(rec.detected_only)));
+    // v6: precision tier. Appended last so the options layout stays a
+    // strict prefix of every earlier version's.
+    e.put_u8(match o.precision {
+        Precision::Exact => 0,
+        Precision::Fast => 1,
+    });
 }
 
 fn get_options(d: &mut Decoder) -> Result<SimulationOptions, WireError> {
@@ -945,6 +955,11 @@ fn get_options(d: &mut Decoder) -> Result<SimulationOptions, WireError> {
     })?;
     let record_paths = d.get_u64()? as usize;
     let archive = get_option(d, |d| Ok(RecordOptions { detected_only: d.get_u8()? != 0 }))?;
+    let precision = match d.get_u8()? {
+        0 => Precision::Exact,
+        1 => Precision::Fast,
+        tag => return Err(WireError::Invalid(format!("unknown precision tier tag {tag}"))),
+    };
     Ok(SimulationOptions {
         boundary_mode,
         roulette,
@@ -956,6 +971,7 @@ fn get_options(d: &mut Decoder) -> Result<SimulationOptions, WireError> {
         absorption_rz,
         record_paths,
         archive,
+        precision,
     })
 }
 
@@ -1292,6 +1308,55 @@ mod tests {
         assert_eq!(decoded, s);
         // The round-tripped scenario is immediately runnable.
         assert!(decoded.validate().is_ok());
+    }
+
+    fn plain_scenario() -> Scenario {
+        use lumen_tissue::presets::semi_infinite_phantom;
+        Scenario::new(
+            semi_infinite_phantom(0.1, 10.0, 0.0, 1.0),
+            Source::Delta,
+            Detector::new(2.0, 0.5),
+        )
+    }
+
+    #[test]
+    fn precision_tier_survives_scenario_round_trip() {
+        for precision in [Precision::Exact, Precision::Fast] {
+            let mut s = plain_scenario();
+            s.options.precision = precision;
+            let decoded = decode_scenario(&encode_scenario(&s)).unwrap();
+            assert_eq!(decoded.options.precision, precision);
+            assert_eq!(decoded, s);
+            assert!(decoded.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn hostile_precision_tag_is_rejected() {
+        let mut bytes = encode_scenario(&plain_scenario());
+        // The precision byte is the last options byte, just before the
+        // four u64 budget fields (photons, tasks, seed, task_offset).
+        let idx = bytes.len() - 4 * 8 - 1;
+        assert_eq!(bytes[idx], 0, "expected the Exact tier tag at the precision offset");
+        bytes[idx] = 7;
+        match decode_scenario(&bytes) {
+            Err(WireError::Invalid(reason)) => {
+                assert!(reason.contains("precision"), "{reason}")
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scenario_from_older_or_newer_version_is_rejected() {
+        // A v5 peer's scenario lacks the precision byte; parsing it as v6
+        // would shift the budget fields by one byte. Both directions must
+        // die at the header check, not mid-decode.
+        for wrong in [VERSION - 1, VERSION + 1] {
+            let mut bytes = encode_scenario(&plain_scenario());
+            bytes[4] = wrong;
+            assert_eq!(decode_scenario(&bytes), Err(WireError::BadHeader));
+        }
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod archive;
 pub mod detector;
 pub mod engine;
 pub mod error;
+pub(crate) mod kernel;
 pub mod parallel;
 pub mod radial;
 pub mod results;
@@ -69,6 +70,6 @@ pub use parallel::run_parallel;
 pub use parallel::ParallelConfig;
 pub use radial::{CylinderGrid, RadialProfile, RadialSpec};
 pub use results::SimulationResult;
-pub use sim::{Simulation, SimulationOptions};
+pub use sim::{Precision, Simulation, SimulationOptions};
 pub use source::Source;
 pub use tally::{GridSpec, Tally, VisitGrid};

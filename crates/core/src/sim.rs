@@ -21,19 +21,15 @@
 //! escape events; the *first* detected escape supplies the path statistics
 //! so counts remain one-per-photon.
 
-use crate::archive::{self, PathArchive, RecordOptions};
+use crate::archive::{PathArchive, RecordOptions};
 use crate::detector::Detector;
 use crate::error::ConfigError;
+use crate::kernel;
 use crate::radial::RadialSpec;
 use crate::results::SimulationResult;
 use crate::source::Source;
 use crate::tally::{GridSpec, Tally};
-use lumen_photon::{
-    fresnel::{interact_with_boundary_axis, BoundaryOutcome},
-    fresnel_reflectance, hop, roulette, sample_step_mfps, spin,
-    step::Hop,
-    Axis, BoundaryMode, Fate, Photon, RouletteConfig, Vec3,
-};
+use lumen_photon::{BoundaryMode, Fate, RouletteConfig, Vec3};
 use lumen_tissue::{Geometry, TissueGeometry};
 use mcrng::{McRng, StreamFactory};
 use serde::{Deserialize, Serialize};
@@ -47,6 +43,36 @@ pub struct PathRecord {
     pub pathlength: f64,
     /// Packet weight carried out through the detector.
     pub exit_weight: f64,
+}
+
+/// Numerical tier of the transport kernel (see the `kernel` module).
+///
+/// The tier changes *how* photons are traced, never *what* is simulated, but
+/// the two tiers make different reproducibility promises:
+///
+/// * [`Exact`](Precision::Exact) — the default. The bit-pinned scalar loop:
+///   libm transcendentals, one photon at a time, per-photon RNG consumption
+///   frozen by the golden-snapshot suite. Identical scenarios produce
+///   byte-identical tallies across every backend, forever.
+/// * [`Fast`](Precision::Fast) — the structure-of-arrays batch tracer with
+///   the polynomial approximations in [`lumen_photon::approx`]. Still fully
+///   deterministic (same scenario + seed + task split ⇒ same bytes, on every
+///   backend), but *not* bit-compatible with `Exact`: lanes interleave their
+///   draws from the task's RNG substream in batch order, so individual
+///   trajectories differ while every tally distribution agrees statistically
+///   (validated by tally-level z-tests in `fast_tier_validation`).
+///
+/// Because the tiers are not bit-compatible, `precision` is part of the
+/// canonical scenario identity: it is wire-encoded (format v6) and folded
+/// into the service result-cache key, so a `Fast` result can never satisfy
+/// an `Exact` query or vice versa.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Precision {
+    /// Bit-pinned scalar reference kernel (the default).
+    #[default]
+    Exact,
+    /// Batched SoA kernel with bounded-error polynomial approximations.
+    Fast,
 }
 
 /// Engine knobs beyond geometry/source/detector.
@@ -78,6 +104,13 @@ pub struct SimulationOptions {
     /// mode splits one photon across several escape events, which the
     /// one-entry-per-packet archive cannot represent.
     pub archive: Option<RecordOptions>,
+    /// Numerical tier of the transport kernel. [`Precision::Fast`] trades
+    /// bit-compatibility with the exact tier for ≳2× throughput; it
+    /// supports the statistical tallies (absorption grids, histograms,
+    /// reflectance profiles, partial-path stats) but rejects the
+    /// trajectory-level features (`path_grid`, `record_paths`, `archive`)
+    /// and classical boundary splitting at [`Simulation::validate`] time.
+    pub precision: Precision,
 }
 
 impl Default for SimulationOptions {
@@ -93,6 +126,7 @@ impl Default for SimulationOptions {
             absorption_rz: None,
             record_paths: 0,
             archive: None,
+            precision: Precision::Exact,
         }
     }
 }
@@ -128,17 +162,17 @@ pub struct Simulation {
 /// the hot path.
 #[derive(Default)]
 pub struct Scratch {
-    vertices: Vec<Vec3>,
+    pub(crate) vertices: Vec<Vec3>,
     /// Pathlength accrued in each region by the current photon (mm).
-    partial_path: Vec<f64>,
+    pub(crate) partial_path: Vec<f64>,
     /// Regions the current photon has actually entered. Layered walks
     /// visit a contiguous `0..=max` prefix, but a voxel palette has no
     /// depth order, so "reached" must be tracked per region.
-    reached: Vec<bool>,
+    pub(crate) reached: Vec<bool>,
     /// Interactions the current photon has had in each region — the
     /// exponent of the perturbation-MC scattering ratio. Maintained
     /// unconditionally (one add per interaction, tally-neutral).
-    collisions: Vec<u32>,
+    pub(crate) collisions: Vec<u32>,
 }
 
 impl Scratch {
@@ -146,7 +180,7 @@ impl Scratch {
     /// per-region vectors already have the right length, so this is a pair
     /// of `fill`s rather than a clear-and-regrow.
     #[inline]
-    fn reset(&mut self, regions: usize) {
+    pub(crate) fn reset(&mut self, regions: usize) {
         self.vertices.clear();
         if self.partial_path.len() == regions {
             self.partial_path.fill(0.0);
@@ -216,6 +250,27 @@ impl Simulation {
                     .into(),
             });
         }
+        if self.options.precision == Precision::Fast {
+            let fast_rejects = |what: &'static str, why: &str| ConfigError::Component {
+                what,
+                reason: format!("the fast precision tier does not support {why}; use exact"),
+            };
+            if self.options.boundary_mode == BoundaryMode::Classical {
+                return Err(fast_rejects(
+                    "precision",
+                    "classical boundary splitting (whole-packet probabilistic mode only)",
+                ));
+            }
+            if self.options.path_grid.is_some() {
+                return Err(fast_rejects("precision", "trajectory visit grids (path_grid)"));
+            }
+            if self.options.record_paths > 0 {
+                return Err(fast_rejects("precision", "trajectory recording (record_paths)"));
+            }
+            if self.options.archive.is_some() {
+                return Err(fast_rejects("precision", "perturbation-MC path archives"));
+            }
+        }
         self.tissue.validate()?;
         Ok(())
     }
@@ -247,7 +302,9 @@ impl Simulation {
 
     /// Trace one photon, accumulating into `tally`. Returns the terminal
     /// fate. This is the paper's Fig 1 loop, dispatched once per photon to
-    /// the geometry-monomorphized inner loop.
+    /// the geometry-monomorphized scalar kernel (the private `kernel::scalar` module).
+    /// Always runs the bit-pinned exact path; the fast tier batches whole
+    /// streams and dispatches in [`Self::run_stream`].
     pub fn trace_photon<R: McRng>(
         &self,
         rng: &mut R,
@@ -256,378 +313,22 @@ impl Simulation {
         paths_out: Option<&mut Vec<PathRecord>>,
     ) -> Fate {
         match &self.tissue {
-            Geometry::Layered(g) => self.trace_photon_in(g, rng, tally, scratch, paths_out),
-            Geometry::Voxel(g) => self.trace_photon_in(g, rng, tally, scratch, paths_out),
-        }
-    }
-
-    /// The geometry-generic stepping loop. `photon.layer` holds the current
-    /// *region* index (layer or voxel material); all geometric questions go
-    /// through `geom`, so the layered hot path compiles to exactly the code
-    /// it was before the abstraction (pinned by the golden-tally harness).
-    fn trace_photon_in<G: TissueGeometry, R: McRng>(
-        &self,
-        geom: &G,
-        rng: &mut R,
-        tally: &mut Tally,
-        scratch: &mut Scratch,
-        paths_out: Option<&mut Vec<PathRecord>>,
-    ) -> Fate {
-        // --- initialise photon ---
-        let (mut photon, r_sp) = self.source.launch(geom, rng);
-        tally.launched += 1;
-        tally.specular_weight += r_sp;
-        if let Some(a) = tally.archive.as_mut() {
-            a.on_launch(r_sp);
-        }
-        if !photon.survived() {
-            // Missed a finite grid's lateral extent: full weight reflects.
-            tally.reflected_weight += photon.weight;
-            if let Some(a) = tally.archive.as_mut() {
-                if !a.detected_only {
-                    a.push_launch_miss(photon.weight, photon.pos.radial());
-                }
+            Geometry::Layered(g) => {
+                kernel::scalar::trace_photon(self, g, rng, tally, scratch, paths_out)
             }
-            photon.weight = 0.0;
-        }
-
-        let recording = tally.path_grid.is_some() || self.options.record_paths > 0;
-        scratch.reset(geom.region_count());
-        scratch.reached[photon.layer] = true;
-        if recording {
-            scratch.vertices.push(photon.pos);
-        }
-
-        let mut step_mfps = 0.0_f64; // unspent dimensionless step
-        let mut interactions = 0u32;
-        let mut first_detection: Option<(f64, f64)> = None; // (pathlength, weight out)
-        let mut detection_weight_total = 0.0;
-
-        // The current region's precomputed constants, refreshed only when
-        // the photon genuinely changes region (a transmit at a boundary) —
-        // reflections and interactions reuse the cached entry across any
-        // number of steps/DDA faces.
-        let mut region = photon.layer;
-        let mut optics = geom.derived(region);
-
-        // --- while (photon survived) ---
-        'walk: while photon.survived() {
-            interactions += 1;
-            if interactions > self.options.max_interactions {
-                photon.terminate(Fate::Expired);
-                break;
-            }
-
-            if photon.layer != region {
-                region = photon.layer;
-                optics = geom.derived(region);
-            }
-            if step_mfps <= 0.0 {
-                step_mfps = sample_step_mfps(rng);
-            }
-
-            // --- move photon ---
-            // Fast path: when the sampled step is at most HALF the
-            // geometry's direction-independent boundary-distance lower
-            // bound, the step certainly ends in an interaction, and the
-            // full boundary query (with its division by the direction
-            // cosine) is skipped. The factor 2 strictly dominates the
-            // rounding of the exact distance computation, so this branch
-            // advances the photon to exactly the position `hop` would
-            // have (same `step_mfps / mu_t` division, same operands).
-            let path_before = photon.pathlength;
-            let boundary: Option<(f64, lumen_tissue::BoundaryHit)> = 'step: {
-                if !optics.transparent {
-                    let geometric = step_mfps / optics.mu_t;
-                    if geometric <= 0.5 * geom.min_boundary_distance(photon.pos, region) {
-                        photon.advance(geometric);
-                        break 'step None;
-                    }
-                }
-                let hit = geom.boundary_hit(photon.pos, photon.dir, region);
-                if !hit.distance.is_finite() && optics.transparent {
-                    // Degenerate: horizontal flight in a transparent slab
-                    // can never interact nor reach a boundary.
-                    // Probability-zero geometry; retire the photon rather
-                    // than loop forever.
-                    photon.terminate(Fate::Expired);
-                    break 'walk;
-                }
-                match hop(&mut photon, step_mfps, optics.mu_t, hit.distance) {
-                    Hop::Interact => None,
-                    Hop::Boundary { remaining_mfps } => Some((remaining_mfps, hit)),
-                }
-            };
-            scratch.partial_path[region] += photon.pathlength - path_before;
-            match boundary {
-                None => {
-                    step_mfps = 0.0;
-                    scratch.collisions[region] += 1;
-                    if recording {
-                        scratch.vertices.push(photon.pos);
-                    }
-                    // --- update absorption and photon weight ---
-                    let deposited = photon.absorb_fraction(optics.absorb_frac);
-                    tally.absorbed_by_layer[region] += deposited;
-                    if let Some(grid) = tally.absorption_grid.as_mut() {
-                        grid.deposit(photon.pos, deposited);
-                    }
-                    if let Some(rz) = tally.absorption_rz.as_mut() {
-                        rz.deposit(photon.pos.radial(), photon.pos.z, deposited);
-                    }
-                    if photon.weight <= 0.0 {
-                        photon.terminate(Fate::Absorbed);
-                        break;
-                    }
-                    // --- scatter (spin) ---
-                    spin(&mut photon, optics.g, rng);
-                    // --- if (weight too small) survive roulette ---
-                    if !roulette(&mut photon, self.options.roulette, rng) {
-                        break;
-                    }
-                }
-                Some((remaining_mfps, hit)) => {
-                    step_mfps = remaining_mfps;
-                    if recording {
-                        scratch.vertices.push(photon.pos);
-                    }
-                    // --- changed medium: internally reflect or refract ---
-                    let exits_tissue = hit.next_region.is_none();
-                    let n_i = optics.n;
-                    let n_t = geom.neighbour_n(region, &hit);
-
-                    if exits_tissue {
-                        let event = self.handle_surface(
-                            &mut photon,
-                            n_i,
-                            n_t,
-                            hit.axis,
-                            hit.is_top_surface,
-                            rng,
-                            tally,
-                            &mut first_detection,
-                            &mut detection_weight_total,
-                        );
-                        if let Some((class, weight_out)) = event {
-                            if let Some(a) = tally.archive.as_mut() {
-                                if class == archive::CLASS_DETECTED || !a.detected_only {
-                                    a.push(
-                                        class,
-                                        weight_out,
-                                        photon.pos.radial(),
-                                        photon.pathlength,
-                                        photon.max_depth,
-                                        photon.scatters,
-                                        &scratch.partial_path,
-                                        &scratch.collisions,
-                                        &scratch.reached,
-                                    );
-                                }
-                            }
-                        }
-                    } else {
-                        // Internal interface: probabilistic branch selection
-                        // in both modes (see module docs).
-                        match interact_with_boundary_axis(
-                            photon.dir,
-                            hit.axis,
-                            n_i,
-                            n_t,
-                            BoundaryMode::Probabilistic,
-                            rng,
-                        ) {
-                            BoundaryOutcome::Reflected { dir, .. } => {
-                                photon.dir = dir;
-                            }
-                            BoundaryOutcome::Transmitted { dir, .. } => {
-                                photon.dir = dir;
-                                photon.layer = hit.next_region.expect("internal boundary");
-                                scratch.reached[photon.layer] = true;
-                            }
-                        }
-                    }
-                }
+            Geometry::Voxel(g) => {
+                kernel::scalar::trace_photon(self, g, rng, tally, scratch, paths_out)
             }
         }
-
-        // --- bookkeeping for the terminal fate ---
-        let fate = photon.fate;
-        tally.count_fate(fate);
-
-        // Classical mode finishes with roulette death after detection
-        // events; attribute path statistics to the first detection.
-        let detected_event = match fate {
-            Fate::Detected => Some((photon.pathlength, detection_weight_total)),
-            _ => first_detection.map(|(pl, _)| (pl, detection_weight_total)),
-        };
-
-        if let Some((pathlength, _)) = detected_event {
-            if let Some(hist) = tally.path_histogram.as_mut() {
-                hist.record(pathlength);
-            }
-        }
-        if let Some((pathlength, weight_out)) = detected_event {
-            if fate != Fate::Detected {
-                // Classical-mode photon that was detected earlier but died
-                // later: reclassify the count.
-                match fate {
-                    Fate::RouletteKilled => tally.roulette_killed -= 1,
-                    Fate::Absorbed => tally.fully_absorbed -= 1,
-                    Fate::ReflectedOut => tally.reflected -= 1,
-                    Fate::Transmitted => tally.transmitted -= 1,
-                    Fate::Expired => tally.expired -= 1,
-                    _ => {}
-                }
-                tally.detected += 1;
-            }
-            tally.detected_path_sum += pathlength;
-            tally.detected_path_sq_sum += pathlength * pathlength;
-            tally.detected_weight_path_sum += weight_out * pathlength;
-            tally.detected_depth_sum += photon.max_depth;
-            tally.detected_depth_max = tally.detected_depth_max.max(photon.max_depth);
-            tally.detected_scatter_sum += photon.scatters as u64;
-            for (count, &reached) in tally.detected_reached_layer.iter_mut().zip(&scratch.reached) {
-                *count += u64::from(reached);
-            }
-            for (sum, &partial) in tally.detected_partial_path.iter_mut().zip(&scratch.partial_path)
-            {
-                *sum += partial;
-            }
-
-            // "save path": rasterise the trajectory into the visit grid
-            // with density ∝ weight × residence length.
-            if let Some(grid) = tally.path_grid.as_mut() {
-                for pair in scratch.vertices.windows(2) {
-                    let seg_len = pair[0].distance(pair[1]);
-                    grid.deposit_segment(pair[0], pair[1], weight_out * seg_len);
-                }
-            }
-            if let Some(out) = paths_out {
-                if out.len() < self.options.record_paths {
-                    out.push(PathRecord {
-                        vertices: scratch.vertices.clone(),
-                        pathlength,
-                        exit_weight: weight_out,
-                    });
-                }
-            }
-        }
-
-        fate
-    }
-
-    /// External-surface encounter: the top z=0 plane, the bottom of a
-    /// finite stack, or any outer face of a voxel grid (`axis` is the
-    /// face's normal; layered geometries only ever pass [`Axis::Z`]).
-    ///
-    /// Returns the escape event as an archive `(class, weight_out)` pair
-    /// when the *whole packet* left the tissue (probabilistic mode), so
-    /// the caller — which owns the per-photon scratch — can append a path
-    /// archive entry. Internal reflections and classical-mode partial
-    /// escapes return `None`.
-    #[allow(clippy::too_many_arguments)]
-    fn handle_surface<R: McRng>(
-        &self,
-        photon: &mut Photon,
-        n_i: f64,
-        n_t: f64,
-        axis: Axis,
-        is_top: bool,
-        rng: &mut R,
-        tally: &mut Tally,
-        first_detection: &mut Option<(f64, f64)>,
-        detection_weight_total: &mut f64,
-    ) -> Option<(u8, f64)> {
-        let cos_i = photon.dir.component(axis).abs();
-        let reflectance = fresnel_reflectance(n_i, n_t, cos_i);
-        // Exit-angle cosine on the ambient side (Snell); escapes only
-        // happen below the critical angle, so sin_t < 1 here.
-        let sin_t = (n_i / n_t) * (1.0 - cos_i * cos_i).max(0.0).sqrt();
-        let exit_cos = (1.0 - sin_t * sin_t).max(0.0).sqrt();
-
-        let escape = |photon: &mut Photon,
-                      weight_out: f64,
-                      tally: &mut Tally,
-                      first_detection: &mut Option<(f64, f64)>,
-                      detection_weight_total: &mut f64|
-         -> u8 {
-            // Returns the escape's archive class; `CLASS_DETECTED` means
-            // this event counts as a detection.
-            if is_top {
-                if let Some(profile) = tally.reflectance_r.as_mut() {
-                    profile.record(photon.pos.radial(), weight_out);
-                }
-                if self.detector.in_aperture(photon.pos) {
-                    if !self.detector.accepts_angle(exit_cos) {
-                        tally.na_rejected += 1;
-                        tally.reflected_weight += weight_out;
-                        return archive::CLASS_NA_REJECTED;
-                    }
-                    if self.detector.gate.accepts(photon.pathlength) {
-                        tally.detected_weight += weight_out;
-                        *detection_weight_total += weight_out;
-                        if first_detection.is_none() {
-                            *first_detection = Some((photon.pathlength, weight_out));
-                        }
-                        return archive::CLASS_DETECTED;
-                    } else {
-                        tally.gate_rejected += 1;
-                        tally.reflected_weight += weight_out;
-                        return archive::CLASS_GATE_REJECTED;
-                    }
-                }
-                tally.reflected_weight += weight_out;
-                archive::CLASS_MISSED_APERTURE
-            } else {
-                tally.transmitted_weight += weight_out;
-                archive::CLASS_TRANSMITTED
-            }
-        };
-
-        match self.options.boundary_mode {
-            BoundaryMode::Probabilistic => {
-                if reflectance < 1.0 && rng.next_f64() >= reflectance {
-                    // Whole packet escapes.
-                    let w = photon.weight;
-                    let class = escape(photon, w, tally, first_detection, detection_weight_total);
-                    photon.weight = 0.0;
-                    photon.terminate(if class == archive::CLASS_DETECTED {
-                        Fate::Detected
-                    } else if is_top {
-                        Fate::ReflectedOut
-                    } else {
-                        Fate::Transmitted
-                    });
-                    return Some((class, w));
-                }
-                // Internal reflection (total or Fresnel-sampled).
-                photon.dir = photon.dir.reflect(axis);
-            }
-            BoundaryMode::Classical => {
-                if reflectance < 1.0 {
-                    let escaped = photon.weight * (1.0 - reflectance);
-                    let _ = escape(photon, escaped, tally, first_detection, detection_weight_total);
-                    photon.weight -= escaped;
-                }
-                if photon.weight <= 0.0 {
-                    // Matched indices: everything escaped.
-                    photon.terminate(if first_detection.is_some() {
-                        Fate::Detected
-                    } else if is_top {
-                        Fate::ReflectedOut
-                    } else {
-                        Fate::Transmitted
-                    });
-                } else {
-                    photon.dir = photon.dir.reflect(axis);
-                }
-            }
-        }
-        None
     }
 
     /// Run `n` photons from the given RNG into `tally`. Dispatches to the
     /// geometry-monomorphized loop once for the whole stream.
+    ///
+    /// This is the precision-tier seam: everything above it (task
+    /// decomposition, RNG substreams, tally merging, every backend) is
+    /// tier-agnostic, so `Exact` and `Fast` runs differ only in which
+    /// kernel walks the stream.
     pub fn run_stream<R: McRng>(
         &self,
         n: u64,
@@ -635,9 +336,19 @@ impl Simulation {
         tally: &mut Tally,
         paths_out: Option<&mut Vec<PathRecord>>,
     ) {
-        match &self.tissue {
-            Geometry::Layered(g) => self.run_stream_in(g, n, rng, tally, paths_out),
-            Geometry::Voxel(g) => self.run_stream_in(g, n, rng, tally, paths_out),
+        match (&self.tissue, self.options.precision) {
+            (Geometry::Layered(g), Precision::Exact) => {
+                self.run_stream_in(g, n, rng, tally, paths_out)
+            }
+            (Geometry::Voxel(g), Precision::Exact) => {
+                self.run_stream_in(g, n, rng, tally, paths_out)
+            }
+            (Geometry::Layered(g), Precision::Fast) => {
+                kernel::batch::run_stream(self, g, n, rng, tally)
+            }
+            (Geometry::Voxel(g), Precision::Fast) => {
+                kernel::batch::run_stream(self, g, n, rng, tally)
+            }
         }
     }
 
@@ -655,12 +366,19 @@ impl Simulation {
         match paths_out {
             Some(out) => {
                 for _ in 0..n {
-                    self.trace_photon_in(geom, rng, tally, &mut scratch, Some(&mut *out));
+                    kernel::scalar::trace_photon(
+                        self,
+                        geom,
+                        rng,
+                        tally,
+                        &mut scratch,
+                        Some(&mut *out),
+                    );
                 }
             }
             None => {
                 for _ in 0..n {
-                    self.trace_photon_in(geom, rng, tally, &mut scratch, None);
+                    kernel::scalar::trace_photon(self, geom, rng, tally, &mut scratch, None);
                 }
             }
         }

@@ -1,0 +1,113 @@
+//! Statistical-tolerance comparison helpers for Monte Carlo tallies.
+//!
+//! # When bit-identity applies, and when this module does
+//!
+//! The engine makes two different reproducibility promises, and the test
+//! suite must compare tallies accordingly:
+//!
+//! * **Bit-identity** (`assert_eq!` on whole tallies, golden snapshots) is
+//!   the right comparison whenever two runs execute the *same kernel over
+//!   the same RNG stream discipline*: the same scenario on two backends, a
+//!   re-run with the same seed, a refactor of the exact tier. Any byte of
+//!   difference is a bug. The `golden_tallies` harness and the
+//!   backend-equivalence suites work at this level, and the fast tier makes
+//!   the same promise *within itself* (same scenario + seed ⇒ same bytes).
+//!
+//! * **Statistical tolerance** (this module) is the right comparison when
+//!   two runs sample the *same distribution through different trajectories*:
+//!   the fast tier versus the exact tier (different transcendental
+//!   approximations and stream interleaving), or different seeds of the
+//!   same scenario. There is no meaningful per-bit expectation, but every
+//!   tally estimates a distribution parameter with a computable standard
+//!   error, so the difference normalised by that standard error — a z
+//!   score — is a principled, budget-independent comparison. With the
+//!   polynomial approximation error (≤ 1e-10) far below Monte Carlo noise
+//!   at any feasible budget, a fast-vs-exact discrepancy that *grows* with
+//!   the z threshold indicates a physics bug, not an approximation
+//!   artefact.
+//!
+//! Callers assert `|z| < Z_GATE`. The gate is deliberately loose (5σ): a
+//! correct kernel exceeds it with probability ~6e-7 per comparison, while
+//! real physics bugs (a mis-weighted escape, a biased phase function) show
+//! up at tens to hundreds of σ even at small photon budgets.
+
+/// Loose z gate for comparisons that must essentially never flake.
+pub const Z_GATE: f64 = 5.0;
+
+/// Two-proportion z score (pooled): compares event *counts* out of `n`
+/// trials — detections, fate tallies, NA/gate rejections.
+pub fn z_two_proportions(k1: u64, n1: u64, k2: u64, n2: u64) -> f64 {
+    assert!(n1 > 0 && n2 > 0, "need trials on both sides");
+    let (k1, n1, k2, n2) = (k1 as f64, n1 as f64, k2 as f64, n2 as f64);
+    let p1 = k1 / n1;
+    let p2 = k2 / n2;
+    let pooled = (k1 + k2) / (n1 + n2);
+    let var = pooled * (1.0 - pooled) * (1.0 / n1 + 1.0 / n2);
+    if var == 0.0 {
+        // Both proportions are exactly 0 or exactly 1 — identical.
+        return 0.0;
+    }
+    (p1 - p2) / var.sqrt()
+}
+
+/// Welch z score for a mean estimated from accumulated first and second
+/// moments (`sum`, `sq_sum` over `n` samples) — e.g. the detected-photon
+/// mean pathlength from `detected_path_sum` / `detected_path_sq_sum`.
+pub fn z_welch_from_moments(
+    sum1: f64,
+    sq_sum1: f64,
+    n1: u64,
+    sum2: f64,
+    sq_sum2: f64,
+    n2: u64,
+) -> f64 {
+    assert!(n1 > 1 && n2 > 1, "need at least two samples per side");
+    let (n1, n2) = (n1 as f64, n2 as f64);
+    let m1 = sum1 / n1;
+    let m2 = sum2 / n2;
+    let var1 = (sq_sum1 / n1 - m1 * m1).max(0.0) * n1 / (n1 - 1.0);
+    let var2 = (sq_sum2 / n2 - m2 * m2).max(0.0) * n2 / (n2 - 1.0);
+    let se = (var1 / n1 + var2 / n2).sqrt();
+    if se == 0.0 {
+        return if m1 == m2 { 0.0 } else { f64::INFINITY };
+    }
+    (m1 - m2) / se
+}
+
+/// Conservative z score for a total of per-photon weights in `[0, 1]`
+/// (reflected / transmitted / absorbed / detected weight totals).
+///
+/// The tally keeps only the weight *sum*, not its second moment, so the
+/// per-photon variance is bounded by `μ(1−μ)` (any `[0, 1]` variable has
+/// `E[X²] ≤ E[X]`). The resulting z is an overestimate of significance
+/// never — it only under-reports, which is the safe direction for a gate.
+pub fn z_bounded_weight(w1: f64, n1: u64, w2: f64, n2: u64) -> f64 {
+    assert!(n1 > 0 && n2 > 0, "need photons on both sides");
+    let (n1, n2) = (n1 as f64, n2 as f64);
+    let m1 = w1 / n1;
+    let m2 = w2 / n2;
+    let pooled = ((w1 + w2) / (n1 + n2)).clamp(0.0, 1.0);
+    let var = pooled * (1.0 - pooled) * (1.0 / n1 + 1.0 / n2);
+    if var == 0.0 {
+        return if m1 == m2 { 0.0 } else { f64::INFINITY };
+    }
+    (m1 - m2) / var.sqrt()
+}
+
+#[cfg(test)]
+mod self_checks {
+    use super::*;
+
+    #[test]
+    fn identical_inputs_give_zero() {
+        assert_eq!(z_two_proportions(50, 1000, 50, 1000), 0.0);
+        assert_eq!(z_bounded_weight(12.5, 100, 12.5, 100), 0.0);
+        assert_eq!(z_welch_from_moments(10.0, 25.0, 4, 10.0, 25.0, 4), 0.0);
+    }
+
+    #[test]
+    fn gross_differences_blow_the_gate() {
+        assert!(z_two_proportions(900, 1000, 100, 1000).abs() > Z_GATE);
+        assert!(z_bounded_weight(900.0, 1000, 100.0, 1000).abs() > Z_GATE);
+    }
+}

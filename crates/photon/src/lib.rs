@@ -20,6 +20,7 @@
 //! the layered-medium bookkeeping lives in `lumen-tissue` and the simulation
 //! loop in `lumen-core`.
 
+pub mod approx;
 pub mod fresnel;
 pub mod optics;
 pub mod photon;

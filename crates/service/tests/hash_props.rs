@@ -10,7 +10,7 @@
 //!   experiments can never alias to one entry.
 
 use lumen_core::engine::Scenario;
-use lumen_core::{Detector, Source};
+use lumen_core::{Detector, Precision, Source};
 use lumen_service::{key_hex, scenario_key};
 use lumen_tissue::presets::semi_infinite_phantom;
 use proptest::prelude::*;
@@ -101,6 +101,28 @@ proptest! {
         let mut b = a.clone();
         b.options.max_interactions = b.options.max_interactions.wrapping_add(max_interactions);
         prop_assert_ne!(scenario_key(&a), scenario_key(&b));
+    }
+
+    // The precision tier changes the sampled trajectories (polynomial
+    // approximations, batch-order RNG consumption), so a `Fast` result
+    // must never satisfy an `Exact` query from the cache — the tier has
+    // to be key-relevant for every physics configuration.
+    #[test]
+    fn key_moves_with_the_precision_tier(
+        mu_a in 0.01f64..1.0,
+        mu_s in 1.0f64..50.0,
+        sep in 0.5f64..5.0,
+        seed in any::<u64>(),
+    ) {
+        let exact = scenario(mu_a, mu_s, 0.0, sep, 0.5, seed);
+        let mut fast = exact.clone();
+        fast.options.precision = Precision::Fast;
+        prop_assert_ne!(scenario_key(&fast), scenario_key(&exact));
+        // Within a tier the key stays deterministic.
+        prop_assert_eq!(scenario_key(&fast), scenario_key(&fast.clone()));
+        // And budget-invariance holds for the fast tier too.
+        let topped_up = fast.clone().with_photons(123_456).with_tasks(12);
+        prop_assert_eq!(scenario_key(&topped_up), scenario_key(&fast));
     }
 }
 
